@@ -1,0 +1,62 @@
+//! Criterion benches for the scheduling heuristics themselves.
+//!
+//! The paper reports ~10 s to compute TIC/TAC offline on TF graphs with
+//! thousands of kernels; these benches measure our implementations across
+//! model sizes (the cost is amortized: the schedule is computed once per
+//! job).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tictac_core::{
+    deploy, estimate_profile, no_ordering, simulate, tac, tic, ClusterSpec, DeployedModel,
+    MeasuredProfile, Mode, Model, SimConfig,
+};
+
+fn setup(model: Model) -> (DeployedModel, MeasuredProfile) {
+    let graph = model.build_with_batch(Mode::Training, 2);
+    let deployed = deploy(&graph, &ClusterSpec::new(4, 1)).expect("valid cluster");
+    let config = SimConfig::cloud_gpu();
+    let unordered = no_ordering(deployed.graph());
+    let traces: Vec<_> = (0..5)
+        .map(|i| simulate(deployed.graph(), &unordered, &config, i))
+        .collect();
+    let profile = estimate_profile(&traces);
+    (deployed, profile)
+}
+
+fn bench_tic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tic");
+    for model in [Model::AlexNetV2, Model::InceptionV1, Model::ResNet101V2] {
+        let (deployed, _) = setup(model);
+        group.bench_function(model.name(), |b| {
+            b.iter(|| tic(deployed.graph(), deployed.workers()[0]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tac");
+    group.sample_size(10);
+    for model in [Model::AlexNetV2, Model::InceptionV1, Model::ResNet101V2] {
+        let (deployed, profile) = setup(model);
+        group.bench_function(model.name(), |b| {
+            b.iter(|| tac(deployed.graph(), deployed.workers()[0], &profile))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replicate(c: &mut Criterion) {
+    let (deployed, _) = setup(Model::ResNet50V1);
+    let schedule = tic(deployed.graph(), deployed.workers()[0]);
+    c.bench_function("replicate_schedule/resnet_v1_50", |b| {
+        b.iter_batched(
+            || schedule.clone(),
+            |s| deployed.replicate_schedule(&s),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_tic, bench_tac, bench_replicate);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches for the simulator hot paths: graph construction,
+//! deployment and per-iteration event processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tictac_core::{
+    deploy, no_ordering, simulate, tic, ClusterSpec, Mode, Model, SimConfig,
+};
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_build");
+    for model in [Model::AlexNetV2, Model::InceptionV3, Model::ResNet101V2] {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| model.build_with_batch(Mode::Training, 2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    let graph = Model::ResNet50V1.build_with_batch(Mode::Training, 2);
+    c.bench_function("deploy/resnet_v1_50/8w2ps", |b| {
+        b.iter(|| deploy(&graph, &ClusterSpec::new(8, 2)).expect("valid cluster"))
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_iteration");
+    group.sample_size(20);
+    let config = SimConfig::cloud_gpu();
+    for model in [Model::AlexNetV2, Model::ResNet50V1, Model::ResNet101V2] {
+        let graph = model.build_with_batch(Mode::Training, 2);
+        let deployed = deploy(&graph, &ClusterSpec::new(4, 1)).expect("valid cluster");
+        let baseline = no_ordering(deployed.graph());
+        let scheduled = deployed.replicate_schedule(&tic(deployed.graph(), deployed.workers()[0]));
+        group.bench_function(format!("{}/baseline", model.name()), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                simulate(deployed.graph(), &baseline, &config, i)
+            })
+        });
+        group.bench_function(format!("{}/tic", model.name()), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                simulate(deployed.graph(), &scheduled, &config, i)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_build, bench_deploy, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! `repro` — regenerates every table and figure of the TicTac paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro --exp all            # every experiment (full fidelity)
+//! repro --exp fig7           # one experiment
+//! repro --exp fig12 --quick  # trimmed run counts for smoke tests
+//! repro --list               # list experiment names
+//! repro --out results/       # also write one report file per experiment
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use tictac_bench::experiments;
+
+fn main() {
+    let mut exp: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--exp" => {
+                let value = args.next().unwrap_or_else(|| usage("--exp needs a value"));
+                exp.extend(value.split(',').map(str::to_string));
+            }
+            "--quick" => quick = true,
+            "--out" => {
+                let value = args.next().unwrap_or_else(|| usage("--out needs a value"));
+                out_dir = Some(PathBuf::from(value));
+            }
+            "--list" => {
+                for (name, _) in experiments::ALL {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if exp.is_empty() {
+        usage("pass --exp <name|all> (see --list)");
+    }
+
+    let selected: Vec<&str> = if exp.iter().any(|e| e == "all") {
+        experiments::ALL.iter().map(|(n, _)| *n).collect()
+    } else {
+        exp.iter().map(String::as_str).collect()
+    };
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for name in selected {
+        let Some(runner) = experiments::find(name) else {
+            usage(&format!("unknown experiment `{name}` (see --list)"));
+        };
+        eprintln!("== running {name}{} ==", if quick { " (quick)" } else { "" });
+        let started = std::time::Instant::now();
+        let report = runner(quick);
+        eprintln!("== {name} done in {:.1}s ==", started.elapsed().as_secs_f64());
+        println!("{report}");
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{name}.txt"));
+            let mut f = std::fs::File::create(&path).expect("create report file");
+            f.write_all(report.as_bytes()).expect("write report");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro --exp <name|all>[,name...] [--quick] [--out DIR] [--list]\n\
+         experiments: {}",
+        experiments::ALL
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

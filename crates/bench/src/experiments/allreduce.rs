@@ -1,0 +1,96 @@
+//! Extension experiment (§7 future work): Parameter Server + TicTac vs
+//! ring all-reduce.
+//!
+//! The paper scopes TicTac to PS aggregation and names collective patterns
+//! (all-reduce / Horovod) as future work, noting they are "gaining
+//! traction in high-performance networking". This experiment quantifies
+//! the comparison on the same simulated substrate: how much of the PS
+//! stack's disadvantage against a ring does communication scheduling
+//! recover?
+
+use crate::format::Table;
+use tictac_core::{
+    deploy_all_reduce, no_ordering, simulate, speedup_pct, ClusterSpec, Mode, Model,
+    SchedulerKind, Session, SimConfig,
+};
+
+/// Compares PS-baseline, PS+TIC and ring all-reduce throughput while
+/// scaling workers (training, envG).
+pub fn run(quick: bool) -> String {
+    let worker_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8, 16] };
+    let models: &[Model] = if quick {
+        &[Model::ResNet50V1]
+    } else {
+        &[Model::ResNet50V1, Model::Vgg16, Model::InceptionV3]
+    };
+    let iterations = if quick { 3 } else { 10 };
+    let config = SimConfig::cloud_gpu();
+
+    let mut out = String::from(
+        "Extension: Parameter Server (baseline / TIC) vs ring all-reduce\n(training, envG; PS:W = 1:4; throughput in samples/s)\n\n",
+    );
+    for &model in models {
+        let mut t = Table::new([
+            "workers",
+            "PS baseline",
+            "PS + TIC",
+            "ring all-reduce",
+            "TIC vs ring gap",
+        ]);
+        let batch = model.default_batch();
+        for &workers in worker_counts {
+            let ps = (workers / 4).max(1);
+            let graph = model.build(Mode::Training);
+            let session = |scheduler: SchedulerKind| {
+                Session::builder(graph.clone())
+                    .cluster(ClusterSpec::new(workers, ps))
+                    .config(config.clone())
+                    .scheduler(scheduler)
+                    .iterations(iterations)
+                    .build()
+                    .expect("valid cluster")
+                    .run()
+                    .mean_throughput()
+            };
+            let ps_base = session(SchedulerKind::Baseline);
+            let ps_tic = session(SchedulerKind::Tic);
+
+            // Ring all-reduce: fixed transfer order, nothing to schedule.
+            let ring = deploy_all_reduce(&graph, workers).expect("valid ring");
+            let unordered = no_ordering(ring.graph());
+            let mut makespans = Vec::with_capacity(iterations);
+            for i in 0..(iterations + 2) as u64 {
+                let trace = simulate(ring.graph(), &unordered, &config, i);
+                if i >= 2 {
+                    makespans.push(trace.makespan().as_secs_f64());
+                }
+            }
+            let ring_tput = (batch * workers) as f64
+                / (makespans.iter().sum::<f64>() / makespans.len() as f64);
+
+            t.row([
+                workers.to_string(),
+                format!("{ps_base:.1}"),
+                format!("{ps_tic:.1}"),
+                format!("{ring_tput:.1}"),
+                format!("{:+.1}%", speedup_pct(ring_tput, ps_tic)),
+            ]);
+        }
+        out.push_str(&format!("model = {}\n{}\n", model.name(), t.render()));
+    }
+    out.push_str(
+        "(negative gap: the ring wins. On compute-bound models PS+TIC matches the\n ring within a few percent — scheduling recovers what decentralized\n aggregation buys. On communication-bound models the ring's constant\n 2(W-1)/W per-link volume scales while the PS NICs saturate, which is why\n the paper scopes TicTac to PS and names collectives as future work.)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_compares_three_systems() {
+        let out = super::run(true);
+        assert!(out.contains("PS + TIC"));
+        assert!(out.contains("ring all-reduce"));
+        assert!(out.contains("resnet_v1_50"));
+    }
+}

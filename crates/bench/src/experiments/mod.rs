@@ -1,0 +1,93 @@
+//! One module per table/figure of the paper's evaluation, plus ablations.
+
+mod ablations;
+mod allreduce;
+mod fig07;
+mod fig08;
+mod fig09;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig13;
+mod orders;
+mod sched_cost;
+mod spread;
+mod table1;
+
+use tictac_core::{Mode, Model};
+
+/// All experiments, in paper order: `(name, runner)`. Runners take a
+/// `quick` flag that trims run counts for smoke testing.
+pub const ALL: &[(&str, fn(bool) -> String)] = &[
+    ("table1", table1::run),
+    ("unique-orders", orders::run),
+    ("fig7", fig07::run),
+    ("fig8", fig08::run),
+    ("fig9", fig09::run),
+    ("fig10", fig10::run),
+    ("fig11", fig11::run),
+    ("fig12", fig12::run),
+    ("fig13", fig13::run),
+    ("sched-cost", sched_cost::run),
+    ("ext-allreduce", allreduce::run),
+    ("ext-spread", spread::run),
+    ("ablation-reorder", ablations::reorder),
+    ("ablation-enforcement", ablations::enforcement),
+    ("ablation-sharding", ablations::sharding),
+];
+
+/// Looks up an experiment runner by name.
+pub fn find(name: &str) -> Option<fn(bool) -> String> {
+    ALL.iter().find(|(n, _)| *n == name).map(|(_, f)| *f)
+}
+
+/// The nine models shown in Figures 7, 9 and 10 of the paper (all of
+/// Table 1 except ResNet-101 v2).
+pub const FIGURE_MODELS: [Model; 9] = [
+    Model::InceptionV1,
+    Model::Vgg19,
+    Model::InceptionV2,
+    Model::AlexNetV2,
+    Model::Vgg16,
+    Model::ResNet50V1,
+    Model::ResNet50V2,
+    Model::InceptionV3,
+    Model::ResNet101V1,
+];
+
+/// Short human label for a task.
+pub(crate) fn mode_label(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Inference => "inference",
+        Mode::Training => "train",
+    }
+}
+
+/// Trims a model list in quick mode.
+pub(crate) fn pick_models(quick: bool) -> Vec<Model> {
+    if quick {
+        vec![Model::AlexNetV2, Model::ResNet50V1]
+    } else {
+        FIGURE_MODELS.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_finds_every_experiment() {
+        for (name, _) in ALL {
+            assert!(find(name).is_some(), "{name} missing");
+        }
+        assert!(find("nope").is_none());
+        assert_eq!(ALL.len(), 15);
+    }
+
+    #[test]
+    fn figure_models_excludes_resnet101_v2() {
+        assert!(!FIGURE_MODELS.contains(&Model::ResNet101V2));
+        assert_eq!(FIGURE_MODELS.len(), 9);
+    }
+}

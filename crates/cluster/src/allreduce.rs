@@ -1,0 +1,367 @@
+//! Ring all-reduce deployment — the decentralized aggregation pattern the
+//! paper names as future work (§7, cf. Horovod).
+//!
+//! Gradients are aggregated without parameter servers: parameters live on
+//! the workers, and after the backward pass the gradient tensor — split
+//! into `W` buckets — travels a ring of peer channels in two phases:
+//! *reduce-scatter* (`W−1` steps; each worker ends up owning the full sum
+//! of one bucket) and *all-gather* (`W−1` steps; the summed buckets
+//! propagate to everyone). Each directed link carries `2(W−1)/W` of the
+//! gradient bytes per iteration.
+//!
+//! TicTac's transfer scheduling does not apply here (the ring order is
+//! fixed by the algorithm); the deployment exists so the PS-with-TicTac
+//! configuration can be compared against the collective alternative.
+
+use crate::DeployError;
+use tictac_graph::{
+    ChannelId, Cost, DeviceId, Graph, GraphBuilder, ModelGraph, OpId, OpKind, ParamId,
+};
+
+/// A model deployed with ring all-reduce gradient aggregation.
+#[derive(Debug, Clone)]
+pub struct AllReduceDeployment {
+    graph: Graph,
+    workers: Vec<DeviceId>,
+    /// `ring[w]` carries traffic from worker `w` to worker `(w+1) % W`.
+    ring: Vec<ChannelId>,
+    buckets: Vec<Vec<ParamId>>,
+}
+
+impl AllReduceDeployment {
+    /// The partitioned graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Worker device ids, in ring order.
+    pub fn workers(&self) -> &[DeviceId] {
+        &self.workers
+    }
+
+    /// The directed ring links (`ring[w]`: worker `w` → worker `w+1`).
+    pub fn ring(&self) -> &[ChannelId] {
+        &self.ring
+    }
+
+    /// The gradient buckets (parameter ids per bucket, in production
+    /// order).
+    pub fn buckets(&self) -> &[Vec<ParamId>] {
+        &self.buckets
+    }
+}
+
+/// Deploys `model` with ring all-reduce across `workers` workers.
+///
+/// # Errors
+///
+/// Returns [`DeployError::EmptyCluster`] if `workers < 2`,
+/// [`DeployError::NoParameters`] for a parameterless model, and
+/// [`DeployError::NotTraining`] for an inference graph (all-reduce
+/// aggregates gradients; there is nothing to aggregate in inference).
+pub fn deploy_all_reduce(
+    model: &ModelGraph,
+    workers: usize,
+) -> Result<AllReduceDeployment, DeployError> {
+    if workers < 2 {
+        return Err(DeployError::EmptyCluster);
+    }
+    if model.params().is_empty() {
+        return Err(DeployError::NoParameters);
+    }
+    if !model.is_training() {
+        return Err(DeployError::NotTraining);
+    }
+
+    let mut b = GraphBuilder::with_capacity(workers * (model.ops().len() + 6 * workers));
+    let devices: Vec<DeviceId> = (0..workers)
+        .map(|w| b.add_worker(format!("worker/{w}")))
+        .collect();
+    let ring: Vec<ChannelId> = (0..workers)
+        .map(|w| b.add_peer_channel(devices[w], devices[(w + 1) % workers]))
+        .collect();
+
+    // Parameters are resident on every worker; the graph carries one
+    // nominal copy for size bookkeeping.
+    let params: Vec<ParamId> = model
+        .params()
+        .iter()
+        .map(|p| b.add_param(p.name(), p.bytes()))
+        .collect();
+
+    // Buckets: parameters in gradient-production order, split into
+    // byte-balanced contiguous groups so early buckets can start reducing
+    // while the backward pass continues (Horovod-style tensor fusion).
+    let n_buckets = workers.min(8).min(params.len());
+    let buckets = bucketize(model, &params, n_buckets);
+    let bucket_bytes: Vec<u64> = buckets
+        .iter()
+        .map(|bucket| {
+            bucket
+                .iter()
+                .map(|p| model.params()[p.index()].bytes())
+                .sum()
+        })
+        .collect();
+    let bucket_elems: Vec<u64> = bucket_bytes.iter().map(|b| b / 4).collect();
+
+    // Replica compute ops (no parameter recvs: weights are local).
+    let mut producer_of: Vec<Vec<Option<OpId>>> = vec![vec![None; params.len()]; workers];
+    for (w, &device) in devices.iter().enumerate() {
+        let mut op_map: Vec<OpId> = Vec::with_capacity(model.ops().len());
+        for mop in model.ops() {
+            let deps: Vec<OpId> = mop.preds().iter().map(|p| op_map[p.index()]).collect();
+            let id = b.add_op(
+                format!("w{w}/{}", mop.name()),
+                device,
+                OpKind::Compute,
+                Cost::flops(mop.flops()),
+                &deps,
+            );
+            for g in mop.produces_grads() {
+                producer_of[w][g.index()] = Some(id);
+            }
+            op_map.push(id);
+        }
+    }
+
+    // One pipelined ring per bucket: the bucket is cut into W rank-indexed
+    // sub-chunks; reduce-scatter runs W−1 steps (at step s, worker w sends
+    // sub-chunk (w − s) mod W to w+1 and folds what it receives), then
+    // all-gather propagates the fully-reduced sub-chunks in W−1 more
+    // steps. Each bucket's ring starts as soon as that bucket's gradients
+    // are produced, overlapping communication with the ongoing backward
+    // pass; rings of different buckets serialize naturally on the shared
+    // links.
+    let modw = |x: isize| -> usize { x.rem_euclid(workers as isize) as usize };
+    let mut final_owned: Vec<Vec<OpId>> = vec![Vec::new(); workers];
+    for (bi, bucket) in buckets.iter().enumerate() {
+        let tag = bucket[0];
+        let chunk_bytes = (bucket_bytes[bi] / workers as u64).max(1);
+        let chunk_elems = (bucket_elems[bi] / workers as u64).max(1);
+
+        // `owned[w][c]`: ops after which worker w holds its current
+        // partial (then full) sum of sub-chunk c.
+        let mut owned: Vec<Vec<Vec<OpId>>> = (0..workers)
+            .map(|w| {
+                let mut ready: Vec<OpId> = bucket
+                    .iter()
+                    .filter_map(|p| producer_of[w][p.index()])
+                    .collect();
+                ready.sort_unstable();
+                ready.dedup();
+                vec![ready; workers]
+            })
+            .collect();
+
+        for s in 0..workers - 1 {
+            let mut next = owned.clone();
+            for w in 0..workers {
+                let c = modw(w as isize - s as isize);
+                let dst = (w + 1) % workers;
+                let send = b.add_op(
+                    format!("w{w}/b{bi}/rs{s}/send/chunk{c}"),
+                    devices[w],
+                    OpKind::send(tag, ring[w]),
+                    Cost::bytes(chunk_bytes),
+                    &owned[w][c],
+                );
+                let recv = b.add_op(
+                    format!("w{dst}/b{bi}/rs{s}/recv/chunk{c}"),
+                    devices[dst],
+                    OpKind::recv(tag, ring[w]),
+                    Cost::bytes(chunk_bytes),
+                    &[send],
+                );
+                let mut deps = owned[dst][c].clone();
+                deps.push(recv);
+                let reduce = b.add_op(
+                    format!("w{dst}/b{bi}/rs{s}/reduce/chunk{c}"),
+                    devices[dst],
+                    OpKind::Compute,
+                    Cost::flops(chunk_elems as f64),
+                    &deps,
+                );
+                next[dst][c] = vec![reduce];
+            }
+            owned = next;
+        }
+
+        for s in 0..workers - 1 {
+            let mut next = owned.clone();
+            for w in 0..workers {
+                let c = modw(w as isize + 1 - s as isize);
+                let dst = (w + 1) % workers;
+                let send = b.add_op(
+                    format!("w{w}/b{bi}/ag{s}/send/chunk{c}"),
+                    devices[w],
+                    OpKind::send(tag, ring[w]),
+                    Cost::bytes(chunk_bytes),
+                    &owned[w][c],
+                );
+                let recv = b.add_op(
+                    format!("w{dst}/b{bi}/ag{s}/recv/chunk{c}"),
+                    devices[dst],
+                    OpKind::recv(tag, ring[w]),
+                    Cost::bytes(chunk_bytes),
+                    &[send],
+                );
+                next[dst][c] = vec![recv];
+            }
+            owned = next;
+        }
+
+        for w in 0..workers {
+            for c in 0..workers {
+                final_owned[w].extend(owned[w][c].iter().copied());
+            }
+        }
+    }
+
+    // Local SGD apply per worker, once all sub-chunks are available.
+    let total_elems: u64 = bucket_elems.iter().sum();
+    for (w, &device) in devices.iter().enumerate() {
+        b.add_op(
+            format!("w{w}/apply_updates"),
+            device,
+            OpKind::Compute,
+            Cost::flops(2.0 * total_elems as f64),
+            &final_owned[w],
+        );
+    }
+
+    let graph = b.build()?;
+    Ok(AllReduceDeployment {
+        graph,
+        workers: devices,
+        ring,
+        buckets,
+    })
+}
+
+/// Splits parameters into `n` byte-balanced contiguous buckets in
+/// gradient-production order.
+fn bucketize(model: &ModelGraph, params: &[ParamId], n: usize) -> Vec<Vec<ParamId>> {
+    // Production order: position of each param's first gradient producer.
+    let mut order: Vec<(usize, ParamId)> = params
+        .iter()
+        .map(|&p| {
+            let pos = model
+                .ops()
+                .iter()
+                .position(|op| op.produces_grads().contains(&p))
+                .unwrap_or(usize::MAX);
+            (pos, p)
+        })
+        .collect();
+    order.sort_unstable();
+
+    let total: u64 = model.params().iter().map(|p| p.bytes()).sum();
+    let target = total / n as u64 + 1;
+    let mut buckets: Vec<Vec<ParamId>> = vec![Vec::new(); n];
+    let mut bucket = 0usize;
+    let mut acc = 0u64;
+    for (_, p) in order {
+        if acc >= target && bucket + 1 < n {
+            bucket += 1;
+            acc = 0;
+        }
+        buckets[bucket].push(p);
+        acc += model.params()[p.index()].bytes();
+    }
+    // Guarantee non-empty buckets (tiny models): steal from the fullest.
+    for i in 0..n {
+        if buckets[i].is_empty() {
+            let donor = (0..n)
+                .max_by_key(|&j| buckets[j].len())
+                .expect("n > 0 buckets");
+            assert!(buckets[donor].len() > 1, "model has fewer params than workers");
+            let moved = buckets[donor].pop().expect("donor non-empty");
+            buckets[i].push(moved);
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tictac_models::{tiny_mlp, Mode, Model};
+
+    #[test]
+    fn ring_has_one_channel_per_worker() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy_all_reduce(&model, 4).unwrap();
+        assert_eq!(d.workers().len(), 4);
+        assert_eq!(d.ring().len(), 4);
+        assert!(d.graph().channels().iter().all(|c| c.is_peer()));
+        assert!(d.graph().check().is_ok());
+    }
+
+    #[test]
+    fn links_carry_the_textbook_byte_volume() {
+        // ResNet-50's parameters are balanced enough for per-link checks.
+        let model = Model::ResNet50V1.build_with_batch(Mode::Training, 2);
+        let w = 4usize;
+        let d = deploy_all_reduce(&model, w).unwrap();
+        let g = d.graph();
+        let total: u64 = model.params().iter().map(|p| p.bytes()).sum();
+
+        let link_bytes = |link| -> u64 {
+            g.ops()
+                .filter(|(_, op)| op.kind().is_recv() && op.kind().channel() == Some(link))
+                .map(|(_, op)| op.cost().bytes)
+                .sum()
+        };
+        // Globally: 2(W-1) * total bytes on the wire (up to sub-chunk
+        // rounding).
+        let global: u64 = d.ring().iter().map(|&l| link_bytes(l)).sum();
+        let expected_global = 2 * (w as u64 - 1) * total;
+        let rel = (global as f64 - expected_global as f64).abs() / expected_global as f64;
+        assert!(rel < 0.01, "global bytes {global} vs {expected_global}");
+        // Per link: every link carries every sub-chunk stream, so each
+        // gets 2(W-1)/W of the bytes almost exactly.
+        for &link in d.ring() {
+            let expected = total * 2 * (w as u64 - 1) / w as u64;
+            let rel = (link_bytes(link) as f64 - expected as f64).abs() / expected as f64;
+            assert!(rel < 0.01, "link bytes {} vs expected {expected}", link_bytes(link));
+        }
+    }
+
+    #[test]
+    fn buckets_cover_all_params_exactly_once() {
+        let model = Model::ResNet50V1.build_with_batch(Mode::Training, 2);
+        let d = deploy_all_reduce(&model, 8).unwrap();
+        let mut seen: Vec<ParamId> = d.buckets().iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expected: Vec<ParamId> = (0..model.params().len()).map(ParamId::from_index).collect();
+        assert_eq!(seen, expected);
+        assert!(d.buckets().iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn rejects_single_worker_and_inference() {
+        let train = tiny_mlp(Mode::Training, 2);
+        assert_eq!(
+            deploy_all_reduce(&train, 1).unwrap_err(),
+            DeployError::EmptyCluster
+        );
+        let inf = tiny_mlp(Mode::Inference, 2);
+        assert_eq!(
+            deploy_all_reduce(&inf, 2).unwrap_err(),
+            DeployError::NotTraining
+        );
+    }
+
+    #[test]
+    fn two_worker_ring_builds() {
+        let model = tiny_mlp(Mode::Training, 2);
+        let d = deploy_all_reduce(&model, 2).unwrap();
+        // Per bucket: reduce-scatter 1 step x 2 workers + all-gather the
+        // same; tiny_mlp at 2 workers uses 2 buckets.
+        let sends = d.graph().count_ops(|op| op.kind().is_send());
+        assert_eq!(sends, 8);
+        assert_eq!(d.buckets().len(), 2);
+        assert!(tictac_graph::topo::is_acyclic(d.graph()));
+    }
+}

@@ -1,0 +1,509 @@
+//! Model-Replica + Parameter-Server deployment.
+//!
+//! Lowers a device-agnostic [`ModelGraph`] onto a partitioned [`Graph`]
+//! spanning `W` workers and `S` parameter servers, reproducing the
+//! structure the paper describes (§2.2):
+//!
+//! * every worker holds an identical replica of the computational DAG,
+//!   with one `recv` root per parameter it reads and (in training) one
+//!   `send` leaf per gradient it produces;
+//! * the PS DAG has five ops per parameter: `read`, `send` (one per
+//!   worker), `recv` (one per worker), `aggregate` and `update`;
+//! * parameters are sharded across parameter servers; each worker–PS pair
+//!   communicates over one channel.
+//!
+//! # Example
+//!
+//! ```
+//! use tictac_cluster::{deploy, ClusterSpec};
+//! use tictac_models::{tiny_mlp, Mode};
+//!
+//! let model = tiny_mlp(Mode::Training, 8);
+//! let deployed = deploy(&model, &ClusterSpec::new(4, 2))?;
+//! assert_eq!(deployed.workers().len(), 4);
+//! assert_eq!(deployed.parameter_servers().len(), 2);
+//! // Each worker receives every parameter.
+//! assert_eq!(deployed.recv_op(0, tictac_graph::ParamId::from_index(0)).is_some(), true);
+//! # Ok::<(), tictac_cluster::DeployError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allreduce;
+mod sharding;
+
+pub use allreduce::{deploy_all_reduce, AllReduceDeployment};
+pub use sharding::Sharding;
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use tictac_graph::{
+    ChannelId, Cost, DeviceId, Graph, GraphBuilder, GraphError, ModelGraph, OpId, OpKind, ParamId,
+};
+use tictac_sched::Schedule;
+
+/// Shape of the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of workers (model replicas).
+    pub workers: usize,
+    /// Number of parameter servers.
+    pub parameter_servers: usize,
+    /// How parameters are assigned to parameter servers.
+    pub sharding: Sharding,
+}
+
+impl ClusterSpec {
+    /// A spec with the default size-balanced sharding.
+    pub fn new(workers: usize, parameter_servers: usize) -> Self {
+        Self {
+            workers,
+            parameter_servers,
+            sharding: Sharding::SizeBalanced,
+        }
+    }
+
+    /// Overrides the sharding policy.
+    pub fn with_sharding(mut self, sharding: Sharding) -> Self {
+        self.sharding = sharding;
+        self
+    }
+}
+
+/// Errors from [`deploy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeployError {
+    /// The spec requested zero workers or zero parameter servers.
+    EmptyCluster,
+    /// The model has no parameters to distribute.
+    NoParameters,
+    /// An all-reduce deployment was requested for an inference graph
+    /// (there are no gradients to aggregate).
+    NotTraining,
+    /// Graph construction failed (indicates a malformed model graph).
+    Graph(GraphError),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::EmptyCluster => f.write_str("cluster needs at least one worker and one parameter server"),
+            DeployError::NoParameters => f.write_str("model has no parameters to distribute"),
+            DeployError::NotTraining => {
+                f.write_str("all-reduce aggregation requires a training graph")
+            }
+            DeployError::Graph(e) => write!(f, "graph construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for DeployError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeployError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for DeployError {
+    fn from(e: GraphError) -> Self {
+        DeployError::Graph(e)
+    }
+}
+
+/// A model deployed on a simulated MR+PS cluster.
+#[derive(Debug, Clone)]
+pub struct DeployedModel {
+    graph: Graph,
+    workers: Vec<DeviceId>,
+    parameter_servers: Vec<DeviceId>,
+    /// `recv_ops[w][p]` — worker `w`'s recv of parameter `p`.
+    recv_ops: Vec<Vec<OpId>>,
+    /// `channels[w][s]` — the channel between worker `w` and PS `s`.
+    channels: Vec<Vec<ChannelId>>,
+    /// Parameter → PS shard index.
+    shard_of: Vec<usize>,
+    training: bool,
+}
+
+impl DeployedModel {
+    /// The partitioned graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Worker device ids, in worker-index order.
+    pub fn workers(&self) -> &[DeviceId] {
+        &self.workers
+    }
+
+    /// Parameter-server device ids, in shard-index order.
+    pub fn parameter_servers(&self) -> &[DeviceId] {
+        &self.parameter_servers
+    }
+
+    /// Whether the deployment is a training job (gradient path present).
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Worker `w`'s recv op for parameter `p`.
+    pub fn recv_op(&self, worker: usize, param: ParamId) -> Option<OpId> {
+        self.recv_ops
+            .get(worker)
+            .and_then(|r| r.get(param.index()))
+            .copied()
+    }
+
+    /// The channel between worker index `w` and PS index `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn channel(&self, worker: usize, ps: usize) -> ChannelId {
+        self.channels[worker][ps]
+    }
+
+    /// The PS shard index a parameter lives on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` is out of range.
+    pub fn shard_of(&self, param: ParamId) -> usize {
+        self.shard_of[param.index()]
+    }
+
+    /// Replicates a schedule computed on worker 0 (the paper's *reference
+    /// worker*, §4) to the same parameter order on every worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` does not cover this deployment's graph.
+    pub fn replicate_schedule(&self, reference: &Schedule) -> Schedule {
+        assert_eq!(reference.len(), self.graph.len(), "schedule/graph mismatch");
+        let mut out = Schedule::empty(self.graph.len());
+        for p in 0..self.shard_of.len() {
+            let param = ParamId::from_index(p);
+            let Some(r0) = self.recv_op(0, param) else {
+                continue;
+            };
+            if let Some(priority) = reference.priority(r0) {
+                for w in 0..self.workers.len() {
+                    if let Some(r) = self.recv_op(w, param) {
+                        out.set(r, priority);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Ops per worker partition (the x-axis of Fig. 11).
+    pub fn ops_per_worker(&self) -> usize {
+        self.graph.ops_on(self.workers[0]).count()
+    }
+}
+
+/// Deploys `model` onto a cluster of the given shape.
+///
+/// # Errors
+///
+/// Returns [`DeployError::EmptyCluster`] for a zero-sized spec,
+/// [`DeployError::NoParameters`] for a parameterless model, or a wrapped
+/// [`GraphError`] if construction produces an invalid graph (which would be
+/// a bug in the lowering).
+pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, DeployError> {
+    if spec.workers == 0 || spec.parameter_servers == 0 {
+        return Err(DeployError::EmptyCluster);
+    }
+    if model.params().is_empty() {
+        return Err(DeployError::NoParameters);
+    }
+
+    let mut b = GraphBuilder::with_capacity(
+        spec.workers * (model.ops().len() + 2 * model.params().len())
+            + spec.parameter_servers * 5 * model.params().len(),
+    );
+
+    // Devices and channels.
+    let workers: Vec<DeviceId> = (0..spec.workers)
+        .map(|w| b.add_worker(format!("worker/{w}")))
+        .collect();
+    let ps: Vec<DeviceId> = (0..spec.parameter_servers)
+        .map(|s| b.add_parameter_server(format!("ps/{s}")))
+        .collect();
+    let channels: Vec<Vec<ChannelId>> = workers
+        .iter()
+        .map(|&w| ps.iter().map(|&s| b.add_channel(w, s)).collect())
+        .collect();
+
+    // Parameters and shards.
+    let shard_of = spec.sharding.assign(model, spec.parameter_servers);
+    let params: Vec<ParamId> = model
+        .params()
+        .iter()
+        .map(|p| b.add_param(p.name(), p.bytes()))
+        .collect();
+    for (p, &shard) in params.iter().zip(&shard_of) {
+        b.assign_param_to_ps(*p, ps[shard]);
+    }
+
+    // PS-side read ops (one per parameter, shared by all workers).
+    let read_ops: Vec<OpId> = model
+        .params()
+        .iter()
+        .zip(&shard_of)
+        .enumerate()
+        .map(|(i, (spec_p, &shard))| {
+            b.add_op(
+                format!("ps{shard}/read/{}", spec_p.name()),
+                ps[shard],
+                OpKind::Read { param: params[i] },
+                Cost::flops(spec_p.elems() as f64),
+                &[],
+            )
+        })
+        .collect();
+
+    // Per-worker replicas.
+    let mut recv_ops: Vec<Vec<OpId>> = Vec::with_capacity(spec.workers);
+    // grad recvs at PS: grad_recvs[p] across workers.
+    let mut grad_recvs: Vec<Vec<OpId>> = vec![Vec::new(); model.params().len()];
+
+    for (w, &worker) in workers.iter().enumerate() {
+        // Parameter transfers PS -> worker.
+        let mut w_recvs = Vec::with_capacity(model.params().len());
+        for (i, spec_p) in model.params().iter().enumerate() {
+            let shard = shard_of[i];
+            let ch = channels[w][shard];
+            let send = b.add_op(
+                format!("ps{shard}/send/{}/w{w}", spec_p.name()),
+                ps[shard],
+                OpKind::send(params[i], ch),
+                Cost::bytes(spec_p.bytes()),
+                &[read_ops[i]],
+            );
+            let recv = b.add_op(
+                format!("w{w}/recv/{}", spec_p.name()),
+                worker,
+                OpKind::recv(params[i], ch),
+                Cost::bytes(spec_p.bytes()),
+                &[send],
+            );
+            w_recvs.push(recv);
+        }
+
+        // Replica compute ops.
+        let mut op_map: Vec<OpId> = Vec::with_capacity(model.ops().len());
+        for mop in model.ops() {
+            let mut deps: Vec<OpId> = mop.preds().iter().map(|p| op_map[p.index()]).collect();
+            deps.extend(mop.reads_params().iter().map(|p| w_recvs[p.index()]));
+            let id = b.add_op(
+                format!("w{w}/{}", mop.name()),
+                worker,
+                OpKind::Compute,
+                Cost::flops(mop.flops()),
+                &deps,
+            );
+            op_map.push(id);
+        }
+
+        // Gradient path: worker send -> PS recv, per parameter.
+        if model.is_training() {
+            for (i, spec_p) in model.params().iter().enumerate() {
+                let producers: Vec<OpId> = model
+                    .ops_enumerated()
+                    .filter(|(_, mop)| mop.produces_grads().contains(&params[i]))
+                    .map(|(id, _)| op_map[id.index()])
+                    .collect();
+                if producers.is_empty() {
+                    continue;
+                }
+                let shard = shard_of[i];
+                let ch = channels[w][shard];
+                let send = b.add_op(
+                    format!("w{w}/send_grad/{}", spec_p.name()),
+                    worker,
+                    OpKind::send(params[i], ch),
+                    Cost::bytes(spec_p.bytes()),
+                    &producers,
+                );
+                let recv = b.add_op(
+                    format!("ps{shard}/recv_grad/{}/w{w}", spec_p.name()),
+                    ps[shard],
+                    OpKind::recv(params[i], ch),
+                    Cost::bytes(spec_p.bytes()),
+                    &[send],
+                );
+                grad_recvs[i].push(recv);
+            }
+        }
+        recv_ops.push(w_recvs);
+    }
+
+    // PS-side aggregation and update.
+    if model.is_training() {
+        for (i, spec_p) in model.params().iter().enumerate() {
+            if grad_recvs[i].is_empty() {
+                continue;
+            }
+            let shard = shard_of[i];
+            let agg = b.add_op(
+                format!("ps{shard}/aggregate/{}", spec_p.name()),
+                ps[shard],
+                OpKind::Aggregate { param: params[i] },
+                Cost::flops((spec_p.elems() * spec.workers as u64) as f64),
+                &grad_recvs[i],
+            );
+            b.add_op(
+                format!("ps{shard}/update/{}", spec_p.name()),
+                ps[shard],
+                OpKind::Update { param: params[i] },
+                Cost::flops(2.0 * spec_p.elems() as f64),
+                &[agg],
+            );
+        }
+    }
+
+    let graph = b.build()?;
+    Ok(DeployedModel {
+        graph,
+        workers,
+        parameter_servers: ps,
+        recv_ops,
+        channels,
+        shard_of,
+        training: model.is_training(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tictac_models::{tiny_mlp, Mode};
+
+    fn mlp_cluster(workers: usize, servers: usize, mode: Mode) -> DeployedModel {
+        let model = tiny_mlp(mode, 8);
+        deploy(&model, &ClusterSpec::new(workers, servers)).unwrap()
+    }
+
+    #[test]
+    fn training_deployment_has_five_ps_ops_per_param_per_shard() {
+        let d = mlp_cluster(2, 1, Mode::Training);
+        let g = d.graph();
+        let n_params = 4; // tiny_mlp
+        let ps_dev = d.parameter_servers()[0];
+        let ps_ops: Vec<_> = g.ops_on(ps_dev).collect();
+        // read + update + aggregate per param, send + recv per param per worker.
+        let expected = n_params * (3 + 2 * 2);
+        assert_eq!(ps_ops.len(), expected);
+        // Worker recv roots: every param received by every worker.
+        for w in 0..2 {
+            assert_eq!(g.recv_ops_on(d.workers()[w]).len(), n_params);
+        }
+    }
+
+    #[test]
+    fn inference_deployment_has_no_gradient_path() {
+        let d = mlp_cluster(2, 1, Mode::Inference);
+        let g = d.graph();
+        assert!(!d.is_training());
+        // No aggregate/update ops anywhere.
+        assert_eq!(g.count_ops(|o| matches!(o.kind(), OpKind::Aggregate { .. })), 0);
+        assert_eq!(g.count_ops(|o| matches!(o.kind(), OpKind::Update { .. })), 0);
+        // Workers send nothing.
+        for &w in d.workers() {
+            assert_eq!(g.ops_on(w).filter(|&id| g.op(id).kind().is_send()).count(), 0);
+        }
+    }
+
+    #[test]
+    fn recv_ops_are_roots_within_worker_partition() {
+        let d = mlp_cluster(3, 2, Mode::Training);
+        let g = d.graph();
+        for (w, &worker) in d.workers().iter().enumerate() {
+            for recv in g.recv_ops_on(worker) {
+                // The only predecessor is the PS-side send.
+                for &p in g.preds(recv) {
+                    assert!(g.device(g.op(p).device()).is_parameter_server());
+                }
+                // And it belongs to worker w.
+                assert_eq!(g.op(recv).device(), worker);
+            }
+            let _ = w;
+        }
+    }
+
+    #[test]
+    fn channels_connect_each_pair_once() {
+        let d = mlp_cluster(3, 2, Mode::Inference);
+        let g = d.graph();
+        assert_eq!(g.channels().len(), 6);
+        for w in 0..3 {
+            for s in 0..2 {
+                let ch = d.channel(w, s);
+                assert_eq!(g.channel(ch).worker(), d.workers()[w]);
+                assert_eq!(g.channel(ch).ps(), d.parameter_servers()[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_spreads_bytes_across_servers() {
+        let d = mlp_cluster(1, 2, Mode::Inference);
+        let g = d.graph();
+        let mut bytes = [0u64; 2];
+        for (i, p) in g.params().iter().enumerate() {
+            bytes[d.shard_of(ParamId::from_index(i))] += p.bytes();
+        }
+        assert!(bytes[0] > 0 && bytes[1] > 0, "both shards used: {bytes:?}");
+    }
+
+    #[test]
+    fn replicate_schedule_copies_reference_priorities() {
+        let d = mlp_cluster(3, 1, Mode::Inference);
+        let schedule = tictac_sched::tic(d.graph(), d.workers()[0]);
+        let replicated = d.replicate_schedule(&schedule);
+        for p in 0..4 {
+            let param = ParamId::from_index(p);
+            let p0 = replicated.priority(d.recv_op(0, param).unwrap());
+            assert!(p0.is_some());
+            for w in 1..3 {
+                let pw = replicated.priority(d.recv_op(w, param).unwrap());
+                assert_eq!(p0, pw, "worker {w} param {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_passes_validation_and_is_acyclic() {
+        let d = mlp_cluster(4, 2, Mode::Training);
+        assert!(d.graph().check().is_ok());
+        assert!(tictac_graph::topo::is_acyclic(d.graph()));
+    }
+
+    #[test]
+    fn rejects_empty_cluster_and_empty_model() {
+        let model = tiny_mlp(Mode::Inference, 1);
+        assert_eq!(
+            deploy(&model, &ClusterSpec::new(0, 1)).unwrap_err(),
+            DeployError::EmptyCluster
+        );
+        assert_eq!(
+            deploy(&model, &ClusterSpec::new(1, 0)).unwrap_err(),
+            DeployError::EmptyCluster
+        );
+    }
+
+    #[test]
+    fn ops_per_worker_counts_partition_size() {
+        let d = mlp_cluster(2, 1, Mode::Training);
+        let g = d.graph();
+        assert_eq!(d.ops_per_worker(), g.ops_on(d.workers()[0]).count());
+        assert!(d.ops_per_worker() > 10);
+    }
+}

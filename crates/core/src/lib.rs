@@ -1,0 +1,63 @@
+//! High-level API of the TicTac reproduction.
+//!
+//! A [`Session`] wires the whole pipeline together, mirroring the system
+//! design of §5 of the paper:
+//!
+//! 1. build a model ([`Model`] zoo or a custom [`ModelGraph`]),
+//! 2. deploy it on a simulated Model-Replica + Parameter-Server cluster
+//!    ([`ClusterSpec`]),
+//! 3. trace warm-up iterations and estimate the time oracle (min-of-5, §5),
+//! 4. compute a transfer schedule ([`SchedulerKind`]: baseline, random,
+//!    TIC or TAC) on the reference worker and replicate it,
+//! 5. simulate measured iterations and report throughput, scheduling
+//!    efficiency (Equation 3) and straggler impact.
+//!
+//! # Example
+//!
+//! ```
+//! use tictac_core::{ClusterSpec, Mode, Model, SchedulerKind, Session, SimConfig};
+//!
+//! let report = Session::builder(tictac_core::tiny_mlp(Mode::Training, 8))
+//!     .cluster(ClusterSpec::new(2, 1))
+//!     .config(SimConfig::cloud_gpu())
+//!     .scheduler(SchedulerKind::Tic)
+//!     .iterations(3)
+//!     .build()?
+//!     .run();
+//! assert_eq!(report.iterations.len(), 3);
+//! # Ok::<(), tictac_core::DeployError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiments;
+pub mod optimal;
+mod session;
+pub mod training;
+
+pub use experiments::{count_unique_recv_orders, speedup_pct};
+pub use optimal::{makespan_of_order, optimal_order, OptimalSearch};
+pub use session::{IterationRecord, RunReport, SchedulerKind, Session, SessionBuilder};
+
+// Re-export the substrate so downstream users need only one dependency.
+pub use tictac_cluster::{
+    deploy, deploy_all_reduce, AllReduceDeployment, ClusterSpec, DeployError, DeployedModel,
+    Sharding,
+};
+pub use tictac_graph::{
+    Channel, ChannelId, Cost, Device, DeviceId, DeviceKind, Graph, GraphBuilder, GraphError,
+    ModelGraph, ModelGraphBuilder, ModelOpId, ModelOpKind, OpId, OpKind, ParamId, Resource,
+};
+pub use tictac_metrics::{ols, percentile, Cdf, Histogram, OlsFit, Streaming, Summary};
+pub use tictac_models::{tiny_mlp, Mode, Model};
+pub use tictac_sched::{
+    efficiency, merge_schedules, no_ordering, random_order, tac, tac_order, tic, worst_case,
+    OpProperties, PartitionGraph, Schedule, TacComparator,
+};
+pub use tictac_sim::{analyze, simulate, IterationMetrics, SimConfig};
+pub use tictac_timing::{
+    CostOracle, GeneralOracle, MeasuredProfile, NoiseModel, Platform, SimDuration, SimTime,
+    TimeOracle,
+};
+pub use tictac_trace::{estimate_profile, gantt, ExecutionTrace, OpRecord, TraceBuilder};

@@ -1,0 +1,379 @@
+//! The end-to-end session: model → cluster → schedule → measure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+use tictac_cluster::{deploy, ClusterSpec, DeployError, DeployedModel};
+use tictac_graph::{ModelGraph, OpId};
+use tictac_sched::{efficiency, no_ordering, random_order, tac, tic, Schedule};
+use tictac_sim::{analyze, simulate, SimConfig};
+use tictac_timing::SimDuration;
+use tictac_trace::estimate_profile;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Which transfer-scheduling policy to enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// No enforced order — the paper's baseline; transfer order is whatever
+    /// the runtime's random ready-queue pops produce.
+    Baseline,
+    /// A uniformly random but *fixed* total order, identical on all
+    /// workers (used in §6.3 to isolate the benefit of consistency).
+    Random,
+    /// Timing-Independent Communication scheduling (Algorithm 2).
+    Tic,
+    /// Timing-Aware Communication scheduling (Algorithm 3), fed by the
+    /// min-of-5 traced profile (§5).
+    Tac,
+}
+
+impl SchedulerKind {
+    /// All policies, baseline first.
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Baseline,
+        SchedulerKind::Random,
+        SchedulerKind::Tic,
+        SchedulerKind::Tac,
+    ];
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SchedulerKind::Baseline => "baseline",
+            SchedulerKind::Random => "random",
+            SchedulerKind::Tic => "tic",
+            SchedulerKind::Tac => "tac",
+        })
+    }
+}
+
+/// Builder for [`Session`].
+#[derive(Debug)]
+pub struct SessionBuilder {
+    model: ModelGraph,
+    cluster: ClusterSpec,
+    config: SimConfig,
+    scheduler: SchedulerKind,
+    warmup: usize,
+    iterations: usize,
+}
+
+impl SessionBuilder {
+    /// Sets the cluster shape (default: 2 workers, 1 PS).
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Sets the simulation configuration (default: envG with noise).
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the scheduling policy (default: baseline).
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Number of discarded warm-up iterations (default 2, as in §6).
+    pub fn warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Number of measured iterations (default 10, as in §6).
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Deploys the model and computes the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeployError`] if the cluster spec or model is invalid.
+    pub fn build(self) -> Result<Session, DeployError> {
+        let deployed = deploy(&self.model, &self.cluster)?;
+        let started = Instant::now();
+        let schedule = compute_schedule(&deployed, self.scheduler, &self.config);
+        let schedule_compute_time = started.elapsed();
+        Ok(Session {
+            model_name: self.model.name().to_string(),
+            batch: self.model.batch_size(),
+            deployed,
+            config: self.config,
+            scheduler: self.scheduler,
+            warmup: self.warmup,
+            iterations: self.iterations,
+            schedule,
+            schedule_compute_time,
+        })
+    }
+}
+
+/// Iteration-index offset for the TAC profiling runs, far from measured
+/// iterations so their random streams do not collide.
+const PROFILE_ITERATION_BASE: u64 = 1 << 40;
+
+fn compute_schedule(
+    deployed: &DeployedModel,
+    scheduler: SchedulerKind,
+    config: &SimConfig,
+) -> Schedule {
+    let graph = deployed.graph();
+    let reference = deployed.workers()[0];
+    match scheduler {
+        SchedulerKind::Baseline => no_ordering(graph),
+        SchedulerKind::Random => {
+            let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED);
+            deployed.replicate_schedule(&random_order(graph, reference, &mut rng))
+        }
+        SchedulerKind::Tic => deployed.replicate_schedule(&tic(graph, reference)),
+        SchedulerKind::Tac => {
+            // Tracing module + time-oracle estimator (§5): execute 5
+            // unscheduled iterations, keep the per-op minimum.
+            let unordered = no_ordering(graph);
+            let traces: Vec<_> = (0..5)
+                .map(|i| simulate(graph, &unordered, config, PROFILE_ITERATION_BASE + i))
+                .collect();
+            let profile = estimate_profile(&traces);
+            deployed.replicate_schedule(&tac(graph, reference, &profile))
+        }
+    }
+}
+
+/// One measured iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration makespan.
+    pub makespan: SimDuration,
+    /// Throughput, samples/second (global batch over makespan).
+    pub throughput: f64,
+    /// Straggler time, % of the iteration (§6.3).
+    pub straggler_pct: f64,
+    /// Scheduling efficiency `E` of the iteration (Equation 3, clamped to
+    /// [0, 1]): the minimum per-worker-partition efficiency — the slowest
+    /// worker's schedule determines the synchronous step time.
+    pub efficiency: f64,
+    /// Speedup potential `S` on the reference worker's partition
+    /// (Equation 4; partitions are identical replicas).
+    pub speedup_potential: f64,
+}
+
+/// The result of [`Session::run`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Model name.
+    pub model: String,
+    /// Scheduling policy used.
+    pub scheduler: SchedulerKind,
+    /// Number of workers.
+    pub workers: usize,
+    /// Number of parameter servers.
+    pub parameter_servers: usize,
+    /// Per-worker batch size.
+    pub batch: usize,
+    /// One record per measured iteration.
+    pub iterations: Vec<IterationRecord>,
+    /// Wall-clock time spent computing the schedule (the paper reports
+    /// ~10 s offline; ours is milliseconds because the substrate is
+    /// smaller).
+    pub schedule_compute_seconds: f64,
+}
+
+impl RunReport {
+    /// Mean throughput across measured iterations (the paper's headline
+    /// metric, §6).
+    pub fn mean_throughput(&self) -> f64 {
+        self.iterations.iter().map(|r| r.throughput).sum::<f64>() / self.iterations.len() as f64
+    }
+
+    /// Mean iteration makespan.
+    pub fn mean_makespan(&self) -> SimDuration {
+        let total: SimDuration = self.iterations.iter().map(|r| r.makespan).sum();
+        total / self.iterations.len() as u64
+    }
+
+    /// Maximum straggler percentage across iterations (the paper reports
+    /// the maximum, §6).
+    pub fn max_straggler_pct(&self) -> f64 {
+        self.iterations
+            .iter()
+            .map(|r| r.straggler_pct)
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum scheduling efficiency across iterations (as reported for
+    /// Fig. 11a).
+    pub fn max_efficiency(&self) -> f64 {
+        self.iterations
+            .iter()
+            .map(|r| r.efficiency)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean scheduling efficiency.
+    pub fn mean_efficiency(&self) -> f64 {
+        self.iterations.iter().map(|r| r.efficiency).sum::<f64>() / self.iterations.len() as f64
+    }
+}
+
+/// A fully-configured deployment ready to simulate.
+///
+/// Create with [`Session::builder`].
+#[derive(Debug)]
+pub struct Session {
+    model_name: String,
+    batch: usize,
+    deployed: DeployedModel,
+    config: SimConfig,
+    scheduler: SchedulerKind,
+    warmup: usize,
+    iterations: usize,
+    schedule: Schedule,
+    schedule_compute_time: std::time::Duration,
+}
+
+impl Session {
+    /// Starts building a session around a model graph.
+    pub fn builder(model: ModelGraph) -> SessionBuilder {
+        SessionBuilder {
+            model,
+            cluster: ClusterSpec::new(2, 1),
+            config: SimConfig::cloud_gpu(),
+            scheduler: SchedulerKind::Baseline,
+            warmup: 2,
+            iterations: 10,
+        }
+    }
+
+    /// The deployed model.
+    pub fn deployed(&self) -> &DeployedModel {
+        &self.deployed
+    }
+
+    /// The enforced schedule (empty for the baseline).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The scheduling policy.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Runs warm-up plus measured iterations and reports metrics.
+    pub fn run(&self) -> RunReport {
+        self.run_with_offset(0)
+    }
+
+    /// Like [`run`](Session::run), with an iteration-index offset so
+    /// repeated runs observe fresh random streams (used for the 1000-run
+    /// experiments of §6.2/6.3).
+    pub fn run_with_offset(&self, offset: u64) -> RunReport {
+        let graph = self.deployed.graph();
+        let worker_ops: Vec<Vec<OpId>> = self
+            .deployed
+            .workers()
+            .iter()
+            .map(|&w| graph.ops_on(w).collect())
+            .collect();
+
+        let mut records = Vec::with_capacity(self.iterations);
+        for i in 0..(self.warmup + self.iterations) as u64 {
+            let trace = simulate(graph, &self.schedule, &self.config, offset + i);
+            if (i as usize) < self.warmup {
+                continue;
+            }
+            let metrics = analyze(graph, self.deployed.workers(), &trace);
+            // Scheduling efficiency per worker partition with measured
+            // per-op durations (§3.2); the iteration's efficiency is the
+            // slowest worker's.
+            let mut min_e = 1.0_f64;
+            let mut potential = 0.0;
+            for (&w, ops) in self.deployed.workers().iter().zip(&worker_ops) {
+                let finish = trace
+                    .device_finish(graph, w)
+                    .map(|t| t.duration_since(tictac_timing::SimTime::ZERO))
+                    .unwrap_or(SimDuration::ZERO);
+                let report = efficiency::evaluate(graph, ops, |op| trace.duration(op), finish);
+                min_e = min_e.min(report.efficiency_clamped());
+                potential = report.speedup_potential;
+            }
+            records.push(IterationRecord {
+                makespan: metrics.makespan,
+                throughput: metrics.throughput(self.batch, self.deployed.workers().len()),
+                straggler_pct: metrics.straggler_pct,
+                efficiency: min_e,
+                speedup_potential: potential,
+            });
+        }
+
+        RunReport {
+            model: self.model_name.clone(),
+            scheduler: self.scheduler,
+            workers: self.deployed.workers().len(),
+            parameter_servers: self.deployed.parameter_servers().len(),
+            batch: self.batch,
+            iterations: records,
+            schedule_compute_seconds: self.schedule_compute_time.as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tictac_models::{tiny_mlp, Mode};
+
+    fn session(kind: SchedulerKind) -> Session {
+        Session::builder(tiny_mlp(Mode::Training, 8))
+            .cluster(ClusterSpec::new(2, 1))
+            .config(SimConfig::cloud_gpu())
+            .scheduler(kind)
+            .warmup(1)
+            .iterations(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_produces_requested_iterations() {
+        let report = session(SchedulerKind::Tic).run();
+        assert_eq!(report.iterations.len(), 4);
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.parameter_servers, 1);
+        assert!(report.mean_throughput() > 0.0);
+        assert!(report.mean_makespan() > SimDuration::ZERO);
+        assert!(report.max_efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn baseline_has_empty_schedule_tic_does_not() {
+        assert!(session(SchedulerKind::Baseline).schedule().is_unordered());
+        assert!(!session(SchedulerKind::Tic).schedule().is_unordered());
+        assert!(!session(SchedulerKind::Tac).schedule().is_unordered());
+        assert!(!session(SchedulerKind::Random).schedule().is_unordered());
+    }
+
+    #[test]
+    fn runs_are_reproducible_and_offsets_differ() {
+        let s = session(SchedulerKind::Baseline);
+        let a = s.run();
+        let b = s.run();
+        assert_eq!(a, b);
+        let c = s.run_with_offset(1_000);
+        assert_ne!(a.iterations, c.iterations);
+    }
+
+    #[test]
+    fn scheduler_kinds_display() {
+        assert_eq!(SchedulerKind::Tic.to_string(), "tic");
+        assert_eq!(SchedulerKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,370 @@
+//! Incremental, validated construction of [`Graph`]s.
+
+use crate::device::{Channel, Device, DeviceKind};
+use crate::error::GraphError;
+use crate::graph::{Graph, ParamInfo};
+use crate::ids::{ChannelId, DeviceId, OpId, ParamId};
+use crate::op::{Cost, Op, OpKind};
+use std::collections::HashSet;
+
+/// Builder for [`Graph`].
+///
+/// Ids are handed out eagerly so that later ops can depend on earlier ones;
+/// [`GraphBuilder::build`] validates the result (acyclicity, id bounds,
+/// channel placement, name uniqueness).
+///
+/// # Example
+///
+/// ```
+/// use tictac_graph::{Cost, GraphBuilder, OpKind};
+///
+/// let mut b = GraphBuilder::new();
+/// let w = b.add_worker("worker/0");
+/// let a = b.add_op("a", w, OpKind::Compute, Cost::flops(1.0), &[]);
+/// let _b2 = b.add_op("b", w, OpKind::Compute, Cost::flops(1.0), &[a]);
+/// let graph = b.build()?;
+/// assert_eq!(graph.len(), 2);
+/// # Ok::<(), tictac_graph::GraphError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    ops: Vec<Op>,
+    preds: Vec<Vec<OpId>>,
+    devices: Vec<Device>,
+    channels: Vec<Channel>,
+    params: Vec<ParamInfo>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with op capacity pre-allocated.
+    pub fn with_capacity(ops: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(ops),
+            preds: Vec::with_capacity(ops),
+            ..Self::default()
+        }
+    }
+
+    /// Registers a worker device and returns its id.
+    pub fn add_worker(&mut self, name: impl Into<String>) -> DeviceId {
+        self.add_device(DeviceKind::Worker, name)
+    }
+
+    /// Registers a parameter-server device and returns its id.
+    pub fn add_parameter_server(&mut self, name: impl Into<String>) -> DeviceId {
+        self.add_device(DeviceKind::ParameterServer, name)
+    }
+
+    /// Registers a device of the given kind and returns its id.
+    pub fn add_device(&mut self, kind: DeviceKind, name: impl Into<String>) -> DeviceId {
+        let id = DeviceId::from_index(self.devices.len());
+        self.devices.push(Device::new(id, kind, name));
+        id
+    }
+
+    /// Registers a communication channel between `worker` and `ps`.
+    ///
+    /// Endpoint roles are validated at [`build`](Self::build) time.
+    pub fn add_channel(&mut self, worker: DeviceId, ps: DeviceId) -> ChannelId {
+        let id = ChannelId::from_index(self.channels.len());
+        self.channels.push(Channel::new(id, worker, ps));
+        id
+    }
+
+    /// Registers a peer channel between two workers (all-reduce rings).
+    ///
+    /// Both endpoints must be distinct workers (validated at
+    /// [`build`](Self::build) time).
+    pub fn add_peer_channel(&mut self, a: DeviceId, b: DeviceId) -> ChannelId {
+        let id = ChannelId::from_index(self.channels.len());
+        self.channels.push(Channel::new_peer(id, a, b));
+        id
+    }
+
+    /// Registers a parameter of `bytes` bytes and returns its id.
+    pub fn add_param(&mut self, name: impl Into<String>, bytes: u64) -> ParamId {
+        let id = ParamId::from_index(self.params.len());
+        self.params.push(ParamInfo {
+            name: name.into(),
+            bytes,
+            ps: None,
+        });
+        id
+    }
+
+    /// Assigns a parameter to a parameter-server shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` was not created by this builder.
+    pub fn assign_param_to_ps(&mut self, param: ParamId, ps: DeviceId) {
+        self.params[param.index()].ps = Some(ps);
+    }
+
+    /// Adds an op and returns its id.
+    ///
+    /// `deps` are control/data dependencies: the op becomes ready only when
+    /// all of them have finished.
+    pub fn add_op(
+        &mut self,
+        name: impl Into<String>,
+        device: DeviceId,
+        kind: OpKind,
+        cost: Cost,
+        deps: &[OpId],
+    ) -> OpId {
+        let id = OpId::from_index(self.ops.len());
+        self.ops.push(Op {
+            name: name.into(),
+            kind,
+            device,
+            cost,
+        });
+        let mut p = deps.to_vec();
+        p.sort_unstable();
+        p.dedup();
+        self.preds.push(p);
+        id
+    }
+
+    /// Adds an extra dependency edge `from -> to` after both ops exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` was not created by this builder.
+    pub fn add_dep(&mut self, from: OpId, to: OpId) {
+        let preds = &mut self.preds[to.index()];
+        if !preds.contains(&from) {
+            preds.push(from);
+            preds.sort_unstable();
+        }
+    }
+
+    /// Number of ops added so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops have been added.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finalizes and validates the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the graph contains a cycle, dangling ids,
+    /// a channel whose endpoints are not a worker–PS pair, a communication op
+    /// on a device its channel does not connect, or duplicate op names.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        // Validate channel endpoints.
+        for ch in &self.channels {
+            let (a, b) = ch.endpoints();
+            let in_bounds = a.index() < self.devices.len() && b.index() < self.devices.len();
+            let endpoints_ok = in_bounds
+                && if ch.is_peer() {
+                    a != b
+                        && self.devices[a.index()].is_worker()
+                        && self.devices[b.index()].is_worker()
+                } else {
+                    self.devices[a.index()].is_worker()
+                        && self.devices[b.index()].is_parameter_server()
+                };
+            if !endpoints_ok {
+                return Err(GraphError::InvalidChannelEndpoints { worker: a, ps: b });
+            }
+        }
+
+        // Validate op references and name uniqueness.
+        let mut names = HashSet::with_capacity(self.ops.len());
+        for (i, op) in self.ops.iter().enumerate() {
+            let id = OpId::from_index(i);
+            if op.device.index() >= self.devices.len() {
+                return Err(GraphError::UnknownDevice(op.device));
+            }
+            if let Some(ch) = op.kind.channel() {
+                if ch.index() >= self.channels.len() {
+                    return Err(GraphError::UnknownChannel(ch));
+                }
+                if !self.channels[ch.index()].connects(op.device) {
+                    return Err(GraphError::ChannelMismatch {
+                        op: id,
+                        device: op.device,
+                        channel: ch,
+                    });
+                }
+            }
+            if let Some(p) = op.kind.param() {
+                if p.index() >= self.params.len() {
+                    return Err(GraphError::UnknownParam(p));
+                }
+            }
+            for &pr in &self.preds[i] {
+                if pr.index() >= self.ops.len() {
+                    return Err(GraphError::UnknownOp(pr));
+                }
+            }
+            if !names.insert(op.name.as_str()) {
+                return Err(GraphError::DuplicateOpName(op.name.clone()));
+            }
+        }
+
+        // Derive successor lists.
+        let mut succs: Vec<Vec<OpId>> = vec![Vec::new(); self.ops.len()];
+        for (i, preds) in self.preds.iter().enumerate() {
+            for &p in preds {
+                succs[p.index()].push(OpId::from_index(i));
+            }
+        }
+
+        let graph = Graph {
+            ops: self.ops,
+            preds: self.preds,
+            succs,
+            devices: self.devices,
+            channels: self.channels,
+            params: self.params,
+        };
+
+        // Acyclicity.
+        crate::topo::topo_order(&graph)?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_cycles() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let a = b.add_op("a", w, OpKind::Compute, Cost::ZERO, &[]);
+        let c = b.add_op("c", w, OpKind::Compute, Cost::ZERO, &[a]);
+        b.add_dep(c, a); // close the cycle a -> c -> a
+        assert!(matches!(b.build(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        b.add_op("x", w, OpKind::Compute, Cost::ZERO, &[]);
+        b.add_op("x", w, OpKind::Compute, Cost::ZERO, &[]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::DuplicateOpName("x".into())
+        );
+    }
+
+    #[test]
+    fn rejects_channel_between_two_workers() {
+        let mut b = GraphBuilder::new();
+        let w0 = b.add_worker("w0");
+        let w1 = b.add_worker("w1");
+        b.add_channel(w0, w1);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::InvalidChannelEndpoints { .. })
+        ));
+    }
+
+    #[test]
+    fn peer_channels_connect_two_workers() {
+        let mut b = GraphBuilder::new();
+        let w0 = b.add_worker("w0");
+        let w1 = b.add_worker("w1");
+        let ch = b.add_peer_channel(w0, w1);
+        let g = b.build().unwrap();
+        assert!(g.channel(ch).is_peer());
+        assert_eq!(g.channel(ch).endpoints(), (w0, w1));
+        assert!(g.channel(ch).connects(w0) && g.channel(ch).connects(w1));
+    }
+
+    #[test]
+    fn rejects_peer_channel_to_self_or_ps() {
+        let mut b = GraphBuilder::new();
+        let w0 = b.add_worker("w0");
+        b.add_peer_channel(w0, w0);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::InvalidChannelEndpoints { .. })
+        ));
+
+        let mut b = GraphBuilder::new();
+        let w0 = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        b.add_peer_channel(w0, ps);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::InvalidChannelEndpoints { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_comm_op_on_unconnected_device() {
+        let mut b = GraphBuilder::new();
+        let w0 = b.add_worker("w0");
+        let w1 = b.add_worker("w1");
+        let ps = b.add_parameter_server("ps0");
+        let ch = b.add_channel(w0, ps);
+        let p = b.add_param("p", 8);
+        // recv placed on w1, but the channel connects w0 and ps.
+        b.add_op("bad", w1, OpKind::recv(p, ch), Cost::bytes(8), &[]);
+        assert!(matches!(b.build(), Err(GraphError::ChannelMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_param() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        let ch = b.add_channel(w, ps);
+        let bogus = ParamId::from_index(5);
+        b.add_op("r", w, OpKind::recv(bogus, ch), Cost::bytes(8), &[]);
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownParam(bogus));
+    }
+
+    #[test]
+    fn duplicate_deps_are_collapsed() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let a = b.add_op("a", w, OpKind::Compute, Cost::ZERO, &[]);
+        let c = b.add_op("c", w, OpKind::Compute, Cost::ZERO, &[a, a, a]);
+        let g = b.build().unwrap();
+        assert_eq!(g.preds(c), &[a]);
+        assert_eq!(g.succs(a), &[c]);
+    }
+
+    #[test]
+    fn add_dep_is_idempotent() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let a = b.add_op("a", w, OpKind::Compute, Cost::ZERO, &[]);
+        let c = b.add_op("c", w, OpKind::Compute, Cost::ZERO, &[]);
+        b.add_dep(a, c);
+        b.add_dep(a, c);
+        let g = b.build().unwrap();
+        assert_eq!(g.preds(c), &[a]);
+    }
+
+    #[test]
+    fn param_ps_assignment_is_recorded() {
+        let mut b = GraphBuilder::new();
+        let _w = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        let p = b.add_param("p", 64);
+        b.assign_param_to_ps(p, ps);
+        let g = b.build().unwrap();
+        assert_eq!(g.param(p).ps(), Some(ps));
+        assert_eq!(g.param(p).bytes(), 64);
+        assert_eq!(g.param(p).name(), "p");
+    }
+}

@@ -1,0 +1,108 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use crate::graph::Graph;
+use crate::model::{ModelGraph, ModelOpKind};
+use crate::op::OpKind;
+use std::fmt::Write as _;
+
+/// Renders a partitioned [`Graph`] as Graphviz DOT, clustering ops by
+/// device and coloring communication ops.
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::from("digraph tictac {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    for device in graph.devices() {
+        let _ = writeln!(
+            out,
+            "  subgraph cluster_{} {{\n    label=\"{}\";",
+            device.id().index(),
+            device.name()
+        );
+        for id in graph.ops_on(device.id()) {
+            let op = graph.op(id);
+            let color = match op.kind() {
+                OpKind::Recv { .. } => "lightblue",
+                OpKind::Send { .. } => "lightsalmon",
+                OpKind::Aggregate { .. } | OpKind::Read { .. } | OpKind::Update { .. } => {
+                    "lightgrey"
+                }
+                OpKind::Compute => "white",
+            };
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{}\", style=filled, fillcolor={}];",
+                id.index(),
+                op.name(),
+                color
+            );
+        }
+        out.push_str("  }\n");
+    }
+    for id in graph.op_ids() {
+        for &p in graph.preds(id) {
+            let _ = writeln!(out, "  n{} -> n{};", p.index(), id.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a [`ModelGraph`] as Graphviz DOT with forward/backward shading.
+pub fn model_to_dot(model: &ModelGraph) -> String {
+    let mut out = String::from("digraph model {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    for (id, op) in model.ops_enumerated() {
+        let color = match op.kind() {
+            ModelOpKind::Forward => "white",
+            ModelOpKind::Loss => "gold",
+            ModelOpKind::Backward => "lightpink",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", style=filled, fillcolor={}];",
+            id.index(),
+            op.name(),
+            color
+        );
+    }
+    for (id, op) in model.ops_enumerated() {
+        for p in op.preds() {
+            let _ = writeln!(out, "  n{} -> n{};", p.index(), id.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cost, GraphBuilder, ModelGraphBuilder, ModelOpKind, OpKind};
+
+    #[test]
+    fn dot_contains_devices_and_edges() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("worker/0");
+        let ps = b.add_parameter_server("ps/0");
+        let ch = b.add_channel(w, ps);
+        let p = b.add_param("p", 8);
+        let r = b.add_op("recv_p", w, OpKind::recv(p, ch), Cost::bytes(8), &[]);
+        b.add_op("use_p", w, OpKind::Compute, Cost::flops(1.0), &[r]);
+        let g = b.build().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph tictac"));
+        assert!(dot.contains("worker/0"));
+        assert!(dot.contains("recv_p"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("lightblue"));
+    }
+
+    #[test]
+    fn model_dot_contains_ops() {
+        let mut b = ModelGraphBuilder::new("m", 1);
+        let w = b.add_param("w", vec![2]);
+        let f = b.add_op("fwd", ModelOpKind::Forward, 1.0, &[], &[w], &[]);
+        b.add_op("loss", ModelOpKind::Loss, 1.0, &[f], &[], &[]);
+        let dot = model_to_dot(&b.build());
+        assert!(dot.contains("fwd"));
+        assert!(dot.contains("gold"));
+        assert!(dot.contains("n0 -> n1;"));
+    }
+}

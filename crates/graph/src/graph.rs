@@ -1,0 +1,376 @@
+//! The partitioned computational graph arena.
+
+use crate::device::{Channel, Device, Resource};
+use crate::ids::{ChannelId, DeviceId, OpId, ParamId};
+use crate::op::{Op, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Metadata about one model parameter (a trainable tensor).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamInfo {
+    pub(crate) name: String,
+    pub(crate) bytes: u64,
+    pub(crate) ps: Option<DeviceId>,
+}
+
+impl ParamInfo {
+    /// The parameter's name (e.g. `"conv1/weights"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The parameter server the parameter is sharded onto, if assigned.
+    pub fn ps(&self) -> Option<DeviceId> {
+        self.ps
+    }
+}
+
+/// An immutable, validated, partitioned computational DAG.
+///
+/// Construct with [`GraphBuilder`](crate::GraphBuilder). Ops are stored in an
+/// arena indexed by [`OpId`]; dependency edges are stored as predecessor and
+/// successor adjacency lists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) preds: Vec<Vec<OpId>>,
+    pub(crate) succs: Vec<Vec<OpId>>,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) params: Vec<ParamInfo>,
+}
+
+impl Graph {
+    /// Number of ops in the graph.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The op with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds for this graph.
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.index()]
+    }
+
+    /// Iterates over all op ids in insertion order.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len()).map(OpId::from_index)
+    }
+
+    /// Iterates over `(id, op)` pairs.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &Op)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (OpId::from_index(i), op))
+    }
+
+    /// Direct predecessors (dependencies) of `id`.
+    pub fn preds(&self, id: OpId) -> &[OpId] {
+        &self.preds[id.index()]
+    }
+
+    /// Direct successors (dependents) of `id`.
+    pub fn succs(&self, id: OpId) -> &[OpId] {
+        &self.succs[id.index()]
+    }
+
+    /// Total number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// Ops with no predecessors.
+    pub fn roots(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.op_ids().filter(|id| self.preds(*id).is_empty())
+    }
+
+    /// Ops with no successors.
+    pub fn leaves(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.op_ids().filter(|id| self.succs(*id).is_empty())
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The device with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Ids of all worker devices, in id order.
+    pub fn workers(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.devices
+            .iter()
+            .filter(|d| d.is_worker())
+            .map(|d| d.id())
+    }
+
+    /// Ids of all parameter-server devices, in id order.
+    pub fn parameter_servers(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.devices
+            .iter()
+            .filter(|d| d.is_parameter_server())
+            .map(|d| d.id())
+    }
+
+    /// All channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The channel with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> &[ParamInfo] {
+        &self.params
+    }
+
+    /// The parameter with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn param(&self, id: ParamId) -> &ParamInfo {
+        &self.params[id.index()]
+    }
+
+    /// The resource an op executes on: communication ops run on their
+    /// channel, every other op on its device's compute unit.
+    pub fn resource(&self, id: OpId) -> Resource {
+        let op = self.op(id);
+        match op.kind().channel() {
+            Some(ch) => Resource::Channel(ch),
+            None => Resource::Compute(op.device()),
+        }
+    }
+
+    /// All distinct resources referenced by the graph, sorted.
+    pub fn resources(&self) -> Vec<Resource> {
+        let mut out: Vec<Resource> = self.op_ids().map(|id| self.resource(id)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ids of ops placed on `device`, in id order.
+    pub fn ops_on(&self, device: DeviceId) -> impl Iterator<Item = OpId> + '_ {
+        self.ops()
+            .filter(move |(_, op)| op.device() == device)
+            .map(|(id, _)| id)
+    }
+
+    /// Ids of `recv` ops placed on `device`, in id order.
+    ///
+    /// On a worker these are the parameter transfers that TicTac schedules
+    /// (they are roots of the worker partition).
+    pub fn recv_ops_on(&self, device: DeviceId) -> Vec<OpId> {
+        self.ops_on(device)
+            .filter(|id| self.op(*id).is_recv())
+            .collect()
+    }
+
+    /// Ids of all `recv` ops in the graph.
+    pub fn recv_ops(&self) -> Vec<OpId> {
+        self.ops()
+            .filter(|(_, op)| op.is_recv())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Looks up an op by name. O(n); intended for tests and debugging.
+    pub fn find_op(&self, name: &str) -> Option<OpId> {
+        self.ops()
+            .find(|(_, op)| op.name() == name)
+            .map(|(id, _)| id)
+    }
+
+    /// The channel connecting `worker` and `ps`, if one exists.
+    pub fn channel_between(&self, worker: DeviceId, ps: DeviceId) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .find(|c| c.worker() == worker && c.ps() == ps)
+            .map(|c| c.id())
+    }
+
+    /// Total bytes across all parameters.
+    pub fn total_param_bytes(&self) -> u64 {
+        self.params.iter().map(|p| p.bytes).sum()
+    }
+
+    /// Counts ops by a predicate — convenience for statistics.
+    pub fn count_ops(&self, mut pred: impl FnMut(&Op) -> bool) -> usize {
+        self.ops.iter().filter(|op| pred(op)).count()
+    }
+
+    /// Verifies structural invariants (debug aid; builder-validated graphs
+    /// always pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`GraphError`].
+    ///
+    /// [`GraphError`]: crate::GraphError
+    pub fn check(&self) -> Result<(), crate::GraphError> {
+        use crate::GraphError;
+        for (id, op) in self.ops() {
+            if op.device().index() >= self.devices.len() {
+                return Err(GraphError::UnknownDevice(op.device()));
+            }
+            if let Some(ch) = op.kind().channel() {
+                if ch.index() >= self.channels.len() {
+                    return Err(GraphError::UnknownChannel(ch));
+                }
+                if !self.channel(ch).connects(op.device()) {
+                    return Err(GraphError::ChannelMismatch {
+                        op: id,
+                        device: op.device(),
+                        channel: ch,
+                    });
+                }
+            }
+            if let Some(p) = op.kind().param() {
+                if p.index() >= self.params.len() {
+                    return Err(GraphError::UnknownParam(p));
+                }
+            }
+            for &pr in self.preds(id) {
+                if pr.index() >= self.ops.len() {
+                    return Err(GraphError::UnknownOp(pr));
+                }
+            }
+        }
+        crate::topo::topo_order(self).map(|_| ())
+    }
+}
+
+/// Summary statistics of a graph, used by reporting code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphCounts {
+    /// Total op count.
+    pub ops: usize,
+    /// Number of `recv` ops.
+    pub recvs: usize,
+    /// Number of `send` ops.
+    pub sends: usize,
+    /// Number of compute ops.
+    pub computes: usize,
+    /// Number of dependency edges.
+    pub edges: usize,
+}
+
+impl Graph {
+    /// Computes summary counts.
+    pub fn counts(&self) -> GraphCounts {
+        GraphCounts {
+            ops: self.len(),
+            recvs: self.count_ops(|o| o.kind().is_recv()),
+            sends: self.count_ops(|o| o.kind().is_send()),
+            computes: self.count_ops(|o| matches!(o.kind(), OpKind::Compute)),
+            edges: self.edge_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cost, GraphBuilder, OpKind, Resource};
+
+    #[test]
+    fn figure_1a_graph_shape() {
+        // The toy graph from Figure 1a of the paper.
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("worker/0");
+        let ps = b.add_parameter_server("ps/0");
+        let ch = b.add_channel(w, ps);
+        let p1 = b.add_param("w1", 100);
+        let p2 = b.add_param("w2", 100);
+        let r1 = b.add_op("recv1", w, OpKind::recv(p1, ch), Cost::bytes(100), &[]);
+        let r2 = b.add_op("recv2", w, OpKind::recv(p2, ch), Cost::bytes(100), &[]);
+        let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(10.0), &[r1]);
+        let op2 = b.add_op("op2", w, OpKind::Compute, Cost::flops(10.0), &[op1, r2]);
+        let g = b.build().unwrap();
+
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.roots().collect::<Vec<_>>(), vec![r1, r2]);
+        assert_eq!(g.leaves().collect::<Vec<_>>(), vec![op2]);
+        assert_eq!(g.preds(op2), &[r2, op1]); // builder sorts deps by id
+        assert_eq!(g.succs(r1), &[op1]);
+        assert_eq!(g.recv_ops_on(w), vec![r1, r2]);
+        assert_eq!(g.resource(r1), Resource::Channel(ch));
+        assert_eq!(g.resource(op1), Resource::Compute(w));
+        assert_eq!(g.total_param_bytes(), 200);
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn resources_are_deduped_and_sorted() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("worker/0");
+        let ps = b.add_parameter_server("ps/0");
+        let ch = b.add_channel(w, ps);
+        let p = b.add_param("w", 8);
+        b.add_op("r", w, OpKind::recv(p, ch), Cost::bytes(8), &[]);
+        b.add_op("c1", w, OpKind::Compute, Cost::flops(1.0), &[]);
+        b.add_op("c2", w, OpKind::Compute, Cost::flops(1.0), &[]);
+        let g = b.build().unwrap();
+        let res = g.resources();
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn find_op_by_name() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("worker/0");
+        let id = b.add_op("unique", w, OpKind::Compute, Cost::ZERO, &[]);
+        let g = b.build().unwrap();
+        assert_eq!(g.find_op("unique"), Some(id));
+        assert_eq!(g.find_op("missing"), None);
+    }
+
+    #[test]
+    fn counts_classify_kinds() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("worker/0");
+        let ps = b.add_parameter_server("ps/0");
+        let ch = b.add_channel(w, ps);
+        let p = b.add_param("w", 8);
+        let r = b.add_op("r", w, OpKind::recv(p, ch), Cost::bytes(8), &[]);
+        let c = b.add_op("c", w, OpKind::Compute, Cost::flops(1.0), &[r]);
+        b.add_op("s", w, OpKind::send(p, ch), Cost::bytes(8), &[c]);
+        let g = b.build().unwrap();
+        let counts = g.counts();
+        assert_eq!(counts.ops, 3);
+        assert_eq!(counts.recvs, 1);
+        assert_eq!(counts.sends, 1);
+        assert_eq!(counts.computes, 1);
+        assert_eq!(counts.edges, 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! Operations: the vertices of the partitioned computational graph.
+
+use crate::ids::{ChannelId, ParamId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What an op does, and — for communication ops — which parameter and
+/// channel it involves.
+///
+/// The parameter-server DAG of the paper (§2.2) has five ops per parameter:
+/// `read`, `send`, `recv`, `aggregate` and `update`; the worker DAG has
+/// `recv` roots, compute ops, and `send` leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A computation op (convolution, matmul, gradient, …).
+    Compute,
+    /// The receiving end of a network transfer of `param` over `channel`.
+    ///
+    /// Recv ops execute on the channel resource: the time attributed to a
+    /// recv is the wire time of its transfer.
+    Recv {
+        /// The parameter (or its gradient) being transferred.
+        param: ParamId,
+        /// The channel carrying the transfer.
+        channel: ChannelId,
+    },
+    /// The sending end of a network transfer of `param` over `channel`.
+    ///
+    /// Send ops are lightweight: they hand the transfer to the channel.
+    Send {
+        /// The parameter (or its gradient) being transferred.
+        param: ParamId,
+        /// The channel carrying the transfer.
+        channel: ChannelId,
+    },
+    /// PS-side aggregation of gradients for `param` across workers.
+    Aggregate {
+        /// The parameter whose gradients are aggregated.
+        param: ParamId,
+    },
+    /// PS-side read of the current value of `param`.
+    Read {
+        /// The parameter being read.
+        param: ParamId,
+    },
+    /// PS-side application of the aggregated update to `param`.
+    Update {
+        /// The parameter being updated.
+        param: ParamId,
+    },
+}
+
+impl OpKind {
+    /// Convenience constructor for [`OpKind::Recv`].
+    pub fn recv(param: ParamId, channel: ChannelId) -> Self {
+        OpKind::Recv { param, channel }
+    }
+
+    /// Convenience constructor for [`OpKind::Send`].
+    pub fn send(param: ParamId, channel: ChannelId) -> Self {
+        OpKind::Send { param, channel }
+    }
+
+    /// Whether this op is a `recv` (a network transfer, in the paper's
+    /// terminology the unit being scheduled).
+    pub fn is_recv(&self) -> bool {
+        matches!(self, OpKind::Recv { .. })
+    }
+
+    /// Whether this op is a `send`.
+    pub fn is_send(&self) -> bool {
+        matches!(self, OpKind::Send { .. })
+    }
+
+    /// Whether this op represents communication (send or recv).
+    pub fn is_communication(&self) -> bool {
+        self.is_recv() || self.is_send()
+    }
+
+    /// The parameter this op involves, if any.
+    pub fn param(&self) -> Option<ParamId> {
+        match *self {
+            OpKind::Compute => None,
+            OpKind::Recv { param, .. }
+            | OpKind::Send { param, .. }
+            | OpKind::Aggregate { param }
+            | OpKind::Read { param }
+            | OpKind::Update { param } => Some(param),
+        }
+    }
+
+    /// The channel this op uses, if it is a communication op.
+    pub fn channel(&self) -> Option<ChannelId> {
+        match *self {
+            OpKind::Recv { channel, .. } | OpKind::Send { channel, .. } => Some(channel),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Compute => f.write_str("compute"),
+            OpKind::Recv { param, channel } => write!(f, "recv({param}@{channel})"),
+            OpKind::Send { param, channel } => write!(f, "send({param}@{channel})"),
+            OpKind::Aggregate { param } => write!(f, "aggregate({param})"),
+            OpKind::Read { param } => write!(f, "read({param})"),
+            OpKind::Update { param } => write!(f, "update({param})"),
+        }
+    }
+}
+
+/// Platform-independent cost annotation of an op, interpreted by a time
+/// oracle (`tictac-timing`).
+///
+/// Compute ops carry floating-point work; communication ops carry a byte
+/// count. Either may be zero (e.g. a control-dependency barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cost {
+    /// Floating-point operations performed by the op.
+    pub flops: f64,
+    /// Bytes moved over the network (for communication ops).
+    pub bytes: u64,
+}
+
+impl Cost {
+    /// A zero-cost op (control dependencies, barriers).
+    pub const ZERO: Cost = Cost {
+        flops: 0.0,
+        bytes: 0,
+    };
+
+    /// Cost of a compute op performing `flops` floating-point operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `flops` is negative or not finite.
+    pub fn flops(flops: f64) -> Self {
+        debug_assert!(flops.is_finite() && flops >= 0.0, "invalid flops {flops}");
+        Cost { flops, bytes: 0 }
+    }
+
+    /// Cost of a communication op moving `bytes` bytes.
+    pub fn bytes(bytes: u64) -> Self {
+        Cost { flops: 0.0, bytes }
+    }
+
+    /// Whether the op performs no modelled work.
+    pub fn is_zero(&self) -> bool {
+        self.flops == 0.0 && self.bytes == 0
+    }
+}
+
+/// A vertex of the partitioned graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    pub(crate) name: String,
+    pub(crate) kind: OpKind,
+    pub(crate) device: crate::ids::DeviceId,
+    pub(crate) cost: Cost,
+}
+
+impl Op {
+    /// The op's unique (within its graph) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The op's kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// The device this op is assigned to.
+    pub fn device(&self) -> crate::ids::DeviceId {
+        self.device
+    }
+
+    /// The op's cost annotation.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Whether this op is a `recv`.
+    pub fn is_recv(&self) -> bool {
+        self.kind.is_recv()
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ChannelId, ParamId};
+
+    fn p(i: usize) -> ParamId {
+        ParamId::from_index(i)
+    }
+    fn ch(i: usize) -> ChannelId {
+        ChannelId::from_index(i)
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(OpKind::recv(p(0), ch(0)).is_recv());
+        assert!(OpKind::send(p(0), ch(0)).is_send());
+        assert!(OpKind::recv(p(0), ch(0)).is_communication());
+        assert!(OpKind::send(p(0), ch(0)).is_communication());
+        assert!(!OpKind::Compute.is_communication());
+        assert!(!OpKind::Aggregate { param: p(1) }.is_recv());
+    }
+
+    #[test]
+    fn kind_param_and_channel() {
+        assert_eq!(OpKind::Compute.param(), None);
+        assert_eq!(OpKind::recv(p(3), ch(1)).param(), Some(p(3)));
+        assert_eq!(OpKind::recv(p(3), ch(1)).channel(), Some(ch(1)));
+        assert_eq!(OpKind::Update { param: p(2) }.param(), Some(p(2)));
+        assert_eq!(OpKind::Update { param: p(2) }.channel(), None);
+    }
+
+    #[test]
+    fn cost_constructors() {
+        let c = Cost::flops(2.0e9);
+        assert_eq!(c.flops, 2.0e9);
+        assert_eq!(c.bytes, 0);
+        let b = Cost::bytes(1024);
+        assert_eq!(b.bytes, 1024);
+        assert!(Cost::ZERO.is_zero());
+        assert!(!b.is_zero());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(OpKind::Compute.to_string(), "compute");
+        assert_eq!(OpKind::recv(p(1), ch(0)).to_string(), "recv(p1@ch0)");
+        assert_eq!(OpKind::Read { param: p(0) }.to_string(), "read(p0)");
+    }
+}

@@ -1,0 +1,393 @@
+//! Topological utilities over [`Graph`]s.
+//!
+//! These routines are shared by the schedulers (dependency analysis over
+//! `recv` ops), the simulator (ready-set maintenance sanity checks) and the
+//! evaluation harness (critical-path statistics).
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::OpId;
+
+/// Computes a topological order of the graph (Kahn's algorithm).
+///
+/// The order is deterministic: among simultaneously-ready ops, the one with
+/// the smallest id comes first (a binary heap keyed on id).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if the graph has a dependency cycle; the
+/// reported op is one with a remaining unresolved predecessor.
+pub fn topo_order(graph: &Graph) -> Result<Vec<OpId>, GraphError> {
+    let n = graph.len();
+    let mut indegree: Vec<usize> = (0..n)
+        .map(|i| graph.preds(OpId::from_index(i)).len())
+        .collect();
+    // Min-heap on op id for determinism.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<OpId>> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| std::cmp::Reverse(OpId::from_index(i)))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(id)) = ready.pop() {
+        order.push(id);
+        for &s in graph.succs(id) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                ready.push(std::cmp::Reverse(s));
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = indegree
+            .iter()
+            .position(|&d| d > 0)
+            .map(OpId::from_index)
+            .expect("cycle implies an op with positive indegree");
+        return Err(GraphError::Cycle(stuck));
+    }
+    Ok(order)
+}
+
+/// Whether the graph is acyclic.
+pub fn is_acyclic(graph: &Graph) -> bool {
+    topo_order(graph).is_ok()
+}
+
+/// Checks that `order` is a valid topological order of `graph`: a
+/// permutation of all ops where every op appears after its predecessors.
+pub fn is_topological(graph: &Graph, order: &[OpId]) -> bool {
+    if order.len() != graph.len() {
+        return false;
+    }
+    let mut position = vec![usize::MAX; graph.len()];
+    for (pos, &id) in order.iter().enumerate() {
+        if id.index() >= graph.len() || position[id.index()] != usize::MAX {
+            return false;
+        }
+        position[id.index()] = pos;
+    }
+    graph.op_ids().all(|id| {
+        graph
+            .preds(id)
+            .iter()
+            .all(|p| position[p.index()] < position[id.index()])
+    })
+}
+
+/// Computes, for every op, the length of the longest path ending at that op,
+/// where each op contributes `weight(op)` and edges are free.
+///
+/// With unit weights this is the op's depth; with time-oracle weights the
+/// maximum over all ops is the critical-path length of the DAG.
+pub fn longest_path_to(graph: &Graph, mut weight: impl FnMut(OpId) -> f64) -> Vec<f64> {
+    let order = topo_order(graph).expect("longest_path_to requires an acyclic graph");
+    let mut dist = vec![0.0_f64; graph.len()];
+    for &id in &order {
+        let incoming = graph
+            .preds(id)
+            .iter()
+            .map(|p| dist[p.index()])
+            .fold(0.0_f64, f64::max);
+        dist[id.index()] = incoming + weight(id);
+    }
+    dist
+}
+
+/// The critical-path length of the graph under `weight`.
+pub fn critical_path(graph: &Graph, weight: impl FnMut(OpId) -> f64) -> f64 {
+    longest_path_to(graph, weight)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// All ops that `op` transitively depends on (excluding `op` itself), in
+/// ascending id order.
+pub fn ancestors(graph: &Graph, op: OpId) -> Vec<OpId> {
+    reach(graph, op, |g, id| g.preds(id))
+}
+
+/// All ops that transitively depend on `op` (excluding `op` itself), in
+/// ascending id order.
+pub fn descendants(graph: &Graph, op: OpId) -> Vec<OpId> {
+    reach(graph, op, |g, id| g.succs(id))
+}
+
+fn reach<'g>(
+    graph: &'g Graph,
+    start: OpId,
+    next: impl Fn(&'g Graph, OpId) -> &'g [OpId],
+) -> Vec<OpId> {
+    let mut seen = vec![false; graph.len()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(id) = stack.pop() {
+        for &n in next(graph, id) {
+            if !seen[n.index()] {
+                seen[n.index()] = true;
+                stack.push(n);
+            }
+        }
+    }
+    seen[start.index()] = false;
+    seen.iter()
+        .enumerate()
+        .filter(|(_, &s)| s)
+        .map(|(i, _)| OpId::from_index(i))
+        .collect()
+}
+
+/// For each op, the set of *root* recv ops it transitively depends on,
+/// encoded as fixed-width bitsets over `recvs`.
+///
+/// This is the *communication dependency* `op.dep` of the paper (§4.1),
+/// computed by propagating bitsets in topological order instead of the
+/// paper's depth-first post-fix traversal (same result, better complexity).
+///
+/// `recvs` gives the recv ops that define bit positions; ops not reachable
+/// from any recv get an empty set.
+pub fn recv_dependencies(graph: &Graph, recvs: &[OpId]) -> Vec<RecvSet> {
+    let words = RecvSet::words_for(recvs.len());
+    let mut bit_of = vec![usize::MAX; graph.len()];
+    for (bit, r) in recvs.iter().enumerate() {
+        bit_of[r.index()] = bit;
+    }
+    let order = topo_order(graph).expect("recv_dependencies requires an acyclic graph");
+    let mut deps: Vec<RecvSet> = (0..graph.len()).map(|_| RecvSet::empty(words)).collect();
+    for &id in &order {
+        // Union over predecessors, split to appease the borrow checker.
+        let mut acc = RecvSet::empty(words);
+        for &p in graph.preds(id) {
+            acc.union_with(&deps[p.index()]);
+        }
+        if bit_of[id.index()] != usize::MAX {
+            acc.insert(bit_of[id.index()]);
+        }
+        deps[id.index()] = acc;
+    }
+    deps
+}
+
+/// A fixed-width bitset over recv-op bit positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvSet {
+    words: Vec<u64>,
+}
+
+impl RecvSet {
+    /// Number of 64-bit words needed for `bits` bit positions.
+    pub fn words_for(bits: usize) -> usize {
+        bits.div_ceil(64)
+    }
+
+    /// An empty set with capacity for `words * 64` bits.
+    pub fn empty(words: usize) -> Self {
+        Self {
+            words: vec![0; words],
+        }
+    }
+
+    /// Inserts bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the set's capacity.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &RecvSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits that are also set in `mask`.
+    pub fn intersection_count(&self, mask: &RecvSet) -> usize {
+        self.words
+            .iter()
+            .zip(&mask.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over set bit positions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Iterates over set bits restricted to `mask`.
+    pub fn iter_intersection<'a>(&'a self, mask: &'a RecvSet) -> impl Iterator<Item = usize> + 'a {
+        self.words
+            .iter()
+            .zip(&mask.words)
+            .enumerate()
+            .flat_map(|(wi, (&a, &b))| {
+                let mut bits = a & b;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let bit = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(wi * 64 + bit)
+                    }
+                })
+            })
+    }
+
+    /// Removes bit `i` if present.
+    pub fn remove(&mut self, i: usize) {
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1u64 << (i % 64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cost, GraphBuilder, OpKind};
+
+    fn diamond() -> (Graph, [OpId; 4]) {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let a = b.add_op("a", w, OpKind::Compute, Cost::flops(1.0), &[]);
+        let l = b.add_op("l", w, OpKind::Compute, Cost::flops(2.0), &[a]);
+        let r = b.add_op("r", w, OpKind::Compute, Cost::flops(3.0), &[a]);
+        let z = b.add_op("z", w, OpKind::Compute, Cost::flops(1.0), &[l, r]);
+        (b.build().unwrap(), [a, l, r, z])
+    }
+
+    #[test]
+    fn topo_order_of_diamond() {
+        let (g, [a, l, r, z]) = diamond();
+        let order = topo_order(&g).unwrap();
+        assert_eq!(order, vec![a, l, r, z]);
+        assert!(is_topological(&g, &order));
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn is_topological_rejects_bad_orders() {
+        let (g, [a, l, r, z]) = diamond();
+        assert!(!is_topological(&g, &[z, l, r, a]));
+        assert!(!is_topological(&g, &[a, l, r])); // not a permutation
+        assert!(!is_topological(&g, &[a, a, l, z])); // duplicate
+    }
+
+    #[test]
+    fn longest_path_uses_weights() {
+        let (g, [a, l, r, z]) = diamond();
+        let w = |id: OpId| g.op(id).cost().flops;
+        let dist = longest_path_to(&g, w);
+        assert_eq!(dist[a.index()], 1.0);
+        assert_eq!(dist[l.index()], 3.0);
+        assert_eq!(dist[r.index()], 4.0);
+        assert_eq!(dist[z.index()], 5.0);
+        assert_eq!(critical_path(&g, w), 5.0);
+    }
+
+    #[test]
+    fn recv_dependencies_match_figure_1a() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        let ch = b.add_channel(w, ps);
+        let p1 = b.add_param("w1", 10);
+        let p2 = b.add_param("w2", 10);
+        let r1 = b.add_op("recv1", w, OpKind::recv(p1, ch), Cost::bytes(10), &[]);
+        let r2 = b.add_op("recv2", w, OpKind::recv(p2, ch), Cost::bytes(10), &[]);
+        let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(1.0), &[r1]);
+        let op2 = b.add_op("op2", w, OpKind::Compute, Cost::flops(1.0), &[op1, r2]);
+        let g = b.build().unwrap();
+
+        let recvs = vec![r1, r2];
+        let deps = recv_dependencies(&g, &recvs);
+        // op1.dep = {recv1}; op2.dep = {recv1, recv2} (transitive).
+        assert!(deps[op1.index()].contains(0));
+        assert!(!deps[op1.index()].contains(1));
+        assert!(deps[op2.index()].contains(0));
+        assert!(deps[op2.index()].contains(1));
+        // A recv depends (only) on itself.
+        assert_eq!(deps[r1.index()].iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn recvset_operations() {
+        let mut s = RecvSet::empty(2);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(100);
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(63) && s.contains(100));
+        assert!(!s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 100]);
+
+        let mut mask = RecvSet::empty(2);
+        mask.insert(63);
+        mask.insert(100);
+        assert_eq!(s.intersection_count(&mask), 2);
+        assert_eq!(s.iter_intersection(&mask).collect::<Vec<_>>(), vec![63, 100]);
+
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 3);
+
+        let mut t = RecvSet::empty(2);
+        t.insert(5);
+        s.union_with(&t);
+        assert!(s.contains(5));
+    }
+
+    #[test]
+    fn ancestors_and_descendants_on_a_diamond() {
+        let (g, [a, l, r, z]) = diamond();
+        assert_eq!(ancestors(&g, a), vec![]);
+        assert_eq!(ancestors(&g, z), vec![a, l, r]);
+        assert_eq!(ancestors(&g, l), vec![a]);
+        assert_eq!(descendants(&g, a), vec![l, r, z]);
+        assert_eq!(descendants(&g, z), vec![]);
+        assert_eq!(descendants(&g, r), vec![z]);
+    }
+
+    #[test]
+    fn words_for_boundary() {
+        assert_eq!(RecvSet::words_for(0), 0);
+        assert_eq!(RecvSet::words_for(1), 1);
+        assert_eq!(RecvSet::words_for(64), 1);
+        assert_eq!(RecvSet::words_for(65), 2);
+    }
+}

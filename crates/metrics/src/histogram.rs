@@ -1,0 +1,236 @@
+//! Fixed-width histograms and streaming (Welford) statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over a closed range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` / above `hi`.
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "at least one bin");
+        assert!(hi > lo, "empty range");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let bins = self.counts.len();
+            let bin = ((x - self.lo) / (self.hi - self.lo) * bins as f64) as usize;
+            self.counts[bin.min(bins - 1)] += 1;
+        }
+    }
+
+    /// Total recorded samples, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range's end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(bin_center, count)` pairs for plotting.
+    pub fn centers(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * width, c))
+    }
+
+    /// Renders as vertical ASCII bars, normalized to the tallest bin.
+    pub fn to_ascii(&self, height: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for row in (1..=height).rev() {
+            for &c in &self.counts {
+                let filled = (c as f64 / max as f64 * height as f64).round() as usize;
+                out.push(if filled >= row { '#' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        out.push_str(&"-".repeat(self.counts.len()));
+        out.push('\n');
+        out
+    }
+}
+
+/// Streaming mean/variance via Welford's algorithm: numerically stable
+/// statistics without retaining samples (used by long 1000-run sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Streaming {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Streaming {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds in one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n−1; 0 for fewer than two samples).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for Streaming {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Streaming {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Streaming::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_ranges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.0, 2.5, 9.9, -1.0, 10.0, 11.0] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        let centers: Vec<f64> = h.centers().map(|(c, _)| c).collect();
+        assert_eq!(centers, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn histogram_ascii_has_requested_height() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.1, 0.2, 1.5, 2.5] {
+            h.record(x);
+        }
+        let art = h.to_ascii(3);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn streaming_matches_batch_summary() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Streaming = xs.iter().copied().collect();
+        let batch = crate::Summary::of(&xs);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - batch.mean).abs() < 1e-12);
+        assert!((s.std() - batch.std).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn streaming_is_stable_on_large_offsets() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let s: Streaming = (0..10_000).map(|i| 1e9 + (i % 2) as f64).collect();
+        assert!((s.std() - 0.5).abs() < 1e-3, "std {}", s.std());
+    }
+
+    #[test]
+    fn empty_streaming_is_well_defined() {
+        let s = Streaming::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Summary statistics and percentiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / spread / extrema of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Coefficient of variation (`std / mean`; 0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
+}
+
+/// The `p`-th percentile (0 ≤ p ≤ 100) by linear interpolation between
+/// order statistics.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std - 2.138).abs() < 0.001);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.cv() - 2.138 / 5.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert!((percentile(&xs, 95.0) - 3.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_is_order_invariant() {
+        assert_eq!(percentile(&[4.0, 1.0, 3.0, 2.0], 50.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        Summary::of(&[]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Scheduling-efficiency metric (§3.2 of the paper).
+//!
+//! For a set of ops with measured (or predicted) durations on a set of
+//! resources:
+//!
+//! * Equation 1 — the **upper** makespan bound `U = Σ Time(op)`: fully
+//!   sequential execution, one resource busy at a time.
+//! * Equation 2 — the **lower** makespan bound
+//!   `L = max_d Σ_{op on d} Time(op)`: every resource perfectly busy; the
+//!   bottleneck resource's load.
+//! * Equation 3 — **scheduling efficiency** `E = (U − m) / (U − L)` for a
+//!   measured makespan `m`: 1 is a perfect ordering, 0 the worst.
+//! * Equation 4 — **speedup potential** `S = (U − L) / L`: the maximum
+//!   throughput gain a perfect schedule can deliver over the worst one.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tictac_graph::{Graph, OpId, Resource};
+use tictac_timing::SimDuration;
+
+/// The makespan bounds and derived metrics for one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyReport {
+    /// Equation 1: sequential-execution upper bound `U`.
+    pub upper: SimDuration,
+    /// Equation 2: bottleneck-resource lower bound `L`.
+    pub lower: SimDuration,
+    /// The measured makespan `m`.
+    pub makespan: SimDuration,
+    /// Equation 3: scheduling efficiency `E ∈ [0, 1]` for achievable
+    /// makespans (not clamped; see [`EfficiencyReport::efficiency_clamped`]).
+    pub efficiency: f64,
+    /// Equation 4: speedup potential `S`.
+    pub speedup_potential: f64,
+}
+
+impl EfficiencyReport {
+    /// Efficiency clamped to `[0, 1]` (measurement noise can push the raw
+    /// value slightly outside the bounds).
+    pub fn efficiency_clamped(&self) -> f64 {
+        self.efficiency.clamp(0.0, 1.0)
+    }
+}
+
+/// Equation 1: `U = Σ Time(op)`.
+pub fn upper_makespan<I>(durations: I) -> SimDuration
+where
+    I: IntoIterator<Item = SimDuration>,
+{
+    durations.into_iter().sum()
+}
+
+/// Equation 2: `L = max_d Σ_{op ∈ G_d} Time(op)` over the resources the
+/// given ops execute on.
+pub fn lower_makespan(
+    graph: &Graph,
+    ops: &[OpId],
+    mut duration: impl FnMut(OpId) -> SimDuration,
+) -> SimDuration {
+    let mut per_resource: HashMap<Resource, SimDuration> = HashMap::new();
+    for &op in ops {
+        *per_resource
+            .entry(graph.resource(op))
+            .or_insert(SimDuration::ZERO) += duration(op);
+    }
+    per_resource
+        .into_values()
+        .max()
+        .unwrap_or(SimDuration::ZERO)
+}
+
+/// Computes the full efficiency report (Equations 1–4) for `ops` with the
+/// observed iteration `makespan`.
+///
+/// When `U == L` there is no scheduling freedom at all; efficiency is
+/// defined as 1 and speedup potential as 0.
+pub fn evaluate(
+    graph: &Graph,
+    ops: &[OpId],
+    mut duration: impl FnMut(OpId) -> SimDuration,
+    makespan: SimDuration,
+) -> EfficiencyReport {
+    let upper = upper_makespan(ops.iter().map(|&op| duration(op)));
+    let lower = lower_makespan(graph, ops, &mut duration);
+    let span = upper.saturating_sub(lower);
+    let efficiency = if span.is_zero() {
+        1.0
+    } else {
+        (upper.as_secs_f64() - makespan.as_secs_f64()) / span.as_secs_f64()
+    };
+    let speedup_potential = if lower.is_zero() {
+        0.0
+    } else {
+        span.as_secs_f64() / lower.as_secs_f64()
+    };
+    EfficiencyReport {
+        upper,
+        lower,
+        makespan,
+        efficiency,
+        speedup_potential,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tictac_graph::{Cost, GraphBuilder, OpKind};
+
+    /// Two resources: channel carries two 10us recvs, compute runs two
+    /// 10us ops. U = 40us, L = 20us.
+    fn balanced() -> (Graph, Vec<OpId>) {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        let ch = b.add_channel(w, ps);
+        let p1 = b.add_param("p1", 10);
+        let p2 = b.add_param("p2", 10);
+        let r1 = b.add_op("r1", w, OpKind::recv(p1, ch), Cost::bytes(10), &[]);
+        let r2 = b.add_op("r2", w, OpKind::recv(p2, ch), Cost::bytes(10), &[]);
+        let c1 = b.add_op("c1", w, OpKind::Compute, Cost::flops(1.0), &[r1]);
+        let c2 = b.add_op("c2", w, OpKind::Compute, Cost::flops(1.0), &[c1, r2]);
+        let g = b.build().unwrap();
+        (g, vec![r1, r2, c1, c2])
+    }
+
+    fn ten_us(_: OpId) -> SimDuration {
+        SimDuration::from_micros(10)
+    }
+
+    #[test]
+    fn bounds_match_hand_computation() {
+        let (g, ops) = balanced();
+        assert_eq!(
+            upper_makespan(ops.iter().map(|_| SimDuration::from_micros(10))),
+            SimDuration::from_micros(40)
+        );
+        assert_eq!(lower_makespan(&g, &ops, ten_us), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn perfect_overlap_scores_one() {
+        let (g, ops) = balanced();
+        let r = evaluate(&g, &ops, ten_us, SimDuration::from_micros(20));
+        assert_eq!(r.efficiency, 1.0);
+        assert_eq!(r.speedup_potential, 1.0); // (40-20)/20: up to 2x
+    }
+
+    #[test]
+    fn fully_sequential_scores_zero() {
+        let (g, ops) = balanced();
+        let r = evaluate(&g, &ops, ten_us, SimDuration::from_micros(40));
+        assert_eq!(r.efficiency, 0.0);
+    }
+
+    #[test]
+    fn halfway_scores_half() {
+        let (g, ops) = balanced();
+        let r = evaluate(&g, &ops, ten_us, SimDuration::from_micros(30));
+        assert!((r.efficiency - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_handles_noise() {
+        let (g, ops) = balanced();
+        let r = evaluate(&g, &ops, ten_us, SimDuration::from_micros(45));
+        assert!(r.efficiency < 0.0);
+        assert_eq!(r.efficiency_clamped(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_single_resource_has_no_freedom() {
+        // Everything on one compute resource: U == L.
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let a = b.add_op("a", w, OpKind::Compute, Cost::flops(1.0), &[]);
+        let c = b.add_op("c", w, OpKind::Compute, Cost::flops(1.0), &[a]);
+        let g = b.build().unwrap();
+        let r = evaluate(&g, &[a, c], ten_us, SimDuration::from_micros(20));
+        assert_eq!(r.efficiency, 1.0);
+        assert_eq!(r.speedup_potential, 0.0);
+    }
+
+    #[test]
+    fn empty_op_set_is_harmless() {
+        let (g, _) = balanced();
+        let r = evaluate(&g, &[], ten_us, SimDuration::ZERO);
+        assert_eq!(r.upper, SimDuration::ZERO);
+        assert_eq!(r.lower, SimDuration::ZERO);
+        assert_eq!(r.efficiency, 1.0);
+        assert_eq!(r.speedup_potential, 0.0);
+    }
+}

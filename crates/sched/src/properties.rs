@@ -1,0 +1,332 @@
+//! Algorithm 1 of the paper: op properties over a set of outstanding recvs.
+//!
+//! For a partition `G`, a time oracle and a set `R` of outstanding (not yet
+//! transferred) recv ops, the paper defines (§4.1):
+//!
+//! * `op.M` — *communication time*: total outstanding transfer time the op
+//!   still waits for, `Σ_{r ∈ op.dep ∩ R} Time(r)`.
+//! * `recv.P` — *directly-dependent compute load*: total `Time(op)` over
+//!   ops that become unblocked by completing this recv alone (their only
+//!   outstanding communication dependency is this recv).
+//! * `recv.M⁺` — *impending communication load*: the minimum `op.M` over
+//!   ops with **multiple** outstanding recv dependencies that include this
+//!   recv; `∞` if there is no such op. `M⁺` includes the recv's own
+//!   transfer time (it is part of `op.M`).
+//!
+//! The paper recomputes all properties from scratch every round
+//! (`UpdateProperties`). This implementation is incremental: `M` and the
+//! per-op outstanding-dependency counts are maintained under
+//! [`OpProperties::complete`], `P` accumulates exactly when an op's count
+//! drops to one, and only `M⁺` needs a per-round sweep
+//! ([`OpProperties::recompute_m_plus`]). The results are identical; the
+//! complexity drops from `O(|R|·|G|·|R|)` to `O(|R|·|G|)` plus the `M⁺`
+//! sweeps.
+
+use crate::partition::PartitionGraph;
+use tictac_graph::topo::RecvSet;
+use tictac_timing::SimDuration;
+
+/// Properties of Algorithm 1, maintained incrementally as recvs complete.
+#[derive(Debug, Clone)]
+pub struct OpProperties {
+    /// Outstanding recv bits (the set `R`).
+    outstanding: RecvSet,
+    n_outstanding: usize,
+    /// Per local op: `op.M`.
+    m: Vec<SimDuration>,
+    /// Per local op: `|op.dep ∩ R|`.
+    cnt: Vec<u32>,
+    /// Per recv bit: `P`.
+    p: Vec<SimDuration>,
+    /// Per recv bit: `M⁺` (`None` = ∞).
+    m_plus: Vec<Option<SimDuration>>,
+    /// Per local op: `Time(op)` under the oracle in use.
+    durations: Vec<SimDuration>,
+    /// Per recv bit: whether the op is a recv currently in `R` (used to
+    /// exclude outstanding recvs from `P` contributions).
+    is_recv: Vec<bool>,
+}
+
+impl OpProperties {
+    /// Initializes properties with **all** recvs outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations` does not cover every op of the partition.
+    pub fn new(part: &PartitionGraph, durations: Vec<SimDuration>) -> Self {
+        assert_eq!(
+            durations.len(),
+            part.len(),
+            "durations must cover the partition"
+        );
+        let n_recv = part.recvs().len();
+        let words = RecvSet::words_for(n_recv);
+        let mut outstanding = RecvSet::empty(words);
+        for bit in 0..n_recv {
+            outstanding.insert(bit);
+        }
+
+        let mut is_recv = vec![false; part.len()];
+        for &r in part.recvs() {
+            is_recv[r as usize] = true;
+        }
+
+        let mut m = vec![SimDuration::ZERO; part.len()];
+        let mut cnt = vec![0u32; part.len()];
+        for i in 0..part.len() {
+            let dep = part.deps(i);
+            cnt[i] = dep.count() as u32;
+            let mut total = SimDuration::ZERO;
+            for bit in dep.iter() {
+                total += durations[part.recvs()[bit] as usize];
+            }
+            m[i] = total;
+        }
+
+        // Initial P: non-recv ops whose entire dependency set is one recv.
+        let mut p = vec![SimDuration::ZERO; n_recv];
+        for i in 0..part.len() {
+            if cnt[i] == 1 && !is_recv[i] {
+                let bit = part.deps(i).iter().next().expect("cnt == 1");
+                p[bit] += durations[i];
+            }
+        }
+
+        let mut props = Self {
+            outstanding,
+            n_outstanding: n_recv,
+            m,
+            cnt,
+            p,
+            m_plus: vec![None; n_recv],
+            durations,
+            is_recv,
+        };
+        props.recompute_m_plus(part);
+        props
+    }
+
+    /// Number of recvs still outstanding.
+    pub fn outstanding_count(&self) -> usize {
+        self.n_outstanding
+    }
+
+    /// Whether recv bit `bit` is outstanding.
+    pub fn is_outstanding(&self, bit: usize) -> bool {
+        self.outstanding.contains(bit)
+    }
+
+    /// Iterates over outstanding recv bits.
+    pub fn outstanding(&self) -> impl Iterator<Item = usize> + '_ {
+        self.outstanding.iter()
+    }
+
+    /// `op.M` of local op `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn m(&self, i: usize) -> SimDuration {
+        self.m[i]
+    }
+
+    /// `P` of recv bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of bounds.
+    pub fn p(&self, bit: usize) -> SimDuration {
+        self.p[bit]
+    }
+
+    /// `M⁺` of recv bit `bit` (`None` = ∞).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of bounds.
+    pub fn m_plus(&self, bit: usize) -> Option<SimDuration> {
+        self.m_plus[bit]
+    }
+
+    /// The transfer time of recv bit `bit` (its `M` as a root op).
+    pub fn recv_time(&self, part: &PartitionGraph, bit: usize) -> SimDuration {
+        self.durations[part.recvs()[bit] as usize]
+    }
+
+    /// Marks recv `bit` as completed (removes it from `R`) and updates `M`,
+    /// counts and `P` incrementally.
+    ///
+    /// Call [`recompute_m_plus`](Self::recompute_m_plus) afterwards if `M⁺`
+    /// values are needed for the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recv is not outstanding.
+    pub fn complete(&mut self, part: &PartitionGraph, bit: usize) {
+        assert!(self.outstanding.contains(bit), "recv {bit} not outstanding");
+        self.outstanding.remove(bit);
+        self.n_outstanding -= 1;
+        let recv_dur = self.durations[part.recvs()[bit] as usize];
+        for i in 0..part.len() {
+            if !part.deps(i).contains(bit) {
+                continue;
+            }
+            self.m[i] = self.m[i].saturating_sub(recv_dur);
+            self.cnt[i] -= 1;
+            if self.cnt[i] == 1 && !self.is_recv[i] {
+                // The op now waits on exactly one outstanding recv.
+                if let Some(owner) = part.deps(i).iter_intersection(&self.outstanding).next() {
+                    self.p[owner] += self.durations[i];
+                }
+            }
+        }
+    }
+
+    /// Recomputes `M⁺` for all outstanding recvs (the only non-incremental
+    /// part of Algorithm 1).
+    pub fn recompute_m_plus(&mut self, part: &PartitionGraph) {
+        for v in &mut self.m_plus {
+            *v = None;
+        }
+        for i in 0..part.len() {
+            if self.cnt[i] <= 1 {
+                continue;
+            }
+            let op_m = self.m[i];
+            for bit in part.deps(i).iter_intersection(&self.outstanding) {
+                let slot = &mut self.m_plus[bit];
+                *slot = Some(match *slot {
+                    Some(cur) => cur.min(op_m),
+                    None => op_m,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tictac_graph::{Cost, DeviceId, Graph, GraphBuilder, OpId, OpKind};
+    use tictac_timing::{CostOracle, Platform, TimeOracle};
+
+    /// Figure 1a: recv1 -> op1 -> op2, recv2 -> op2.
+    fn fig1a() -> (Graph, DeviceId, [OpId; 4]) {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        let ch = b.add_channel(w, ps);
+        let p1 = b.add_param("w1", 1_000_000);
+        let p2 = b.add_param("w2", 2_000_000);
+        let r1 = b.add_op("recv1", w, OpKind::recv(p1, ch), Cost::bytes(1_000_000), &[]);
+        let r2 = b.add_op("recv2", w, OpKind::recv(p2, ch), Cost::bytes(2_000_000), &[]);
+        let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(5.0e8), &[r1]);
+        let op2 = b.add_op("op2", w, OpKind::Compute, Cost::flops(5.0e8), &[op1, r2]);
+        (b.build().unwrap(), w, [r1, r2, op1, op2])
+    }
+
+    #[test]
+    fn initial_properties_match_paper_figure_1a() {
+        let (g, w, [r1, r2, op1, op2]) = fig1a();
+        let part = PartitionGraph::new(&g, w);
+        let oracle = CostOracle::new(Platform::cpu_cluster());
+        let durs = part.durations(&g, &oracle);
+        let props = OpProperties::new(&part, durs.clone());
+
+        let t_r1 = oracle.duration(&g, r1);
+        let t_r2 = oracle.duration(&g, r2);
+        let t_op1 = oracle.duration(&g, op1);
+
+        // op1.M = Time(recv1); op2.M = Time(recv1) + Time(recv2) (§4.1).
+        assert_eq!(props.m(part.local(op1).unwrap()), t_r1);
+        assert_eq!(props.m(part.local(op2).unwrap()), t_r1 + t_r2);
+
+        // recv1.P = Time(op1); recv2.P = 0 (§4.1).
+        assert_eq!(props.p(0), t_op1);
+        assert_eq!(props.p(1), SimDuration::ZERO);
+
+        // recv1.M+ = recv2.M+ = Time(recv1) + Time(recv2) via op2 (§4.1).
+        assert_eq!(props.m_plus(0), Some(t_r1 + t_r2));
+        assert_eq!(props.m_plus(1), Some(t_r1 + t_r2));
+
+        assert_eq!(props.outstanding_count(), 2);
+        assert_eq!(props.recv_time(&part, 0), t_r1);
+        assert_eq!(props.recv_time(&part, 1), t_r2);
+    }
+
+    #[test]
+    fn completing_a_recv_updates_m_cnt_and_p() {
+        let (g, w, [_r1, r2, op1, op2]) = fig1a();
+        let part = PartitionGraph::new(&g, w);
+        let oracle = CostOracle::new(Platform::cpu_cluster());
+        let durs = part.durations(&g, &oracle);
+        let mut props = OpProperties::new(&part, durs);
+
+        let t_r2 = oracle.duration(&g, r2);
+        let t_op2 = oracle.duration(&g, op2);
+
+        props.complete(&part, 0); // recv1 done
+        props.recompute_m_plus(&part);
+
+        assert!(!props.is_outstanding(0));
+        assert!(props.is_outstanding(1));
+        assert_eq!(props.outstanding_count(), 1);
+        // op2 now waits only on recv2.
+        assert_eq!(props.m(part.local(op2).unwrap()), t_r2);
+        // op2's only outstanding dependency is recv2 => contributes to P.
+        // op1 has no outstanding deps and contributes to nothing.
+        assert_eq!(props.p(1), t_op2);
+        // No op has multiple outstanding recv deps anymore: M+ = infinity.
+        assert_eq!(props.m_plus(1), None);
+        // op1.M dropped to zero.
+        assert_eq!(props.m(part.local(op1).unwrap()), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "not outstanding")]
+    fn double_completion_panics() {
+        let (g, w, _) = fig1a();
+        let part = PartitionGraph::new(&g, w);
+        let oracle = CostOracle::new(Platform::cpu_cluster());
+        let durs = part.durations(&g, &oracle);
+        let mut props = OpProperties::new(&part, durs);
+        props.complete(&part, 0);
+        props.complete(&part, 0);
+    }
+
+    /// Figure 4b: op1 <- {A, B}; op2 <- {op1, C}; op3 <- {op2, D}.
+    /// With everything outstanding, A and B tie at the smallest M+.
+    #[test]
+    fn figure_4b_m_plus_ordering() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        let ch = b.add_channel(w, ps);
+        let recv = |b: &mut GraphBuilder, name: &str, bytes: u64| {
+            let p = b.add_param(format!("p_{name}"), bytes);
+            b.add_op(name, w, OpKind::recv(p, ch), Cost::bytes(bytes), &[])
+        };
+        let a = recv(&mut b, "A", 1_000_000);
+        let bb = recv(&mut b, "B", 1_000_000);
+        let c = recv(&mut b, "C", 1_000_000);
+        let d = recv(&mut b, "D", 1_000_000);
+        let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(1e8), &[a, bb]);
+        let op2 = b.add_op("op2", w, OpKind::Compute, Cost::flops(1e8), &[op1, c]);
+        let _op3 = b.add_op("op3", w, OpKind::Compute, Cost::flops(1e8), &[op2, d]);
+        let g = b.build().unwrap();
+        let part = PartitionGraph::new(&g, w);
+        let oracle = CostOracle::new(Platform::cpu_cluster());
+        let props = OpProperties::new(&part, part.durations(&g, &oracle));
+
+        let t = |id| oracle.duration(&g, id);
+        // Bits follow recv order of addition: A=0, B=1, C=2, D=3.
+        assert_eq!(props.m_plus(0), Some(t(a) + t(bb)));
+        assert_eq!(props.m_plus(1), Some(t(a) + t(bb)));
+        assert_eq!(props.m_plus(2), Some(t(a) + t(bb) + t(c)));
+        assert_eq!(props.m_plus(3), Some(t(a) + t(bb) + t(c) + t(d)));
+        // All P are zero: nothing unblocks on a single recv.
+        for bit in 0..4 {
+            assert_eq!(props.p(bit), SimDuration::ZERO);
+        }
+    }
+}

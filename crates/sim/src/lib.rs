@@ -1,0 +1,42 @@
+//! Discrete-event simulator of a Model-Replica + Parameter-Server cluster.
+//!
+//! This crate substitutes for the paper's execution substrate (TensorFlow's
+//! runtime + gRPC + a real cluster). It reproduces the mechanisms the paper
+//! analyses:
+//!
+//! * **Ready-queue policy** (§3.1): when a compute resource frees, it picks
+//!   *uniformly at random* among the ready ops carrying the lowest priority
+//!   number together with all unprioritized ready ops. With no schedule this
+//!   yields the random parameter-transfer orders of §2.2; with a TIC/TAC
+//!   schedule it enforces the chosen order.
+//! * **gRPC channel semantics** (§5.1): one bidirectional channel per
+//!   worker–PS pair; transfers on a channel are handed off in order and only
+//!   one is in flight per channel. Device NICs serialize transfers too, so
+//!   parameter-server network load grows with the number of workers — the
+//!   effect behind the paper's scaling observations (§6.1).
+//! * **Sender-side enforcement** (§5.1): per-channel counters; a
+//!   prioritized transfer is handed to the channel only when the counter
+//!   reaches its rank. An optional reorder-error probability emulates gRPC
+//!   occasionally processing hand-offs out of order (0.4–0.5% in the
+//!   paper's measurements).
+//! * **Runtime variance**: multiplicative log-normal per-op noise and
+//!   occasional whole-worker slowdowns ([`NoiseModel`]).
+//!
+//! The simulator consumes the partitioned [`Graph`] built by
+//! `tictac-cluster`, a [`Schedule`] from `tictac-sched`, and produces an
+//! [`ExecutionTrace`] per iteration plus [`IterationMetrics`].
+//!
+//! [`NoiseModel`]: tictac_timing::NoiseModel
+//! [`Schedule`]: tictac_sched::Schedule
+//! [`ExecutionTrace`]: tictac_trace::ExecutionTrace
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod metrics;
+
+pub use config::SimConfig;
+pub use engine::simulate;
+pub use metrics::{analyze, straggler_pct, IterationMetrics};

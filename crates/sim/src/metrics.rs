@@ -1,0 +1,101 @@
+//! Per-iteration metrics derived from execution traces.
+
+use serde::{Deserialize, Serialize};
+use tictac_graph::{DeviceId, Graph};
+use tictac_timing::{SimDuration, SimTime};
+use tictac_trace::ExecutionTrace;
+
+/// Summary of one simulated iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationMetrics {
+    /// The iteration makespan (all ops, including the PS update tail).
+    pub makespan: SimDuration,
+    /// Per-worker finish times (completion of the worker's last op), in
+    /// worker order.
+    pub worker_finish: Vec<SimTime>,
+    /// Straggler time as a percentage of the iteration (§6.3): the longest
+    /// any worker waited for the slowest worker, over the makespan.
+    pub straggler_pct: f64,
+}
+
+impl IterationMetrics {
+    /// Throughput in samples/second for a global batch of
+    /// `batch_per_worker × workers`.
+    pub fn throughput(&self, batch_per_worker: usize, workers: usize) -> f64 {
+        (batch_per_worker * workers) as f64 / self.makespan.as_secs_f64()
+    }
+}
+
+/// Computes the straggler percentage from per-worker finish times and the
+/// iteration makespan: `max_w (barrier − finish_w) / makespan × 100`, where
+/// the barrier is the slowest worker's finish.
+pub fn straggler_pct(worker_finish: &[SimTime], makespan: SimDuration) -> f64 {
+    if worker_finish.len() < 2 || makespan.is_zero() {
+        return 0.0;
+    }
+    let barrier = worker_finish
+        .iter()
+        .copied()
+        .max()
+        .expect("non-empty worker list");
+    let max_wait = worker_finish
+        .iter()
+        .map(|&f| barrier - f)
+        .max()
+        .expect("non-empty worker list");
+    100.0 * max_wait.as_secs_f64() / makespan.as_secs_f64()
+}
+
+/// Derives iteration metrics from a trace.
+///
+/// `workers` are the worker devices, in worker-index order.
+pub fn analyze(graph: &Graph, workers: &[DeviceId], trace: &ExecutionTrace) -> IterationMetrics {
+    let worker_finish: Vec<SimTime> = workers
+        .iter()
+        .map(|&w| trace.device_finish(graph, w).unwrap_or(SimTime::ZERO))
+        .collect();
+    IterationMetrics {
+        makespan: trace.makespan(),
+        straggler_pct: straggler_pct(&worker_finish, trace.makespan()),
+        worker_finish,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, SimConfig};
+    use tictac_cluster::{deploy, ClusterSpec};
+    use tictac_models::{tiny_mlp, Mode};
+    use tictac_sched::no_ordering;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn straggler_math() {
+        let makespan = SimDuration::from_nanos(1000);
+        // Fastest finishes at 400, slowest at 900: wait = 500 = 50%.
+        assert_eq!(straggler_pct(&[t(900), t(400)], makespan), 50.0);
+        // Identical workers: no straggling.
+        assert_eq!(straggler_pct(&[t(700), t(700)], makespan), 0.0);
+        // Single worker: straggling undefined, reported as zero.
+        assert_eq!(straggler_pct(&[t(900)], makespan), 0.0);
+    }
+
+    #[test]
+    fn analyze_extracts_worker_finishes() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(3, 1)).unwrap();
+        let cfg = SimConfig::cloud_gpu();
+        let trace = simulate(d.graph(), &no_ordering(d.graph()), &cfg, 0);
+        let m = analyze(d.graph(), d.workers(), &trace);
+        assert_eq!(m.worker_finish.len(), 3);
+        assert!(m.worker_finish.iter().all(|&f| f > SimTime::ZERO));
+        assert!(m.makespan >= m.worker_finish.iter().copied().max().unwrap() - t(0));
+        assert!(m.straggler_pct >= 0.0 && m.straggler_pct <= 100.0);
+        let tput = m.throughput(8, 3);
+        assert!(tput > 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's future-work question (§7): how does a scheduled Parameter
+//! Server compare to decentralized ring all-reduce? Build both
+//! deployments of the same model and race them.
+//!
+//! ```text
+//! cargo run --release --example ps_vs_allreduce [model] [workers]
+//! ```
+
+use tictac::{
+    deploy_all_reduce, no_ordering, simulate, ClusterSpec, Mode, Model, SchedulerKind, Session,
+    SimConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let model = args
+        .next()
+        .and_then(|name| Model::from_name(&name))
+        .unwrap_or(Model::ResNet50V1);
+    let workers: usize = args.next().and_then(|n| n.parse().ok()).unwrap_or(8);
+    let ps = (workers / 4).max(1);
+    let config = SimConfig::cloud_gpu();
+    let graph = model.build(Mode::Training);
+    let batch = graph.batch_size();
+
+    println!(
+        "{} training, {workers} workers (PS variant: {ps} server{})\n",
+        model.name(),
+        if ps == 1 { "" } else { "s" }
+    );
+
+    let mut ps_tic = 0.0;
+    for scheduler in [SchedulerKind::Baseline, SchedulerKind::Tic] {
+        let report = Session::builder(graph.clone())
+            .cluster(ClusterSpec::new(workers, ps))
+            .config(config.clone())
+            .scheduler(scheduler)
+            .iterations(10)
+            .build()?
+            .run();
+        if scheduler == SchedulerKind::Tic {
+            ps_tic = report.mean_throughput();
+        }
+        println!(
+            "parameter server / {:<8}  {:>8.1} samples/s",
+            scheduler.to_string(),
+            report.mean_throughput()
+        );
+    }
+
+    let ring = deploy_all_reduce(&graph, workers)?;
+    let unordered = no_ordering(ring.graph());
+    let mut total = 0.0;
+    let iters = 10;
+    for i in 0..iters {
+        total += simulate(ring.graph(), &unordered, &config, i)
+            .makespan()
+            .as_secs_f64();
+    }
+    let ring_tput = (batch * workers) as f64 / (total / iters as f64);
+    println!("ring all-reduce             {ring_tput:>8.1} samples/s");
+    println!(
+        "\nPS+TIC achieves {:.1}% of the ring's throughput ({} gradient buckets, {} ring ops)",
+        100.0 * ps_tic / ring_tput,
+        ring.buckets().len(),
+        ring.graph().len(),
+    );
+    Ok(())
+}

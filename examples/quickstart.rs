@@ -1,0 +1,51 @@
+//! Quickstart: deploy a model on a simulated PS cluster and compare the
+//! baseline against TicTac's schedulers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tictac::{ClusterSpec, Mode, Model, SchedulerKind, Session, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ResNet-50 v1, synchronous training, Table-1 batch size.
+    let model = Model::ResNet50V1.build(Mode::Training);
+    println!(
+        "model: {} ({} parameters, {:.1} MiB, {} ops)",
+        model.name(),
+        model.params().len(),
+        model.stats().param_mib(),
+        model.stats().ops
+    );
+
+    // 4 workers pulling from 1 parameter server on the cloud-GPU platform.
+    let mut baseline_throughput = 0.0;
+    for scheduler in [
+        SchedulerKind::Baseline,
+        SchedulerKind::Random,
+        SchedulerKind::Tic,
+        SchedulerKind::Tac,
+    ] {
+        let report = Session::builder(model.clone())
+            .cluster(ClusterSpec::new(4, 1))
+            .config(SimConfig::cloud_gpu())
+            .scheduler(scheduler)
+            .iterations(10)
+            .build()?
+            .run();
+        let throughput = report.mean_throughput();
+        if scheduler == SchedulerKind::Baseline {
+            baseline_throughput = throughput;
+        }
+        println!(
+            "{:>8}: {:>7.1} samples/s ({:+.1}%)  iteration {}  efficiency {:.3}  straggler {:.1}%",
+            scheduler.to_string(),
+            throughput,
+            (throughput / baseline_throughput - 1.0) * 100.0,
+            report.mean_makespan(),
+            report.mean_efficiency(),
+            report.max_straggler_pct(),
+        );
+    }
+    Ok(())
+}

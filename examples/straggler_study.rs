@@ -1,0 +1,60 @@
+//! Straggler analysis (§6.3 of the paper): without enforced ordering,
+//! workers follow different random transfer schedules and the slowest
+//! schedule drags the synchronous barrier; enforcing *any* consistent
+//! order helps, and TicTac's orders help most.
+//!
+//! ```text
+//! cargo run --release --example straggler_study
+//! ```
+
+use tictac::{
+    ClusterSpec, Mode, Model, SchedulerKind, Session, SimConfig, Summary,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = Model::ResNet50V2.build(Mode::Training);
+    println!(
+        "straggler study: {} training, 8 workers / 2 PS, 40 iterations per policy\n",
+        model.name()
+    );
+
+    println!(
+        "{:<10} {:>14} {:>16} {:>16} {:>12}",
+        "scheduler", "samples/s", "straggler mean%", "straggler max%", "step CV"
+    );
+    for scheduler in [
+        SchedulerKind::Baseline,
+        SchedulerKind::Random,
+        SchedulerKind::Tic,
+        SchedulerKind::Tac,
+    ] {
+        let report = Session::builder(model.clone())
+            .cluster(ClusterSpec::new(8, 2))
+            .config(SimConfig::cloud_gpu())
+            .scheduler(scheduler)
+            .iterations(40)
+            .build()?
+            .run();
+        let stragglers: Vec<f64> = report.iterations.iter().map(|r| r.straggler_pct).collect();
+        let steps: Vec<f64> = report
+            .iterations
+            .iter()
+            .map(|r| r.makespan.as_secs_f64())
+            .collect();
+        let straggler_summary = Summary::of(&stragglers);
+        println!(
+            "{:<10} {:>14.1} {:>16.1} {:>16.1} {:>12.3}",
+            scheduler.to_string(),
+            report.mean_throughput(),
+            straggler_summary.mean,
+            straggler_summary.max,
+            Summary::of(&steps).cv(),
+        );
+    }
+    println!(
+        "\nNote how `random` — an arbitrary but *consistent* order on every worker —\n\
+         already removes most of the straggling (the paper's §6.3 observation);\n\
+         TIC/TAC additionally improve the overlap, and thus throughput."
+    );
+    Ok(())
+}

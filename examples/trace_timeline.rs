@@ -1,0 +1,43 @@
+//! Visualize one iteration as a Gantt chart: how transfers (`=`) and
+//! computation (`#`) overlap under the baseline vs under TIC.
+//!
+//! ```text
+//! cargo run --release --example trace_timeline [model]
+//! ```
+
+use tictac::{
+    deploy, gantt, no_ordering, simulate, tic, ClusterSpec, Mode, Model, NoiseModel, SimConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = std::env::args()
+        .nth(1)
+        .and_then(|name| Model::from_name(&name))
+        .unwrap_or(Model::AlexNetV2);
+
+    let graph = model.build(Mode::Training);
+    let deployed = deploy(&graph, &ClusterSpec::new(2, 1))?;
+    let g = deployed.graph();
+    // Noise off so the two charts differ only by schedule.
+    let config = SimConfig::cloud_gpu().with_noise(NoiseModel::none());
+
+    let baseline_trace = simulate(g, &no_ordering(g), &config, 0);
+    let schedule = deployed.replicate_schedule(&tic(g, deployed.workers()[0]));
+    let tic_trace = simulate(g, &schedule, &config, 0);
+
+    println!(
+        "{} training, 2 workers / 1 PS — baseline (makespan {}):\n",
+        model.name(),
+        baseline_trace.makespan()
+    );
+    println!("{}", gantt(g, &baseline_trace, 100));
+    println!("TIC (makespan {}):\n", tic_trace.makespan());
+    println!("{}", gantt(g, &tic_trace, 100));
+    println!(
+        "speedup: {:+.1}%  (`=` transfer busy, `#` compute busy; TicTac pulls the\n\
+         compute span left to overlap the transfer span)",
+        (baseline_trace.makespan().as_secs_f64() / tic_trace.makespan().as_secs_f64() - 1.0)
+            * 100.0
+    );
+    Ok(())
+}

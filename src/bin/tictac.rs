@@ -1,0 +1,223 @@
+//! `tictac` — command-line front end to the TicTac reproduction.
+//!
+//! ```text
+//! tictac models
+//! tictac schedule resnet_v1_50 --scheduler tac --top 20
+//! tictac run inception_v3 --workers 8 --ps 2 --scheduler tic --env g
+//! tictac timeline alexnet_v2 --format chrome --out trace.json
+//! ```
+
+use std::collections::HashMap;
+use tictac::{
+    deploy, estimate_profile, gantt, no_ordering, simulate, tac_order, tic, ClusterSpec, Mode,
+    Model, SchedulerKind, Session, SimConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage("");
+    };
+    let flags = parse_flags(&args[1..]);
+    match command.as_str() {
+        "models" => models(),
+        "schedule" => schedule(&args, &flags),
+        "run" => run(&args, &flags),
+        "timeline" => timeline(&args, &flags),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_flags(rest: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = rest.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it
+                .peek()
+                .filter(|v| !v.starts_with("--"))
+                .map(|v| v.to_string())
+                .unwrap_or_default();
+            if !value.is_empty() {
+                it.next();
+            }
+            flags.insert(name.to_string(), value);
+        }
+    }
+    flags
+}
+
+fn model_arg(args: &[String]) -> Model {
+    args.get(1)
+        .filter(|a| !a.starts_with("--"))
+        .and_then(|name| Model::from_name(name))
+        .unwrap_or_else(|| {
+            usage(&format!(
+                "expected a model name ({})",
+                Model::ALL.map(Model::name).join(", ")
+            ))
+        })
+}
+
+fn flag_usize(flags: &HashMap<String, String>, name: &str, default: usize) -> usize {
+    flags
+        .get(name)
+        .map(|v| v.parse().unwrap_or_else(|_| usage(&format!("--{name} expects a number"))))
+        .unwrap_or(default)
+}
+
+fn flag_mode(flags: &HashMap<String, String>) -> Mode {
+    match flags.get("mode").map(String::as_str) {
+        Some("inference") => Mode::Inference,
+        Some("train") | Some("training") | None => Mode::Training,
+        Some(other) => usage(&format!("unknown --mode `{other}`")),
+    }
+}
+
+fn flag_config(flags: &HashMap<String, String>) -> SimConfig {
+    match flags.get("env").map(String::as_str) {
+        Some("c") | Some("envC") => SimConfig::cpu_cluster(),
+        Some("g") | Some("envG") | None => SimConfig::cloud_gpu(),
+        Some(other) => usage(&format!("unknown --env `{other}` (use g or c)")),
+    }
+}
+
+fn flag_scheduler(flags: &HashMap<String, String>) -> SchedulerKind {
+    match flags.get("scheduler").map(String::as_str) {
+        Some("baseline") => SchedulerKind::Baseline,
+        Some("random") => SchedulerKind::Random,
+        Some("tic") | None => SchedulerKind::Tic,
+        Some("tac") => SchedulerKind::Tac,
+        Some(other) => usage(&format!("unknown --scheduler `{other}`")),
+    }
+}
+
+fn models() {
+    println!(
+        "{:<16} {:>6} {:>10} {:>9} {:>10} {:>6}",
+        "model", "params", "size(MiB)", "ops(inf)", "ops(train)", "batch"
+    );
+    for model in Model::ALL {
+        let inf = model.build_with_batch(Mode::Inference, 1);
+        let tr = model.build_with_batch(Mode::Training, 1);
+        let s = inf.stats();
+        println!(
+            "{:<16} {:>6} {:>10.2} {:>9} {:>10} {:>6}",
+            model.name(),
+            s.params,
+            s.param_mib(),
+            s.ops,
+            tr.stats().ops,
+            model.default_batch()
+        );
+    }
+}
+
+fn schedule(args: &[String], flags: &HashMap<String, String>) {
+    let model = model_arg(args);
+    let top = flag_usize(flags, "top", 25);
+    let config = flag_config(flags);
+    let graph = model.build(flag_mode(flags));
+    let deployed = deploy(&graph, &ClusterSpec::new(1, 1))
+        .unwrap_or_else(|e| usage(&format!("invalid deployment: {e}")));
+    let g = deployed.graph();
+    let worker = deployed.workers()[0];
+
+    let order = match flag_scheduler(flags) {
+        SchedulerKind::Tac => {
+            let unordered = no_ordering(g);
+            let traces: Vec<_> = (0..5).map(|i| simulate(g, &unordered, &config, i)).collect();
+            tac_order(g, worker, &estimate_profile(&traces))
+        }
+        _ => {
+            let s = tic(g, worker);
+            let mut recvs = g.recv_ops_on(worker);
+            recvs.sort_by_key(|&op| (s.priority(op), op));
+            recvs
+        }
+    };
+    println!(
+        "{}: transfer order ({} of {} shown)",
+        model.name(),
+        top.min(order.len()),
+        order.len()
+    );
+    for (rank, op) in order.iter().take(top).enumerate() {
+        println!("{rank:>4}  {}", g.op(*op).name());
+    }
+}
+
+fn run(args: &[String], flags: &HashMap<String, String>) {
+    let model = model_arg(args);
+    let workers = flag_usize(flags, "workers", 4);
+    let ps = flag_usize(flags, "ps", (workers / 4).max(1));
+    let iterations = flag_usize(flags, "iterations", 10);
+    let scheduler = flag_scheduler(flags);
+    let session = Session::builder(model.build(flag_mode(flags)))
+        .cluster(ClusterSpec::new(workers, ps))
+        .config(flag_config(flags))
+        .scheduler(scheduler)
+        .iterations(iterations)
+        .build()
+        .unwrap_or_else(|e| usage(&format!("invalid deployment: {e}")));
+    let report = session.run();
+    println!(
+        "{} | {scheduler} | {workers} workers / {ps} ps | {} iterations",
+        model.name(),
+        iterations
+    );
+    println!(
+        "throughput {:.1} samples/s | iteration {} | efficiency {:.3} | straggler max {:.1}%",
+        report.mean_throughput(),
+        report.mean_makespan(),
+        report.mean_efficiency(),
+        report.max_straggler_pct()
+    );
+}
+
+fn timeline(args: &[String], flags: &HashMap<String, String>) {
+    let model = model_arg(args);
+    let workers = flag_usize(flags, "workers", 2);
+    let ps = flag_usize(flags, "ps", 1);
+    let config = flag_config(flags);
+    let graph = model.build(flag_mode(flags));
+    let deployed = deploy(&graph, &ClusterSpec::new(workers, ps))
+        .unwrap_or_else(|e| usage(&format!("invalid deployment: {e}")));
+    let g = deployed.graph();
+    let schedule = match flag_scheduler(flags) {
+        SchedulerKind::Baseline => no_ordering(g),
+        _ => deployed.replicate_schedule(&tic(g, deployed.workers()[0])),
+    };
+    let trace = simulate(g, &schedule, &config, 0);
+    let rendered = match flags.get("format").map(String::as_str) {
+        Some("chrome") => trace.to_chrome_json(g),
+        Some("tsv") => trace.to_tsv(g),
+        Some("gantt") | None => gantt(g, &trace, 100),
+        Some(other) => usage(&format!("unknown --format `{other}`")),
+    };
+    match flags.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, rendered).expect("write output file");
+            eprintln!("wrote {path} (makespan {})", trace.makespan());
+        }
+        _ => println!("{rendered}"),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "tictac — communication scheduling for distributed deep learning (MLSys'19 reproduction)\n\n\
+         usage:\n\
+         \x20 tictac models\n\
+         \x20 tictac schedule <model> [--mode train|inference] [--scheduler tic|tac] [--top N] [--env g|c]\n\
+         \x20 tictac run <model> [--workers N] [--ps N] [--scheduler baseline|random|tic|tac]\n\
+         \x20        [--iterations N] [--mode train|inference] [--env g|c]\n\
+         \x20 tictac timeline <model> [--workers N] [--ps N] [--scheduler baseline|tic]\n\
+         \x20        [--format gantt|chrome|tsv] [--out FILE] [--env g|c]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,144 @@
+//! Property-based tests over randomly generated *models* pushed through
+//! the full deploy → schedule → simulate pipeline.
+
+use proptest::prelude::*;
+use tictac::{
+    deploy, no_ordering, simulate, tic, ClusterSpec, Mode, ModelGraph, SimConfig,
+};
+use tictac_graph::{ModelGraphBuilder, ModelOpId, ModelOpKind, ParamId};
+
+/// A random layered MLP-ish model: `layers` sequential blocks, each with a
+/// weight (+ optional bias) and a couple of ops; training mode adds a
+/// mirrored backward pass manually.
+fn random_model() -> impl Strategy<Value = ModelGraph> {
+    (1usize..7, 1usize..5, any::<u64>()).prop_map(|(layers, width_step, seed)| {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = ModelGraphBuilder::new("random", 4);
+        let mut prev: Option<ModelOpId> = None;
+        let mut grads: Vec<(ParamId, ModelOpId)> = Vec::new();
+        for l in 0..layers {
+            let w = b.add_param(format!("l{l}/w"), vec![8 * width_step, 8]);
+            let deps: Vec<ModelOpId> = prev.into_iter().collect();
+            let fwd = b.add_op(
+                format!("l{l}/fwd"),
+                ModelOpKind::Forward,
+                rng.gen_range(1e5..1e8),
+                &deps,
+                &[w],
+                &[],
+            );
+            let act = b.add_op(
+                format!("l{l}/act"),
+                ModelOpKind::Forward,
+                rng.gen_range(1e4..1e6),
+                &[fwd],
+                &[],
+                &[],
+            );
+            prev = Some(act);
+            grads.push((w, fwd));
+        }
+        let loss = b.add_op(
+            "loss",
+            ModelOpKind::Loss,
+            1e4,
+            &prev.into_iter().collect::<Vec<_>>(),
+            &[],
+            &[],
+        );
+        let mut bwd_prev = loss;
+        for (l, (w, _)) in grads.iter().enumerate().rev() {
+            bwd_prev = b.add_op(
+                format!("l{l}/grad"),
+                ModelOpKind::Backward,
+                rng.gen_range(1e5..1e8),
+                &[bwd_prev],
+                &[*w],
+                &[*w],
+            );
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_models_deploy_and_simulate(
+        model in random_model(),
+        workers in 1usize..5,
+        ps in 1usize..3,
+    ) {
+        let deployed = deploy(&model, &ClusterSpec::new(workers, ps)).unwrap();
+        let g = deployed.graph();
+        prop_assert!(g.check().is_ok());
+        // Each worker receives every parameter.
+        for w in 0..workers {
+            prop_assert_eq!(
+                g.recv_ops_on(deployed.workers()[w]).len(),
+                model.params().len()
+            );
+        }
+        let trace = simulate(g, &no_ordering(g), &SimConfig::cloud_gpu(), 0);
+        prop_assert_eq!(trace.executed_ops(), g.len());
+    }
+
+    #[test]
+    fn tic_never_slows_noiseless_chains(model in random_model()) {
+        // For purely sequential models, TIC's order is exactly forward,
+        // which can never lose to a random order in a deterministic run.
+        let cfg = SimConfig::cloud_gpu()
+            .with_noise(tictac::NoiseModel::none())
+            .with_reorder_error(0.0);
+        let deployed = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let g = deployed.graph();
+        let schedule = deployed.replicate_schedule(&tic(g, deployed.workers()[0]));
+        let enforced = simulate(g, &schedule, &cfg, 0).makespan();
+        let baseline = simulate(g, &no_ordering(g), &cfg, 0).makespan();
+        // Allow a whisker of slack for tie-breaking differences.
+        prop_assert!(
+            enforced.as_nanos() <= baseline.as_nanos() + baseline.as_nanos() / 50,
+            "tic {enforced} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn replicated_schedules_are_consistent_across_workers(
+        model in random_model(),
+        workers in 2usize..5,
+    ) {
+        let deployed = deploy(&model, &ClusterSpec::new(workers, 1)).unwrap();
+        let g = deployed.graph();
+        let schedule = deployed.replicate_schedule(&tic(g, deployed.workers()[0]));
+        for p in 0..model.params().len() {
+            let param = ParamId::from_index(p);
+            let reference = schedule.priority(deployed.recv_op(0, param).unwrap());
+            for w in 1..workers {
+                prop_assert_eq!(
+                    schedule.priority(deployed.recv_op(w, param).unwrap()),
+                    reference
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_deployments_conserve_gradient_volume(
+        model in random_model(),
+        workers in 1usize..4,
+    ) {
+        let deployed = deploy(&model, &ClusterSpec::new(workers, 2)).unwrap();
+        let g = deployed.graph();
+        let param_bytes: u64 = model.params().iter().map(|p| p.bytes()).sum();
+        // Downlink = params x workers; uplink = grads x workers.
+        let recv_bytes: u64 = g
+            .recv_ops()
+            .into_iter()
+            .map(|r| g.op(r).cost().bytes)
+            .sum();
+        prop_assert_eq!(recv_bytes, 2 * param_bytes * workers as u64);
+    }
+}

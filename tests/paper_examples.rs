@@ -1,0 +1,132 @@
+//! End-to-end reproductions of the paper's worked examples and headline
+//! observations, exercised through the public API.
+
+use tictac::{
+    deploy, no_ordering, simulate, tac_order, tic, ClusterSpec, Cost, CostOracle, GraphBuilder,
+    Mode, Model, OpKind, Platform, SimConfig,
+};
+
+/// Figure 1: with two equal transfers feeding a compute chain, delivering
+/// `recv1` first (Figure 1b) beats delivering `recv2` first (Figure 1c),
+/// and TAC picks the good order.
+#[test]
+fn figure_1_good_vs_bad_order() {
+    let mut b = GraphBuilder::new();
+    let w = b.add_worker("w0");
+    let ps = b.add_parameter_server("ps0");
+    let ch = b.add_channel(w, ps);
+    let mb = 4 << 20;
+    let p1 = b.add_param("p1", mb);
+    let p2 = b.add_param("p2", mb);
+    let read1 = b.add_op("read1", ps, OpKind::Read { param: p1 }, Cost::flops(1.0), &[]);
+    let read2 = b.add_op("read2", ps, OpKind::Read { param: p2 }, Cost::flops(1.0), &[]);
+    let s1 = b.add_op("send1", ps, OpKind::send(p1, ch), Cost::bytes(mb), &[read1]);
+    let s2 = b.add_op("send2", ps, OpKind::send(p2, ch), Cost::bytes(mb), &[read2]);
+    let r1 = b.add_op("recv1", w, OpKind::recv(p1, ch), Cost::bytes(mb), &[s1]);
+    let r2 = b.add_op("recv2", w, OpKind::recv(p2, ch), Cost::bytes(mb), &[s2]);
+    let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(5e9), &[r1]);
+    b.add_op("op2", w, OpKind::Compute, Cost::flops(5e9), &[op1, r2]);
+    let g = b.build().unwrap();
+
+    let cfg = SimConfig::deterministic(Platform::cloud_gpu());
+    let mut good = no_ordering(&g);
+    good.set(r1, 0);
+    good.set(r2, 1);
+    let mut bad = no_ordering(&g);
+    bad.set(r1, 1);
+    bad.set(r2, 0);
+    let t_good = simulate(&g, &good, &cfg, 0).makespan();
+    let t_bad = simulate(&g, &bad, &cfg, 0).makespan();
+    assert!(t_good < t_bad, "good {t_good} vs bad {t_bad}");
+
+    // TAC derives the good order.
+    let oracle = CostOracle::new(Platform::cloud_gpu());
+    assert_eq!(tac_order(&g, w, &oracle), vec![r1, r2]);
+}
+
+/// §2.2: the baseline's parameter-arrival order essentially never repeats
+/// for models with hundreds of parameters; TIC pins it exactly.
+#[test]
+fn section_2_2_random_vs_enforced_orders() {
+    let model = Model::InceptionV1.build_with_batch(Mode::Inference, 2);
+    let deployed = deploy(&model, &ClusterSpec::new(1, 1)).unwrap();
+    let g = deployed.graph();
+    let w = deployed.workers()[0];
+    let cfg = SimConfig::cloud_gpu();
+
+    let unordered = no_ordering(g);
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..20 {
+        seen.insert(simulate(g, &unordered, &cfg, i).recv_completion_order(g, w));
+    }
+    assert_eq!(seen.len(), 20, "baseline orders should not repeat");
+
+    let schedule = deployed.replicate_schedule(&tic(g, w));
+    let cfg_exact = cfg.with_reorder_error(0.0);
+    let mut tic_orders = std::collections::HashSet::new();
+    for i in 0..5 {
+        tic_orders.insert(simulate(g, &schedule, &cfg_exact, i).recv_completion_order(g, w));
+    }
+    assert_eq!(tic_orders.len(), 1, "TIC must fix the order");
+}
+
+/// §5.1: the gRPC reorder error stays small under the default
+/// configuration — the fraction of out-of-order completions is well under
+/// 1 percent, as the paper measured (0.4–0.5%).
+#[test]
+fn enforcement_error_rate_is_paper_scale() {
+    let model = Model::InceptionV3.build_with_batch(Mode::Inference, 2);
+    let deployed = deploy(&model, &ClusterSpec::new(1, 1)).unwrap();
+    let g = deployed.graph();
+    let w = deployed.workers()[0];
+    let schedule = deployed.replicate_schedule(&tic(g, w));
+    let cfg = SimConfig::cloud_gpu(); // reorder_error = 0.005
+
+    // Count adjacent priority inversions in the completion order: each
+    // reorder event at the channel produces one inversion.
+    let mut out_of_order = 0usize;
+    let mut total = 0usize;
+    for i in 0..10 {
+        let order = simulate(g, &schedule, &cfg, i).recv_completion_order(g, w);
+        total += order.len();
+        out_of_order += order
+            .windows(2)
+            .filter(|pair| schedule.priority(pair[0]) > schedule.priority(pair[1]))
+            .count();
+    }
+    let rate = out_of_order as f64 / total as f64;
+    assert!(
+        rate < 0.02,
+        "out-of-order rate {rate} too high (paper: 0.004-0.005)"
+    );
+}
+
+/// Fig. 8: a real SGD learner converges identically with and without
+/// enforced ordering.
+#[test]
+fn figure_8_ordering_does_not_change_loss() {
+    use tictac::training::{loss_curve, TrainingConfig};
+    let cfg = TrainingConfig::default();
+    let a = loss_curve(cfg, true, 50);
+    let b = loss_curve(cfg, false, 50);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+    }
+    assert!(a[49] < a[0], "loss should decrease");
+}
+
+/// Table 1: every generator reproduces the paper's parameter census.
+#[test]
+fn table_1_parameter_census() {
+    for model in Model::ALL {
+        let built = model.build_with_batch(Mode::Inference, 1);
+        assert_eq!(
+            built.params().len(),
+            model.paper_row().params,
+            "{model}"
+        );
+        let rel =
+            (built.stats().param_mib() - model.paper_row().param_mib).abs() / model.paper_row().param_mib;
+        assert!(rel < 0.15, "{model} size off by {:.1}%", rel * 100.0);
+    }
+}
