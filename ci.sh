@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Local CI entry point — the same gate as .github/workflows/ci.yml, runnable
+# offline. All dependencies are vendored (see vendor/README.md), so the
+# whole pipeline works without network access.
+#
+# Usage: ./ci.sh
+set -eu
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
+
+echo "== build (release) =="
+cargo build --release --workspace --offline
+
+echo "== test =="
+cargo test --workspace --offline -q
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== ci.sh: all green =="

@@ -2,9 +2,7 @@
 //! deployment and per-iteration event processing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tictac_core::{
-    deploy, no_ordering, simulate, tic, ClusterSpec, Mode, Model, SimConfig,
-};
+use tictac_core::{deploy, no_ordering, simulate, tic, ClusterSpec, Mode, Model, SimConfig};
 
 fn bench_model_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_build");

@@ -61,10 +61,16 @@ fn main() {
         let Some(runner) = experiments::find(name) else {
             usage(&format!("unknown experiment `{name}` (see --list)"));
         };
-        eprintln!("== running {name}{} ==", if quick { " (quick)" } else { "" });
+        eprintln!(
+            "== running {name}{} ==",
+            if quick { " (quick)" } else { "" }
+        );
         let started = std::time::Instant::now();
         let report = runner(quick);
-        eprintln!("== {name} done in {:.1}s ==", started.elapsed().as_secs_f64());
+        eprintln!(
+            "== {name} done in {:.1}s ==",
+            started.elapsed().as_secs_f64()
+        );
         println!("{report}");
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{name}.txt"));

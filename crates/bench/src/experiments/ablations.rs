@@ -71,10 +71,30 @@ pub fn enforcement(quick: bool) -> String {
     // would ignore ranks at the pop too); instead keep the pop rank-aware
     // but remove the gate, showing drift between hand-off and wire order.
     let variants: [(&str, SchedulerKind, bool, f64); 4] = [
-        ("baseline (no ordering)", SchedulerKind::Baseline, true, 0.005),
-        ("TIC, sender-side counters (TicTac)", SchedulerKind::Tic, true, 0.005),
-        ("TIC, no counters (activation order only)", SchedulerKind::Tic, false, 0.005),
-        ("TIC, no counters + random pops", SchedulerKind::Tic, false, 1.0),
+        (
+            "baseline (no ordering)",
+            SchedulerKind::Baseline,
+            true,
+            0.005,
+        ),
+        (
+            "TIC, sender-side counters (TicTac)",
+            SchedulerKind::Tic,
+            true,
+            0.005,
+        ),
+        (
+            "TIC, no counters (activation order only)",
+            SchedulerKind::Tic,
+            false,
+            0.005,
+        ),
+        (
+            "TIC, no counters + random pops",
+            SchedulerKind::Tic,
+            false,
+            1.0,
+        ),
     ];
 
     let mut points = Vec::new();

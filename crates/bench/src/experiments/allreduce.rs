@@ -10,8 +10,8 @@
 
 use crate::format::Table;
 use tictac_core::{
-    deploy_all_reduce, no_ordering, simulate, speedup_pct, ClusterSpec, Mode, Model,
-    SchedulerKind, Session, SimConfig,
+    deploy_all_reduce, no_ordering, simulate, speedup_pct, ClusterSpec, Mode, Model, SchedulerKind,
+    Session, SimConfig,
 };
 
 /// Compares PS-baseline, PS+TIC and ring all-reduce throughput while
@@ -65,8 +65,8 @@ pub fn run(quick: bool) -> String {
                     makespans.push(trace.makespan().as_secs_f64());
                 }
             }
-            let ring_tput = (batch * workers) as f64
-                / (makespans.iter().sum::<f64>() / makespans.len() as f64);
+            let ring_tput =
+                (batch * workers) as f64 / (makespans.iter().sum::<f64>() / makespans.len() as f64);
 
             t.row([
                 workers.to_string(),

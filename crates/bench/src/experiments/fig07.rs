@@ -19,14 +19,8 @@ pub fn run(quick: bool) -> String {
         for &model in &models {
             for mode in [Mode::Inference, Mode::Training] {
                 for scheduler in [SchedulerKind::Baseline, SchedulerKind::Tic] {
-                    let mut p = Point::new(
-                        model,
-                        mode,
-                        workers,
-                        ps,
-                        scheduler,
-                        SimConfig::cloud_gpu(),
-                    );
+                    let mut p =
+                        Point::new(model, mode, workers, ps, scheduler, SimConfig::cloud_gpu());
                     p.iterations = iterations;
                     points.push(p);
                 }
@@ -62,10 +56,7 @@ pub fn run(quick: bool) -> String {
                         .map(|(_, r)| r.mean_throughput())
                         .expect("point was swept")
                 };
-                let speedup = speedup_pct(
-                    find(SchedulerKind::Baseline),
-                    find(SchedulerKind::Tic),
-                );
+                let speedup = speedup_pct(find(SchedulerKind::Baseline), find(SchedulerKind::Tic));
                 cells.push(format!("{speedup:+.1}%"));
             }
             t.row(cells);

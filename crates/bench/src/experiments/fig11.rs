@@ -5,6 +5,9 @@ use crate::format::Table;
 use crate::runner::{parallel_map, Point};
 use tictac_core::{deploy, ClusterSpec, Mode, Model, SchedulerKind, SimConfig};
 
+/// `(ops_per_worker, model, task, [E_base, E_tic], [strag_base, strag_tic])`.
+type Row = (usize, String, String, [f64; 2], [f64; 2]);
+
 /// Runs every Table-1 model in both tasks under baseline and TIC and
 /// reports the efficiency metric `E` and straggler time (%) against the
 /// number of ops per worker (the paper's x-axis).
@@ -29,7 +32,7 @@ pub fn run(quick: bool) -> String {
     let reports = parallel_map(points.clone(), |p| p.run());
 
     // Rows sorted by partition size, like the figure's x-axis.
-    let mut rows: Vec<(usize, String, String, [f64; 2], [f64; 2])> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for &model in &models {
         for mode in [Mode::Inference, Mode::Training] {
             let graph = model.build_with_batch(mode, 2);
@@ -76,9 +79,7 @@ pub fn run(quick: bool) -> String {
             format!("{:.1}", s[1]),
         ]);
     }
-    let mean = |f: &dyn Fn(&(usize, String, String, [f64; 2], [f64; 2])) -> f64| {
-        rows.iter().map(f).sum::<f64>() / rows.len() as f64
-    };
+    let mean = |f: &dyn Fn(&Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
     format!(
         "Figure 11: scheduling efficiency (a) and straggler time (b), baseline vs TIC\n(envG, 4 workers, 1 PS)\n\n{}\nmeans: E {:.3} -> {:.3}; straggler {:.1}% -> {:.1}%\n",
         t.render(),

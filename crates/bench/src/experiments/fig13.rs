@@ -27,8 +27,9 @@ pub fn run(quick: bool) -> String {
     }
     let reports = parallel_map(points.clone(), |p| p.run());
 
-    let mut out =
-        String::from("Figure 13: TIC and TAC speedup (%) over baseline (envC, 4 workers, 1 PS)\n\n");
+    let mut out = String::from(
+        "Figure 13: TIC and TAC speedup (%) over baseline (envC, 4 workers, 1 PS)\n\n",
+    );
     for mode in [Mode::Inference, Mode::Training] {
         let mut t = Table::new(["model", "TIC", "TAC"]);
         for &model in &models {

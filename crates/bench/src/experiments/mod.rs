@@ -2,6 +2,7 @@
 
 mod ablations;
 mod allreduce;
+mod faults;
 mod fig07;
 mod fig08;
 mod fig09;
@@ -16,9 +17,12 @@ mod table1;
 
 use tictac_core::{Mode, Model};
 
-/// All experiments, in paper order: `(name, runner)`. Runners take a
-/// `quick` flag that trims run counts for smoke testing.
-pub const ALL: &[(&str, fn(bool) -> String)] = &[
+/// An experiment entry point: takes a `quick` flag that trims run counts
+/// for smoke testing and returns the rendered report.
+pub type Runner = fn(bool) -> String;
+
+/// All experiments, in paper order: `(name, runner)`.
+pub const ALL: &[(&str, Runner)] = &[
     ("table1", table1::run),
     ("unique-orders", orders::run),
     ("fig7", fig07::run),
@@ -34,10 +38,11 @@ pub const ALL: &[(&str, fn(bool) -> String)] = &[
     ("ablation-reorder", ablations::reorder),
     ("ablation-enforcement", ablations::enforcement),
     ("ablation-sharding", ablations::sharding),
+    ("faults", faults::run),
 ];
 
 /// Looks up an experiment runner by name.
-pub fn find(name: &str) -> Option<fn(bool) -> String> {
+pub fn find(name: &str) -> Option<Runner> {
     ALL.iter().find(|(n, _)| *n == name).map(|(_, f)| *f)
 }
 
@@ -82,7 +87,7 @@ mod tests {
             assert!(find(name).is_some(), "{name} missing");
         }
         assert!(find("nope").is_none());
-        assert_eq!(ALL.len(), 15);
+        assert_eq!(ALL.len(), 16);
     }
 
     #[test]

@@ -6,9 +6,7 @@
 //! few enough for collisions).
 
 use crate::format::Table;
-use tictac_core::{
-    count_unique_recv_orders, deploy, ClusterSpec, Mode, Model, SimConfig,
-};
+use tictac_core::{count_unique_recv_orders, deploy, ClusterSpec, Mode, Model, SimConfig};
 
 /// Counts unique parameter-arrival orders at one worker over N baseline
 /// iterations.
@@ -19,7 +17,13 @@ pub fn run(quick: bool) -> String {
         (Model::InceptionV3, 1000),
         (Model::Vgg16, 493),
     ];
-    let mut t = Table::new(["model", "#params", "runs", "unique orders", "paper (1000 runs)"]);
+    let mut t = Table::new([
+        "model",
+        "#params",
+        "runs",
+        "unique orders",
+        "paper (1000 runs)",
+    ]);
     for &(model, paper_unique) in paper {
         let graph = model.build_with_batch(Mode::Training, 2);
         let deployed = deploy(&graph, &ClusterSpec::new(1, 1)).expect("valid cluster");

@@ -4,8 +4,7 @@
 use crate::format::Table;
 use std::time::Instant;
 use tictac_core::{
-    deploy, estimate_profile, no_ordering, simulate, tac, tic, ClusterSpec, Mode, Model,
-    SimConfig,
+    deploy, estimate_profile, no_ordering, simulate, tac, tic, ClusterSpec, Mode, Model, SimConfig,
 };
 
 /// Times TIC and TAC schedule computation per model (training graphs,
@@ -31,7 +30,9 @@ pub fn run(quick: bool) -> String {
 
         // TAC includes its required profiling input (5 traced iterations).
         let unordered = no_ordering(g);
-        let traces: Vec<_> = (0..5).map(|i| simulate(g, &unordered, &config, i)).collect();
+        let traces: Vec<_> = (0..5)
+            .map(|i| simulate(g, &unordered, &config, i))
+            .collect();
         let profile = estimate_profile(&traces);
         let start = Instant::now();
         let tac_schedule = tac(g, w0, &profile);

@@ -9,8 +9,8 @@
 
 use crate::format::Table;
 use tictac_core::{
-    estimate_profile, no_ordering, simulate, tac, worst_case, ClusterSpec, Mode, Model,
-    NoiseModel, SchedulerKind, Session, SimConfig,
+    estimate_profile, no_ordering, simulate, tac, worst_case, ClusterSpec, Mode, Model, NoiseModel,
+    SchedulerKind, Session, SimConfig,
 };
 
 /// Measures the empirical spread (worst-order makespan over best-order
@@ -39,8 +39,7 @@ pub fn run(quick: bool) -> String {
     ]);
     for &model in &models {
         let graph = model.build(Mode::Inference);
-        let deployed =
-            tictac_core::deploy(&graph, &ClusterSpec::new(4, 1)).expect("valid cluster");
+        let deployed = tictac_core::deploy(&graph, &ClusterSpec::new(4, 1)).expect("valid cluster");
         let g = deployed.graph();
         let w0 = deployed.workers()[0];
 

@@ -36,7 +36,10 @@ pub fn run(_quick: bool) -> String {
             paper.batch_size.to_string(),
         ]);
     }
-    format!("Table 1: model characteristics (ours vs paper)\n\n{}", t.render())
+    format!(
+        "Table 1: model characteristics (ours vs paper)\n\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -62,8 +62,7 @@ impl Point {
         let graph = self.model.build_with_batch(self.mode, batch);
         Session::builder(graph)
             .cluster(
-                ClusterSpec::new(self.workers, self.parameter_servers)
-                    .with_sharding(self.sharding),
+                ClusterSpec::new(self.workers, self.parameter_servers).with_sharding(self.sharding),
             )
             .config(self.config.clone())
             .scheduler(self.scheduler)
@@ -87,11 +86,10 @@ where
         .unwrap_or(1)
         .min(items.len().max(1));
     if threads <= 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new(items.iter().map(|_| None).collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new(items.iter().map(|_| None).collect());
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {

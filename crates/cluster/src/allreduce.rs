@@ -212,8 +212,8 @@ pub fn deploy_all_reduce(
         }
 
         for w in 0..workers {
-            for c in 0..workers {
-                final_owned[w].extend(owned[w][c].iter().copied());
+            for chunk in &owned[w] {
+                final_owned[w].extend(chunk.iter().copied());
             }
         }
     }
@@ -275,7 +275,10 @@ fn bucketize(model: &ModelGraph, params: &[ParamId], n: usize) -> Vec<Vec<ParamI
             let donor = (0..n)
                 .max_by_key(|&j| buckets[j].len())
                 .expect("n > 0 buckets");
-            assert!(buckets[donor].len() > 1, "model has fewer params than workers");
+            assert!(
+                buckets[donor].len() > 1,
+                "model has fewer params than workers"
+            );
             let moved = buckets[donor].pop().expect("donor non-empty");
             buckets[i].push(moved);
         }
@@ -324,7 +327,11 @@ mod tests {
         for &link in d.ring() {
             let expected = total * 2 * (w as u64 - 1) / w as u64;
             let rel = (link_bytes(link) as f64 - expected as f64).abs() / expected as f64;
-            assert!(rel < 0.01, "link bytes {} vs expected {expected}", link_bytes(link));
+            assert!(
+                rel < 0.01,
+                "link bytes {} vs expected {expected}",
+                link_bytes(link)
+            );
         }
     }
 

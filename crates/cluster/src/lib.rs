@@ -90,7 +90,9 @@ pub enum DeployError {
 impl fmt::Display for DeployError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeployError::EmptyCluster => f.write_str("cluster needs at least one worker and one parameter server"),
+            DeployError::EmptyCluster => {
+                f.write_str("cluster needs at least one worker and one parameter server")
+            }
             DeployError::NoParameters => f.write_str("model has no parameters to distribute"),
             DeployError::NotTraining => {
                 f.write_str("all-reduce aggregation requires a training graph")
@@ -205,6 +207,29 @@ impl DeployedModel {
     /// Ops per worker partition (the x-axis of Fig. 11).
     pub fn ops_per_worker(&self) -> usize {
         self.graph.ops_on(self.workers[0]).count()
+    }
+
+    /// Parameter bytes hosted per PS shard, in shard-index order.
+    ///
+    /// This is the blast radius of a PS fault: a stall on shard `s` delays
+    /// every transfer of `shard_bytes()[s]` bytes to all workers.
+    pub fn shard_bytes(&self) -> Vec<u64> {
+        let mut bytes = vec![0u64; self.parameter_servers.len()];
+        for (p, &shard) in self.graph.params().iter().zip(&self.shard_of) {
+            bytes[shard] += p.bytes();
+        }
+        bytes
+    }
+
+    /// The PS shard hosting the most parameter bytes — the server whose
+    /// stall or straggling hurts the iteration most.
+    pub fn hottest_shard(&self) -> usize {
+        self.shard_bytes()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &b)| b)
+            .map(|(s, _)| s)
+            .unwrap_or(0)
     }
 }
 
@@ -413,11 +438,20 @@ mod tests {
         let g = d.graph();
         assert!(!d.is_training());
         // No aggregate/update ops anywhere.
-        assert_eq!(g.count_ops(|o| matches!(o.kind(), OpKind::Aggregate { .. })), 0);
-        assert_eq!(g.count_ops(|o| matches!(o.kind(), OpKind::Update { .. })), 0);
+        assert_eq!(
+            g.count_ops(|o| matches!(o.kind(), OpKind::Aggregate { .. })),
+            0
+        );
+        assert_eq!(
+            g.count_ops(|o| matches!(o.kind(), OpKind::Update { .. })),
+            0
+        );
         // Workers send nothing.
         for &w in d.workers() {
-            assert_eq!(g.ops_on(w).filter(|&id| g.op(id).kind().is_send()).count(), 0);
+            assert_eq!(
+                g.ops_on(w).filter(|&id| g.op(id).kind().is_send()).count(),
+                0
+            );
         }
     }
 
@@ -497,6 +531,17 @@ mod tests {
             deploy(&model, &ClusterSpec::new(1, 0)).unwrap_err(),
             DeployError::EmptyCluster
         );
+    }
+
+    #[test]
+    fn shard_bytes_account_for_every_parameter() {
+        let d = mlp_cluster(2, 2, Mode::Training);
+        let bytes = d.shard_bytes();
+        assert_eq!(bytes.len(), 2);
+        let total: u64 = d.graph().params().iter().map(|p| p.bytes()).sum();
+        assert_eq!(bytes.iter().sum::<u64>(), total);
+        let hottest = d.hottest_shard();
+        assert_eq!(bytes[hottest], bytes.iter().copied().max().unwrap());
     }
 
     #[test]

@@ -34,9 +34,7 @@ impl Sharding {
                 let mut load = vec![0u64; shards];
                 let mut assignment = vec![0usize; n];
                 for i in order {
-                    let lightest = (0..shards)
-                        .min_by_key(|&s| load[s])
-                        .expect("shards > 0");
+                    let lightest = (0..shards).min_by_key(|&s| load[s]).expect("shards > 0");
                     assignment[i] = lightest;
                     load[lightest] += model.params()[i].bytes();
                 }

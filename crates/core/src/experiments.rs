@@ -10,7 +10,11 @@ use tictac_sim::{simulate, SimConfig};
 /// observes over `runs` baseline iterations — the experiment of §2.2
 /// (ResNet-v2-50 and Inception-v3 produced 1000 unique orders in 1000
 /// runs; VGG-16 produced 493).
-pub fn count_unique_recv_orders(deployed: &DeployedModel, config: &SimConfig, runs: usize) -> usize {
+pub fn count_unique_recv_orders(
+    deployed: &DeployedModel,
+    config: &SimConfig,
+    runs: usize,
+) -> usize {
     let graph = deployed.graph();
     let schedule = no_ordering(graph);
     let w0 = deployed.workers()[0];
@@ -25,7 +29,10 @@ pub fn count_unique_recv_orders(deployed: &DeployedModel, config: &SimConfig, ru
 /// Relative throughput gain of `scheduled` over `baseline`, in percent
 /// (the y-axis of Figs. 7, 9, 10 and 13).
 pub fn speedup_pct(baseline_throughput: f64, scheduled_throughput: f64) -> f64 {
-    assert!(baseline_throughput > 0.0, "baseline throughput must be positive");
+    assert!(
+        baseline_throughput > 0.0,
+        "baseline throughput must be positive"
+    );
     (scheduled_throughput / baseline_throughput - 1.0) * 100.0
 }
 

@@ -55,9 +55,14 @@ pub use tictac_sched::{
     efficiency, merge_schedules, no_ordering, random_order, tac, tac_order, tic, worst_case,
     OpProperties, PartitionGraph, Schedule, TacComparator,
 };
-pub use tictac_sim::{analyze, simulate, IterationMetrics, SimConfig};
-pub use tictac_timing::{
-    CostOracle, GeneralOracle, MeasuredProfile, NoiseModel, Platform, SimDuration, SimTime,
-    TimeOracle,
+pub use tictac_sim::{
+    analyze, simulate, simulate_with_plan, try_simulate, Blackout, Crash, FaultCounters, FaultPlan,
+    FaultSpec, IterationMetrics, SimConfig, SimError, Stall,
 };
-pub use tictac_trace::{estimate_profile, gantt, ExecutionTrace, OpRecord, TraceBuilder};
+pub use tictac_timing::{
+    CostOracle, GeneralOracle, MeasuredProfile, NoiseModel, Platform, RetryPolicy, SimDuration,
+    SimTime, TimeOracle,
+};
+pub use tictac_trace::{
+    estimate_profile, gantt, ExecutionTrace, FaultEvent, FaultEventKind, OpRecord, TraceBuilder,
+};

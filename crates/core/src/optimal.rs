@@ -112,9 +112,27 @@ mod tests {
         for i in 0..n {
             let bytes = 1_000_000 * (i as u64 % 3 + 1);
             let p = b.add_param(format!("p{i}"), bytes);
-            let read = b.add_op(format!("read{i}"), ps, OpKind::Read { param: p }, Cost::flops(1.0), &[]);
-            let send = b.add_op(format!("send{i}"), ps, OpKind::send(p, ch), Cost::bytes(bytes), &[read]);
-            let recv = b.add_op(format!("recv{i}"), w, OpKind::recv(p, ch), Cost::bytes(bytes), &[send]);
+            let read = b.add_op(
+                format!("read{i}"),
+                ps,
+                OpKind::Read { param: p },
+                Cost::flops(1.0),
+                &[],
+            );
+            let send = b.add_op(
+                format!("send{i}"),
+                ps,
+                OpKind::send(p, ch),
+                Cost::bytes(bytes),
+                &[read],
+            );
+            let recv = b.add_op(
+                format!("recv{i}"),
+                w,
+                OpKind::recv(p, ch),
+                Cost::bytes(bytes),
+                &[send],
+            );
             let deps = match prev {
                 Some(l) => vec![l, recv],
                 None => vec![recv],
@@ -141,10 +159,7 @@ mod tests {
         // In a chain the i-th transfer unblocks the i-th compute op:
         // forward order is optimal.
         let forward: Vec<OpId> = g.recv_ops_on(w);
-        assert_eq!(
-            makespan_of_order(&g, &forward, &cfg),
-            result.best_makespan
-        );
+        assert_eq!(makespan_of_order(&g, &forward, &cfg), result.best_makespan);
         // And the spread is meaningful: a bad order is measurably worse.
         assert!(result.spread() > 0.01, "spread {}", result.spread());
     }

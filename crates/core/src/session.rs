@@ -6,7 +6,7 @@ use std::time::Instant;
 use tictac_cluster::{deploy, ClusterSpec, DeployError, DeployedModel};
 use tictac_graph::{ModelGraph, OpId};
 use tictac_sched::{efficiency, no_ordering, random_order, tac, tic, Schedule};
-use tictac_sim::{analyze, simulate, SimConfig};
+use tictac_sim::{analyze, simulate, try_simulate, FaultCounters, FaultSpec, SimConfig, SimError};
 use tictac_timing::SimDuration;
 use tictac_trace::estimate_profile;
 
@@ -136,10 +136,21 @@ fn compute_schedule(
         SchedulerKind::Tic => deployed.replicate_schedule(&tic(graph, reference)),
         SchedulerKind::Tac => {
             // Tracing module + time-oracle estimator (§5): execute 5
-            // unscheduled iterations, keep the per-op minimum.
+            // unscheduled iterations, keep the per-op minimum. Profiling
+            // always runs fault-free — the paper profiles on a healthy
+            // cluster, and a crash-riddled profile would poison the
+            // estimated op durations.
+            let profile_config = config.clone().with_faults(FaultSpec::none());
             let unordered = no_ordering(graph);
             let traces: Vec<_> = (0..5)
-                .map(|i| simulate(graph, &unordered, config, PROFILE_ITERATION_BASE + i))
+                .map(|i| {
+                    simulate(
+                        graph,
+                        &unordered,
+                        &profile_config,
+                        PROFILE_ITERATION_BASE + i,
+                    )
+                })
                 .collect();
             let profile = estimate_profile(&traces);
             deployed.replicate_schedule(&tac(graph, reference, &profile))
@@ -163,6 +174,12 @@ pub struct IterationRecord {
     /// Speedup potential `S` on the reference worker's partition
     /// (Equation 4; partitions are identical replicas).
     pub speedup_potential: f64,
+    /// Fault and recovery activity observed this iteration (all-zero when
+    /// fault injection is quiet).
+    pub faults: FaultCounters,
+    /// Percentage of graph ops that executed this iteration — below 100
+    /// only when a degraded barrier deferred work.
+    pub goodput_pct: f64,
 }
 
 /// The result of [`Session::run`].
@@ -221,6 +238,22 @@ impl RunReport {
     pub fn mean_efficiency(&self) -> f64 {
         self.iterations.iter().map(|r| r.efficiency).sum::<f64>() / self.iterations.len() as f64
     }
+
+    /// Fault and recovery activity accumulated over all measured
+    /// iterations.
+    pub fn total_faults(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for r in &self.iterations {
+            total.merge(&r.faults);
+        }
+        total
+    }
+
+    /// Mean goodput percentage across measured iterations (100 unless a
+    /// degraded barrier deferred work).
+    pub fn mean_goodput_pct(&self) -> f64 {
+        self.iterations.iter().map(|r| r.goodput_pct).sum::<f64>() / self.iterations.len() as f64
+    }
 }
 
 /// A fully-configured deployment ready to simulate.
@@ -268,6 +301,14 @@ impl Session {
     }
 
     /// Runs warm-up plus measured iterations and reports metrics.
+    ///
+    /// This is the panicking convenience wrapper around
+    /// [`try_run`](Session::try_run) — use the latter when fault injection
+    /// is configured and unrecoverable failures are expected outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an iteration fails with a [`SimError`].
     pub fn run(&self) -> RunReport {
         self.run_with_offset(0)
     }
@@ -275,7 +316,32 @@ impl Session {
     /// Like [`run`](Session::run), with an iteration-index offset so
     /// repeated runs observe fresh random streams (used for the 1000-run
     /// experiments of §6.2/6.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an iteration fails with a [`SimError`].
     pub fn run_with_offset(&self, offset: u64) -> RunReport {
+        self.try_run_with_offset(offset)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs warm-up plus measured iterations, surfacing simulation
+    /// failures (exhausted retry budgets with no degraded barrier,
+    /// deadlocks) as typed errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] any iteration produces.
+    pub fn try_run(&self) -> Result<RunReport, SimError> {
+        self.try_run_with_offset(0)
+    }
+
+    /// Like [`try_run`](Session::try_run), with an iteration-index offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] any iteration produces.
+    pub fn try_run_with_offset(&self, offset: u64) -> Result<RunReport, SimError> {
         let graph = self.deployed.graph();
         let worker_ops: Vec<Vec<OpId>> = self
             .deployed
@@ -286,7 +352,7 @@ impl Session {
 
         let mut records = Vec::with_capacity(self.iterations);
         for i in 0..(self.warmup + self.iterations) as u64 {
-            let trace = simulate(graph, &self.schedule, &self.config, offset + i);
+            let trace = try_simulate(graph, &self.schedule, &self.config, offset + i)?;
             if (i as usize) < self.warmup {
                 continue;
             }
@@ -311,10 +377,12 @@ impl Session {
                 straggler_pct: metrics.straggler_pct,
                 efficiency: min_e,
                 speedup_potential: potential,
+                faults: metrics.faults,
+                goodput_pct: metrics.goodput_pct,
             });
         }
 
-        RunReport {
+        Ok(RunReport {
             model: self.model_name.clone(),
             scheduler: self.scheduler,
             workers: self.deployed.workers().len(),
@@ -322,7 +390,7 @@ impl Session {
             batch: self.batch,
             iterations: records,
             schedule_compute_seconds: self.schedule_compute_time.as_secs_f64(),
-        }
+        })
     }
 }
 
@@ -369,6 +437,74 @@ mod tests {
         assert_eq!(a, b);
         let c = s.run_with_offset(1_000);
         assert_ne!(a.iterations, c.iterations);
+    }
+
+    #[test]
+    fn faulty_sessions_report_counters_and_errors() {
+        use tictac_timing::{RetryPolicy, SimDuration as D};
+        // Recoverable drops: run succeeds and counters are non-zero.
+        let s = Session::builder(tiny_mlp(Mode::Training, 8))
+            .cluster(ClusterSpec::new(2, 1))
+            .config(
+                SimConfig::cloud_gpu().with_faults(
+                    tictac_sim::FaultSpec::none()
+                        .with_drop_prob(0.3)
+                        .with_retry(RetryPolicy::fixed(D::from_micros(50), 40)),
+                ),
+            )
+            .scheduler(SchedulerKind::Tac)
+            .warmup(1)
+            .iterations(4)
+            .build()
+            .unwrap();
+        let report = s.try_run().expect("drops are recoverable");
+        assert!(report.total_faults().drops > 0);
+        assert_eq!(
+            report.total_faults().retransmits,
+            report.total_faults().drops,
+            "every recovered drop retransmits exactly once per timeout"
+        );
+        assert_eq!(report.mean_goodput_pct(), 100.0);
+
+        // Unrecoverable drops without a barrier: a typed error, and the
+        // panicking wrapper panics with its message.
+        let doomed = Session::builder(tiny_mlp(Mode::Training, 8))
+            .cluster(ClusterSpec::new(2, 1))
+            .config(
+                SimConfig::cloud_gpu().with_faults(
+                    tictac_sim::FaultSpec::none()
+                        .with_drop_prob(1.0)
+                        .with_retry(RetryPolicy::fixed(D::from_micros(50), 1)),
+                ),
+            )
+            .warmup(0)
+            .iterations(1)
+            .build()
+            .unwrap();
+        match doomed.try_run() {
+            Err(SimError::RetriesExhausted { .. }) => {}
+            other => panic!("expected retry exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tac_profiles_fault_free() {
+        use tictac_timing::{RetryPolicy, SimDuration as D};
+        // TAC under heavy faults must still compute the same schedule it
+        // computes on a healthy cluster: profiling ignores the fault spec.
+        let faulty = Session::builder(tiny_mlp(Mode::Training, 8))
+            .config(
+                SimConfig::cloud_gpu().with_faults(
+                    tictac_sim::FaultSpec::none()
+                        .with_drop_prob(0.5)
+                        .with_retry(RetryPolicy::fixed(D::from_micros(50), 40)),
+                ),
+            )
+            .scheduler(SchedulerKind::Tac)
+            .build()
+            .unwrap();
+        let healthy = session(SchedulerKind::Tac);
+        assert_eq!(faulty.schedule(), healthy.schedule());
     }
 
     #[test]

@@ -102,7 +102,12 @@ impl Channel {
     }
 
     pub(crate) fn new_peer(id: ChannelId, a: DeviceId, b: DeviceId) -> Self {
-        Self { id, a, b, peer: true }
+        Self {
+            id,
+            a,
+            b,
+            peer: true,
+        }
     }
 
     /// The channel's identifier.
@@ -216,9 +221,6 @@ mod tests {
             DeviceId::from_index(4),
         );
         assert_eq!(ch.to_string(), "ch2[dev0<->dev4]");
-        assert_eq!(
-            Resource::Channel(ch.id()).to_string(),
-            "channel(ch2)"
-        );
+        assert_eq!(Resource::Channel(ch.id()).to_string(), "channel(ch2)");
     }
 }

@@ -8,7 +8,8 @@ use std::fmt::Write as _;
 /// Renders a partitioned [`Graph`] as Graphviz DOT, clustering ops by
 /// device and coloring communication ops.
 pub fn to_dot(graph: &Graph) -> String {
-    let mut out = String::from("digraph tictac {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    let mut out =
+        String::from("digraph tictac {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
     for device in graph.devices() {
         let _ = writeln!(
             out,
@@ -47,7 +48,8 @@ pub fn to_dot(graph: &Graph) -> String {
 
 /// Renders a [`ModelGraph`] as Graphviz DOT with forward/backward shading.
 pub fn model_to_dot(model: &ModelGraph) -> String {
-    let mut out = String::from("digraph model {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    let mut out =
+        String::from("digraph model {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
     for (id, op) in model.ops_enumerated() {
         let color = match op.kind() {
             ModelOpKind::Forward => "white",

@@ -53,9 +53,15 @@ impl fmt::Display for GraphError {
                 op,
                 device,
                 channel,
-            } => write!(f, "op {op} on {device} uses {channel} which does not connect {device}"),
+            } => write!(
+                f,
+                "op {op} on {device} uses {channel} which does not connect {device}"
+            ),
             GraphError::InvalidChannelEndpoints { worker, ps } => {
-                write!(f, "channel endpoints {worker} and {ps} are not a worker-ps pair")
+                write!(
+                    f,
+                    "channel endpoints {worker} and {ps} are not a worker-ps pair"
+                )
             }
             GraphError::DuplicateOpName(name) => write!(f, "duplicate op name `{name}`"),
             GraphError::Empty => f.write_str("graph is empty"),

@@ -397,7 +397,14 @@ mod tests {
         let f1 = b.add_op("l1", ModelOpKind::Forward, 100.0, &[], &[w1], &[]);
         let f2 = b.add_op("l2", ModelOpKind::Forward, 200.0, &[f1], &[w2], &[]);
         let loss = b.add_op("loss", ModelOpKind::Loss, 10.0, &[f2], &[], &[]);
-        let b2 = b.add_op("l2_grad", ModelOpKind::Backward, 400.0, &[loss], &[w2], &[w2]);
+        let b2 = b.add_op(
+            "l2_grad",
+            ModelOpKind::Backward,
+            400.0,
+            &[loss],
+            &[w2],
+            &[w2],
+        );
         b.add_op("l1_grad", ModelOpKind::Backward, 200.0, &[b2], &[w1], &[w1]);
         b.build()
     }

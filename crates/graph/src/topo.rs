@@ -360,7 +360,10 @@ mod tests {
         mask.insert(63);
         mask.insert(100);
         assert_eq!(s.intersection_count(&mask), 2);
-        assert_eq!(s.iter_intersection(&mask).collect::<Vec<_>>(), vec![63, 100]);
+        assert_eq!(
+            s.iter_intersection(&mask).collect::<Vec<_>>(),
+            vec![63, 100]
+        );
 
         s.remove(63);
         assert!(!s.contains(63));

@@ -76,7 +76,15 @@ mod tests {
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|&xi| 2.0 * xi + 1.0 + if xi as u64 % 2 == 0 { 0.5 } else { -0.5 })
+            .map(|&xi| {
+                2.0 * xi
+                    + 1.0
+                    + if (xi as u64).is_multiple_of(2) {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+            })
             .collect();
         let fit = ols(&x, &y);
         assert!(fit.r2 > 0.99 && fit.r2 < 1.0, "r2 {}", fit.r2);

@@ -50,13 +50,67 @@ pub fn inception_v1(mode: Mode, batch: usize) -> ModelGraph {
 
 fn inception_v1_module(n: &mut NetBuilder, t: Tensor, scope: &str, w: [usize; 6]) -> Tensor {
     let [w1, w3r, w3, w5r, w5, wp] = w;
-    let b0 = n.conv(t, &format!("{scope}/Branch_0/Conv2d_0a_1x1"), 1, 1, w1, Norm::FusedBn, Padding::Same);
-    let b1a = n.conv(t, &format!("{scope}/Branch_1/Conv2d_0a_1x1"), 1, 1, w3r, Norm::FusedBn, Padding::Same);
-    let b1 = n.conv(b1a, &format!("{scope}/Branch_1/Conv2d_0b_3x3"), 3, 1, w3, Norm::FusedBn, Padding::Same);
-    let b2a = n.conv(t, &format!("{scope}/Branch_2/Conv2d_0a_1x1"), 1, 1, w5r, Norm::FusedBn, Padding::Same);
-    let b2 = n.conv(b2a, &format!("{scope}/Branch_2/Conv2d_0b_5x5"), 5, 1, w5, Norm::FusedBn, Padding::Same);
-    let b3a = n.max_pool(t, &format!("{scope}/Branch_3/MaxPool_0a_3x3"), 3, 1, Padding::Same);
-    let b3 = n.conv(b3a, &format!("{scope}/Branch_3/Conv2d_0b_1x1"), 1, 1, wp, Norm::FusedBn, Padding::Same);
+    let b0 = n.conv(
+        t,
+        &format!("{scope}/Branch_0/Conv2d_0a_1x1"),
+        1,
+        1,
+        w1,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1a = n.conv(
+        t,
+        &format!("{scope}/Branch_1/Conv2d_0a_1x1"),
+        1,
+        1,
+        w3r,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1 = n.conv(
+        b1a,
+        &format!("{scope}/Branch_1/Conv2d_0b_3x3"),
+        3,
+        1,
+        w3,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2a = n.conv(
+        t,
+        &format!("{scope}/Branch_2/Conv2d_0a_1x1"),
+        1,
+        1,
+        w5r,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2 = n.conv(
+        b2a,
+        &format!("{scope}/Branch_2/Conv2d_0b_5x5"),
+        5,
+        1,
+        w5,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b3a = n.max_pool(
+        t,
+        &format!("{scope}/Branch_3/MaxPool_0a_3x3"),
+        3,
+        1,
+        Padding::Same,
+    );
+    let b3 = n.conv(
+        b3a,
+        &format!("{scope}/Branch_3/Conv2d_0b_1x1"),
+        1,
+        1,
+        wp,
+        Norm::FusedBn,
+        Padding::Same,
+    );
     n.concat(&[b0, b1, b2, b3], scope)
 }
 
@@ -68,8 +122,26 @@ pub fn inception_v2(mode: Mode, batch: usize) -> ModelGraph {
     let mut n = NetBuilder::new("inception_v2", batch);
     let x = n.input(224, 224, 3);
     // Separable 7x7 stem: depthwise (weight-only) + pointwise (with BN).
-    let dw = n.conv_rect(x, "Conv2d_1a_7x7/depthwise", (7, 7), 2, 24, Norm::None, Padding::Same, false);
-    let mut t = n.conv_rect(dw, "Conv2d_1a_7x7/pointwise", (1, 1), 1, 64, Norm::FusedBn, Padding::Same, true);
+    let dw = n.conv_rect(
+        x,
+        "Conv2d_1a_7x7/depthwise",
+        (7, 7),
+        2,
+        24,
+        Norm::None,
+        Padding::Same,
+        false,
+    );
+    let mut t = n.conv_rect(
+        dw,
+        "Conv2d_1a_7x7/pointwise",
+        (1, 1),
+        1,
+        64,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
     t = n.max_pool(t, "MaxPool_2a_3x3", 3, 2, Padding::Same);
     t = n.conv(t, "Conv2d_2b_1x1", 1, 1, 64, Norm::FusedBn, Padding::Same);
     t = n.conv(t, "Conv2d_2c_3x3", 3, 1, 192, Norm::FusedBn, Padding::Same);
@@ -95,26 +167,134 @@ pub fn inception_v2(mode: Mode, batch: usize) -> ModelGraph {
 
 fn inception_v2_module(n: &mut NetBuilder, t: Tensor, scope: &str, w: [usize; 6]) -> Tensor {
     let [w1, w3r, w3, d3r, d3, wp] = w;
-    let b0 = n.conv(t, &format!("{scope}/Branch_0/Conv2d_0a_1x1"), 1, 1, w1, Norm::FusedBn, Padding::Same);
-    let b1a = n.conv(t, &format!("{scope}/Branch_1/Conv2d_0a_1x1"), 1, 1, w3r, Norm::FusedBn, Padding::Same);
-    let b1 = n.conv(b1a, &format!("{scope}/Branch_1/Conv2d_0b_3x3"), 3, 1, w3, Norm::FusedBn, Padding::Same);
-    let b2a = n.conv(t, &format!("{scope}/Branch_2/Conv2d_0a_1x1"), 1, 1, d3r, Norm::FusedBn, Padding::Same);
-    let b2b = n.conv(b2a, &format!("{scope}/Branch_2/Conv2d_0b_3x3"), 3, 1, d3, Norm::FusedBn, Padding::Same);
-    let b2 = n.conv(b2b, &format!("{scope}/Branch_2/Conv2d_0c_3x3"), 3, 1, d3, Norm::FusedBn, Padding::Same);
-    let b3a = n.avg_pool(t, &format!("{scope}/Branch_3/AvgPool_0a_3x3"), 3, 1, Padding::Same);
-    let b3 = n.conv(b3a, &format!("{scope}/Branch_3/Conv2d_0b_1x1"), 1, 1, wp, Norm::FusedBn, Padding::Same);
+    let b0 = n.conv(
+        t,
+        &format!("{scope}/Branch_0/Conv2d_0a_1x1"),
+        1,
+        1,
+        w1,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1a = n.conv(
+        t,
+        &format!("{scope}/Branch_1/Conv2d_0a_1x1"),
+        1,
+        1,
+        w3r,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1 = n.conv(
+        b1a,
+        &format!("{scope}/Branch_1/Conv2d_0b_3x3"),
+        3,
+        1,
+        w3,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2a = n.conv(
+        t,
+        &format!("{scope}/Branch_2/Conv2d_0a_1x1"),
+        1,
+        1,
+        d3r,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2b = n.conv(
+        b2a,
+        &format!("{scope}/Branch_2/Conv2d_0b_3x3"),
+        3,
+        1,
+        d3,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2 = n.conv(
+        b2b,
+        &format!("{scope}/Branch_2/Conv2d_0c_3x3"),
+        3,
+        1,
+        d3,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b3a = n.avg_pool(
+        t,
+        &format!("{scope}/Branch_3/AvgPool_0a_3x3"),
+        3,
+        1,
+        Padding::Same,
+    );
+    let b3 = n.conv(
+        b3a,
+        &format!("{scope}/Branch_3/Conv2d_0b_1x1"),
+        1,
+        1,
+        wp,
+        Norm::FusedBn,
+        Padding::Same,
+    );
     n.concat(&[b0, b1, b2, b3], scope)
 }
 
 /// Stride-2 reduction module: two conv branches + a pooling branch.
 fn inception_v2_reduction(n: &mut NetBuilder, t: Tensor, scope: &str, w: [usize; 4]) -> Tensor {
     let [w3r, w3, d3r, d3] = w;
-    let b0a = n.conv(t, &format!("{scope}/Branch_0/Conv2d_0a_1x1"), 1, 1, w3r, Norm::FusedBn, Padding::Same);
-    let b0 = n.conv(b0a, &format!("{scope}/Branch_0/Conv2d_1a_3x3"), 3, 2, w3, Norm::FusedBn, Padding::Same);
-    let b1a = n.conv(t, &format!("{scope}/Branch_1/Conv2d_0a_1x1"), 1, 1, d3r, Norm::FusedBn, Padding::Same);
-    let b1b = n.conv(b1a, &format!("{scope}/Branch_1/Conv2d_0b_3x3"), 3, 1, d3, Norm::FusedBn, Padding::Same);
-    let b1 = n.conv(b1b, &format!("{scope}/Branch_1/Conv2d_1a_3x3"), 3, 2, d3, Norm::FusedBn, Padding::Same);
-    let b2 = n.max_pool(t, &format!("{scope}/Branch_2/MaxPool_1a_3x3"), 3, 2, Padding::Same);
+    let b0a = n.conv(
+        t,
+        &format!("{scope}/Branch_0/Conv2d_0a_1x1"),
+        1,
+        1,
+        w3r,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b0 = n.conv(
+        b0a,
+        &format!("{scope}/Branch_0/Conv2d_1a_3x3"),
+        3,
+        2,
+        w3,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1a = n.conv(
+        t,
+        &format!("{scope}/Branch_1/Conv2d_0a_1x1"),
+        1,
+        1,
+        d3r,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1b = n.conv(
+        b1a,
+        &format!("{scope}/Branch_1/Conv2d_0b_3x3"),
+        3,
+        1,
+        d3,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1 = n.conv(
+        b1b,
+        &format!("{scope}/Branch_1/Conv2d_1a_3x3"),
+        3,
+        2,
+        d3,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2 = n.max_pool(
+        t,
+        &format!("{scope}/Branch_2/MaxPool_1a_3x3"),
+        3,
+        2,
+        Padding::Same,
+    );
     n.concat(&[b0, b1, b2], scope)
 }
 
@@ -147,8 +327,25 @@ pub fn inception_v3(mode: Mode, batch: usize) -> ModelGraph {
 
     // Auxiliary head hangs off Mixed_6e.
     let mut aux = n.avg_pool(t, "AuxLogits/AvgPool_1a_5x5", 5, 3, Padding::Valid);
-    aux = n.conv(aux, "AuxLogits/Conv2d_1b_1x1", 1, 1, 128, Norm::FusedBn, Padding::Same);
-    aux = n.conv_rect(aux, "AuxLogits/Conv2d_2a_5x5", (5, 5), 1, 768, Norm::FusedBn, Padding::Valid, true);
+    aux = n.conv(
+        aux,
+        "AuxLogits/Conv2d_1b_1x1",
+        1,
+        1,
+        128,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    aux = n.conv_rect(
+        aux,
+        "AuxLogits/Conv2d_2a_5x5",
+        (5, 5),
+        1,
+        768,
+        Norm::FusedBn,
+        Padding::Valid,
+        true,
+    );
     let aux_logits = n.fc(aux, "AuxLogits/Logits", 1000);
 
     // Reduction to 8x8.
@@ -165,24 +362,124 @@ pub fn inception_v3(mode: Mode, batch: usize) -> ModelGraph {
 
 /// 35x35 module: 1x1 / 1x1→5x5 / 1x1→3x3→3x3 / pool→1x1.
 fn v3_module_a(n: &mut NetBuilder, t: Tensor, scope: &str, pool_proj: usize) -> Tensor {
-    let b0 = n.conv(t, &format!("{scope}/Branch_0/Conv2d_0a_1x1"), 1, 1, 64, Norm::FusedBn, Padding::Same);
-    let b1a = n.conv(t, &format!("{scope}/Branch_1/Conv2d_0a_1x1"), 1, 1, 48, Norm::FusedBn, Padding::Same);
-    let b1 = n.conv(b1a, &format!("{scope}/Branch_1/Conv2d_0b_5x5"), 5, 1, 64, Norm::FusedBn, Padding::Same);
-    let b2a = n.conv(t, &format!("{scope}/Branch_2/Conv2d_0a_1x1"), 1, 1, 64, Norm::FusedBn, Padding::Same);
-    let b2b = n.conv(b2a, &format!("{scope}/Branch_2/Conv2d_0b_3x3"), 3, 1, 96, Norm::FusedBn, Padding::Same);
-    let b2 = n.conv(b2b, &format!("{scope}/Branch_2/Conv2d_0c_3x3"), 3, 1, 96, Norm::FusedBn, Padding::Same);
-    let b3a = n.avg_pool(t, &format!("{scope}/Branch_3/AvgPool_0a_3x3"), 3, 1, Padding::Same);
-    let b3 = n.conv(b3a, &format!("{scope}/Branch_3/Conv2d_0b_1x1"), 1, 1, pool_proj, Norm::FusedBn, Padding::Same);
+    let b0 = n.conv(
+        t,
+        &format!("{scope}/Branch_0/Conv2d_0a_1x1"),
+        1,
+        1,
+        64,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1a = n.conv(
+        t,
+        &format!("{scope}/Branch_1/Conv2d_0a_1x1"),
+        1,
+        1,
+        48,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1 = n.conv(
+        b1a,
+        &format!("{scope}/Branch_1/Conv2d_0b_5x5"),
+        5,
+        1,
+        64,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2a = n.conv(
+        t,
+        &format!("{scope}/Branch_2/Conv2d_0a_1x1"),
+        1,
+        1,
+        64,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2b = n.conv(
+        b2a,
+        &format!("{scope}/Branch_2/Conv2d_0b_3x3"),
+        3,
+        1,
+        96,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2 = n.conv(
+        b2b,
+        &format!("{scope}/Branch_2/Conv2d_0c_3x3"),
+        3,
+        1,
+        96,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b3a = n.avg_pool(
+        t,
+        &format!("{scope}/Branch_3/AvgPool_0a_3x3"),
+        3,
+        1,
+        Padding::Same,
+    );
+    let b3 = n.conv(
+        b3a,
+        &format!("{scope}/Branch_3/Conv2d_0b_1x1"),
+        1,
+        1,
+        pool_proj,
+        Norm::FusedBn,
+        Padding::Same,
+    );
     n.concat(&[b0, b1, b2, b3], scope)
 }
 
 /// Reduction 35→17: 3x3/2 / 1x1→3x3→3x3/2 / pool.
 fn v3_reduction_a(n: &mut NetBuilder, t: Tensor, scope: &str) -> Tensor {
-    let b0 = n.conv(t, &format!("{scope}/Branch_0/Conv2d_1a_1x1"), 3, 2, 384, Norm::FusedBn, Padding::Valid);
-    let b1a = n.conv(t, &format!("{scope}/Branch_1/Conv2d_0a_1x1"), 1, 1, 64, Norm::FusedBn, Padding::Same);
-    let b1b = n.conv(b1a, &format!("{scope}/Branch_1/Conv2d_0b_3x3"), 3, 1, 96, Norm::FusedBn, Padding::Same);
-    let b1 = n.conv(b1b, &format!("{scope}/Branch_1/Conv2d_1a_1x1"), 3, 2, 96, Norm::FusedBn, Padding::Valid);
-    let b2 = n.max_pool(t, &format!("{scope}/Branch_2/MaxPool_1a_3x3"), 3, 2, Padding::Valid);
+    let b0 = n.conv(
+        t,
+        &format!("{scope}/Branch_0/Conv2d_1a_1x1"),
+        3,
+        2,
+        384,
+        Norm::FusedBn,
+        Padding::Valid,
+    );
+    let b1a = n.conv(
+        t,
+        &format!("{scope}/Branch_1/Conv2d_0a_1x1"),
+        1,
+        1,
+        64,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1b = n.conv(
+        b1a,
+        &format!("{scope}/Branch_1/Conv2d_0b_3x3"),
+        3,
+        1,
+        96,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1 = n.conv(
+        b1b,
+        &format!("{scope}/Branch_1/Conv2d_1a_1x1"),
+        3,
+        2,
+        96,
+        Norm::FusedBn,
+        Padding::Valid,
+    );
+    let b2 = n.max_pool(
+        t,
+        &format!("{scope}/Branch_2/MaxPool_1a_3x3"),
+        3,
+        2,
+        Padding::Valid,
+    );
     n.concat(&[b0, b1, b2], scope)
 }
 
@@ -190,45 +487,275 @@ fn v3_reduction_a(n: &mut NetBuilder, t: Tensor, scope: &str) -> Tensor {
 /// 1x1→7x1→1x7→7x1→1x7 / pool→1x1.
 fn v3_module_b(n: &mut NetBuilder, t: Tensor, scope: &str, width: usize) -> Tensor {
     let w = width;
-    let b0 = n.conv(t, &format!("{scope}/Branch_0/Conv2d_0a_1x1"), 1, 1, 192, Norm::FusedBn, Padding::Same);
-    let b1a = n.conv(t, &format!("{scope}/Branch_1/Conv2d_0a_1x1"), 1, 1, w, Norm::FusedBn, Padding::Same);
-    let b1b = n.conv_rect(b1a, &format!("{scope}/Branch_1/Conv2d_0b_1x7"), (1, 7), 1, w, Norm::FusedBn, Padding::Same, true);
-    let b1 = n.conv_rect(b1b, &format!("{scope}/Branch_1/Conv2d_0c_7x1"), (7, 1), 1, 192, Norm::FusedBn, Padding::Same, true);
-    let b2a = n.conv(t, &format!("{scope}/Branch_2/Conv2d_0a_1x1"), 1, 1, w, Norm::FusedBn, Padding::Same);
-    let b2b = n.conv_rect(b2a, &format!("{scope}/Branch_2/Conv2d_0b_7x1"), (7, 1), 1, w, Norm::FusedBn, Padding::Same, true);
-    let b2c = n.conv_rect(b2b, &format!("{scope}/Branch_2/Conv2d_0c_1x7"), (1, 7), 1, w, Norm::FusedBn, Padding::Same, true);
-    let b2d = n.conv_rect(b2c, &format!("{scope}/Branch_2/Conv2d_0d_7x1"), (7, 1), 1, w, Norm::FusedBn, Padding::Same, true);
-    let b2 = n.conv_rect(b2d, &format!("{scope}/Branch_2/Conv2d_0e_1x7"), (1, 7), 1, 192, Norm::FusedBn, Padding::Same, true);
-    let b3a = n.avg_pool(t, &format!("{scope}/Branch_3/AvgPool_0a_3x3"), 3, 1, Padding::Same);
-    let b3 = n.conv(b3a, &format!("{scope}/Branch_3/Conv2d_0b_1x1"), 1, 1, 192, Norm::FusedBn, Padding::Same);
+    let b0 = n.conv(
+        t,
+        &format!("{scope}/Branch_0/Conv2d_0a_1x1"),
+        1,
+        1,
+        192,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1a = n.conv(
+        t,
+        &format!("{scope}/Branch_1/Conv2d_0a_1x1"),
+        1,
+        1,
+        w,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1b = n.conv_rect(
+        b1a,
+        &format!("{scope}/Branch_1/Conv2d_0b_1x7"),
+        (1, 7),
+        1,
+        w,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b1 = n.conv_rect(
+        b1b,
+        &format!("{scope}/Branch_1/Conv2d_0c_7x1"),
+        (7, 1),
+        1,
+        192,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b2a = n.conv(
+        t,
+        &format!("{scope}/Branch_2/Conv2d_0a_1x1"),
+        1,
+        1,
+        w,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2b = n.conv_rect(
+        b2a,
+        &format!("{scope}/Branch_2/Conv2d_0b_7x1"),
+        (7, 1),
+        1,
+        w,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b2c = n.conv_rect(
+        b2b,
+        &format!("{scope}/Branch_2/Conv2d_0c_1x7"),
+        (1, 7),
+        1,
+        w,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b2d = n.conv_rect(
+        b2c,
+        &format!("{scope}/Branch_2/Conv2d_0d_7x1"),
+        (7, 1),
+        1,
+        w,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b2 = n.conv_rect(
+        b2d,
+        &format!("{scope}/Branch_2/Conv2d_0e_1x7"),
+        (1, 7),
+        1,
+        192,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b3a = n.avg_pool(
+        t,
+        &format!("{scope}/Branch_3/AvgPool_0a_3x3"),
+        3,
+        1,
+        Padding::Same,
+    );
+    let b3 = n.conv(
+        b3a,
+        &format!("{scope}/Branch_3/Conv2d_0b_1x1"),
+        1,
+        1,
+        192,
+        Norm::FusedBn,
+        Padding::Same,
+    );
     n.concat(&[b0, b1, b2, b3], scope)
 }
 
 /// Reduction 17→8: 1x1→3x3/2 / 1x1→1x7→7x1→3x3/2 / pool.
 fn v3_reduction_b(n: &mut NetBuilder, t: Tensor, scope: &str) -> Tensor {
-    let b0a = n.conv(t, &format!("{scope}/Branch_0/Conv2d_0a_1x1"), 1, 1, 192, Norm::FusedBn, Padding::Same);
-    let b0 = n.conv(b0a, &format!("{scope}/Branch_0/Conv2d_1a_3x3"), 3, 2, 320, Norm::FusedBn, Padding::Valid);
-    let b1a = n.conv(t, &format!("{scope}/Branch_1/Conv2d_0a_1x1"), 1, 1, 192, Norm::FusedBn, Padding::Same);
-    let b1b = n.conv_rect(b1a, &format!("{scope}/Branch_1/Conv2d_0b_1x7"), (1, 7), 1, 192, Norm::FusedBn, Padding::Same, true);
-    let b1c = n.conv_rect(b1b, &format!("{scope}/Branch_1/Conv2d_0c_7x1"), (7, 1), 1, 192, Norm::FusedBn, Padding::Same, true);
-    let b1 = n.conv(b1c, &format!("{scope}/Branch_1/Conv2d_1a_3x3"), 3, 2, 192, Norm::FusedBn, Padding::Valid);
-    let b2 = n.max_pool(t, &format!("{scope}/Branch_2/MaxPool_1a_3x3"), 3, 2, Padding::Valid);
+    let b0a = n.conv(
+        t,
+        &format!("{scope}/Branch_0/Conv2d_0a_1x1"),
+        1,
+        1,
+        192,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b0 = n.conv(
+        b0a,
+        &format!("{scope}/Branch_0/Conv2d_1a_3x3"),
+        3,
+        2,
+        320,
+        Norm::FusedBn,
+        Padding::Valid,
+    );
+    let b1a = n.conv(
+        t,
+        &format!("{scope}/Branch_1/Conv2d_0a_1x1"),
+        1,
+        1,
+        192,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1b = n.conv_rect(
+        b1a,
+        &format!("{scope}/Branch_1/Conv2d_0b_1x7"),
+        (1, 7),
+        1,
+        192,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b1c = n.conv_rect(
+        b1b,
+        &format!("{scope}/Branch_1/Conv2d_0c_7x1"),
+        (7, 1),
+        1,
+        192,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b1 = n.conv(
+        b1c,
+        &format!("{scope}/Branch_1/Conv2d_1a_3x3"),
+        3,
+        2,
+        192,
+        Norm::FusedBn,
+        Padding::Valid,
+    );
+    let b2 = n.max_pool(
+        t,
+        &format!("{scope}/Branch_2/MaxPool_1a_3x3"),
+        3,
+        2,
+        Padding::Valid,
+    );
     n.concat(&[b0, b1, b2], scope)
 }
 
 /// 8x8 module with split branches: 1x1 / 1x1→{1x3, 3x1} /
 /// 1x1→3x3→{1x3, 3x1} / pool→1x1.
 fn v3_module_c(n: &mut NetBuilder, t: Tensor, scope: &str) -> Tensor {
-    let b0 = n.conv(t, &format!("{scope}/Branch_0/Conv2d_0a_1x1"), 1, 1, 320, Norm::FusedBn, Padding::Same);
-    let b1a = n.conv(t, &format!("{scope}/Branch_1/Conv2d_0a_1x1"), 1, 1, 384, Norm::FusedBn, Padding::Same);
-    let b1l = n.conv_rect(b1a, &format!("{scope}/Branch_1/Conv2d_0b_1x3"), (1, 3), 1, 384, Norm::FusedBn, Padding::Same, true);
-    let b1r = n.conv_rect(b1a, &format!("{scope}/Branch_1/Conv2d_0c_3x1"), (3, 1), 1, 384, Norm::FusedBn, Padding::Same, true);
-    let b2a = n.conv(t, &format!("{scope}/Branch_2/Conv2d_0a_1x1"), 1, 1, 448, Norm::FusedBn, Padding::Same);
-    let b2b = n.conv(b2a, &format!("{scope}/Branch_2/Conv2d_0b_3x3"), 3, 1, 384, Norm::FusedBn, Padding::Same);
-    let b2l = n.conv_rect(b2b, &format!("{scope}/Branch_2/Conv2d_0c_1x3"), (1, 3), 1, 384, Norm::FusedBn, Padding::Same, true);
-    let b2r = n.conv_rect(b2b, &format!("{scope}/Branch_2/Conv2d_0d_3x1"), (3, 1), 1, 384, Norm::FusedBn, Padding::Same, true);
-    let b3a = n.avg_pool(t, &format!("{scope}/Branch_3/AvgPool_0a_3x3"), 3, 1, Padding::Same);
-    let b3 = n.conv(b3a, &format!("{scope}/Branch_3/Conv2d_0b_1x1"), 1, 1, 192, Norm::FusedBn, Padding::Same);
+    let b0 = n.conv(
+        t,
+        &format!("{scope}/Branch_0/Conv2d_0a_1x1"),
+        1,
+        1,
+        320,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1a = n.conv(
+        t,
+        &format!("{scope}/Branch_1/Conv2d_0a_1x1"),
+        1,
+        1,
+        384,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b1l = n.conv_rect(
+        b1a,
+        &format!("{scope}/Branch_1/Conv2d_0b_1x3"),
+        (1, 3),
+        1,
+        384,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b1r = n.conv_rect(
+        b1a,
+        &format!("{scope}/Branch_1/Conv2d_0c_3x1"),
+        (3, 1),
+        1,
+        384,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b2a = n.conv(
+        t,
+        &format!("{scope}/Branch_2/Conv2d_0a_1x1"),
+        1,
+        1,
+        448,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2b = n.conv(
+        b2a,
+        &format!("{scope}/Branch_2/Conv2d_0b_3x3"),
+        3,
+        1,
+        384,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let b2l = n.conv_rect(
+        b2b,
+        &format!("{scope}/Branch_2/Conv2d_0c_1x3"),
+        (1, 3),
+        1,
+        384,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b2r = n.conv_rect(
+        b2b,
+        &format!("{scope}/Branch_2/Conv2d_0d_3x1"),
+        (3, 1),
+        1,
+        384,
+        Norm::FusedBn,
+        Padding::Same,
+        true,
+    );
+    let b3a = n.avg_pool(
+        t,
+        &format!("{scope}/Branch_3/AvgPool_0a_3x3"),
+        3,
+        1,
+        Padding::Same,
+    );
+    let b3 = n.conv(
+        b3a,
+        &format!("{scope}/Branch_3/Conv2d_0b_1x1"),
+        1,
+        1,
+        192,
+        Norm::FusedBn,
+        Padding::Same,
+    );
     n.concat(&[b0, b1l, b1r, b2l, b2r, b3], scope)
 }
 

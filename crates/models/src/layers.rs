@@ -168,7 +168,9 @@ impl NetBuilder {
                 self.push_op(format!("{name}/BiasAdd"), spatial, &[Some(conv)], &[bias])
             }
             Norm::FusedBn => {
-                let bn = self.b.add_param(format!("{name}/BatchNorm"), vec![2, out_c]);
+                let bn = self
+                    .b
+                    .add_param(format!("{name}/BatchNorm"), vec![2, out_c]);
                 self.push_op(
                     format!("{name}/FusedBatchNorm"),
                     4.0 * spatial,
@@ -196,7 +198,12 @@ impl NetBuilder {
     pub fn bn_relu(&mut self, t: Tensor, name: &str) -> Tensor {
         let bn = self.b.add_param(format!("{name}/BatchNorm"), vec![2, t.c]);
         let spatial = t.elems() as f64 * self.batch as f64;
-        let bn_op = self.push_op(format!("{name}/FusedBatchNorm"), 4.0 * spatial, &[t.op], &[bn]);
+        let bn_op = self.push_op(
+            format!("{name}/FusedBatchNorm"),
+            4.0 * spatial,
+            &[t.op],
+            &[bn],
+        );
         let relu = self.push_op(format!("{name}/Relu"), spatial, &[Some(bn_op)], &[]);
         Tensor {
             op: Some(relu),
@@ -205,12 +212,26 @@ impl NetBuilder {
     }
 
     /// Max pooling.
-    pub fn max_pool(&mut self, t: Tensor, name: &str, k: usize, stride: usize, padding: Padding) -> Tensor {
+    pub fn max_pool(
+        &mut self,
+        t: Tensor,
+        name: &str,
+        k: usize,
+        stride: usize,
+        padding: Padding,
+    ) -> Tensor {
         self.pool(t, name, "MaxPool", k, stride, padding)
     }
 
     /// Average pooling.
-    pub fn avg_pool(&mut self, t: Tensor, name: &str, k: usize, stride: usize, padding: Padding) -> Tensor {
+    pub fn avg_pool(
+        &mut self,
+        t: Tensor,
+        name: &str,
+        k: usize,
+        stride: usize,
+        padding: Padding,
+    ) -> Tensor {
         self.pool(t, name, "AvgPool", k, stride, padding)
     }
 
@@ -251,10 +272,7 @@ impl NetBuilder {
     pub fn lrn(&mut self, t: Tensor, name: &str) -> Tensor {
         let flops = 8.0 * t.elems() as f64 * self.batch as f64;
         let op = self.push_op(format!("{name}/LRN"), flops, &[t.op], &[]);
-        Tensor {
-            op: Some(op),
-            ..t
-        }
+        Tensor { op: Some(op), ..t }
     }
 
     /// Channel concatenation of parallel branches (Inception modules).
@@ -290,10 +308,7 @@ impl NetBuilder {
         assert_eq!((a.h, a.w, a.c), (b.h, b.w, b.c), "residual shapes differ");
         let flops = a.elems() as f64 * self.batch as f64;
         let op = self.push_op(format!("{name}/Add"), flops, &[a.op, b.op], &[]);
-        Tensor {
-            op: Some(op),
-            ..a
-        }
+        Tensor { op: Some(op), ..a }
     }
 
     /// A fully-connected layer (flattens spatial dims), with bias, no
@@ -324,20 +339,14 @@ impl NetBuilder {
     pub fn relu(&mut self, t: Tensor, name: &str) -> Tensor {
         let flops = t.elems() as f64 * self.batch as f64;
         let op = self.push_op(format!("{name}/Relu"), flops, &[t.op], &[]);
-        Tensor {
-            op: Some(op),
-            ..t
-        }
+        Tensor { op: Some(op), ..t }
     }
 
     /// Softmax over the final logits.
     pub fn softmax(&mut self, t: Tensor, name: &str) -> Tensor {
         let flops = 5.0 * t.elems() as f64 * self.batch as f64;
         let op = self.push_op(format!("{name}/Softmax"), flops, &[t.op], &[]);
-        Tensor {
-            op: Some(op),
-            ..t
-        }
+        Tensor { op: Some(op), ..t }
     }
 
     /// Finalizes the graph.
@@ -363,9 +372,14 @@ impl NetBuilder {
         head_ops.extend(output.op);
         head_ops.extend(extra_heads.iter().filter_map(|t| t.op));
         let loss_flops = 10.0 * output.c as f64 * self.batch as f64;
-        let loss = self
-            .b
-            .add_op("loss/xent", ModelOpKind::Loss, loss_flops, &head_ops, &[], &[]);
+        let loss = self.b.add_op(
+            "loss/xent",
+            ModelOpKind::Loss,
+            loss_flops,
+            &head_ops,
+            &[],
+            &[],
+        );
 
         // Backward pass in reverse forward order.
         let mut grad_of: HashMap<ModelOpId, ModelOpId> = HashMap::new();
@@ -382,20 +396,11 @@ impl NetBuilder {
             let (name, flops, params): (String, f64, Vec<ParamId>) = {
                 let op = self.b_op(fwd);
                 let factor = if op.2.is_empty() { 1.0 } else { 2.0 };
-                (
-                    format!("{}_grad", op.0),
-                    op.1 * factor,
-                    op.2.clone(),
-                )
+                (format!("{}_grad", op.0), op.1 * factor, op.2.clone())
             };
-            let gid = self.b.add_op(
-                name,
-                ModelOpKind::Backward,
-                flops,
-                &preds,
-                &params,
-                &params,
-            );
+            let gid = self
+                .b
+                .add_op(name, ModelOpKind::Backward, flops, &preds, &params, &params);
             grad_of.insert(fwd, gid);
         }
         self.b.build()
@@ -502,7 +507,10 @@ mod tests {
         // Backward ops exist and loss is a Loss op.
         assert!(m.ops().iter().any(|o| o.kind() == ModelOpKind::Backward));
         assert_eq!(
-            m.ops().iter().filter(|o| o.kind() == ModelOpKind::Loss).count(),
+            m.ops()
+                .iter()
+                .filter(|o| o.kind() == ModelOpKind::Loss)
+                .count(),
             1
         );
     }

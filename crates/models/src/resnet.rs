@@ -25,7 +25,13 @@ pub fn resnet_50_v1(mode: Mode, batch: usize) -> ModelGraph {
 
 /// Builds ResNet-101 v1 (blocks 3-4-23-3).
 pub fn resnet_101_v1(mode: Mode, batch: usize) -> ModelGraph {
-    resnet("resnet_v1_101", mode, batch, [3, 4, 23, 3], ResNetVersion::V1)
+    resnet(
+        "resnet_v1_101",
+        mode,
+        batch,
+        [3, 4, 23, 3],
+        ResNetVersion::V1,
+    )
 }
 
 /// Builds ResNet-50 v2 (blocks 3-4-6-3, pre-activation).
@@ -35,7 +41,13 @@ pub fn resnet_50_v2(mode: Mode, batch: usize) -> ModelGraph {
 
 /// Builds ResNet-101 v2 (blocks 3-4-23-3, pre-activation).
 pub fn resnet_101_v2(mode: Mode, batch: usize) -> ModelGraph {
-    resnet("resnet_v2_101", mode, batch, [3, 4, 23, 3], ResNetVersion::V2)
+    resnet(
+        "resnet_v2_101",
+        mode,
+        batch,
+        [3, 4, 23, 3],
+        ResNetVersion::V2,
+    )
 }
 
 fn resnet(
@@ -104,8 +116,24 @@ fn bottleneck(
         input
     };
 
-    let c1 = n.conv(branch_in, &format!("{scope}/conv1"), 1, 1, base, Norm::FusedBn, Padding::Same);
-    let c2 = n.conv(c1, &format!("{scope}/conv2"), 3, stride, base, Norm::FusedBn, Padding::Same);
+    let c1 = n.conv(
+        branch_in,
+        &format!("{scope}/conv1"),
+        1,
+        1,
+        base,
+        Norm::FusedBn,
+        Padding::Same,
+    );
+    let c2 = n.conv(
+        c1,
+        &format!("{scope}/conv2"),
+        3,
+        stride,
+        base,
+        Norm::FusedBn,
+        Padding::Same,
+    );
     // Last conv: no activation before the residual add.
     let c3 = n.conv_rect(
         c2,

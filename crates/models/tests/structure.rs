@@ -29,9 +29,10 @@ fn every_param_is_read_by_some_forward_op() {
     for_all_models(|model, g| {
         for i in 0..g.params().len() {
             let pid = ParamId::from_index(i);
-            let read = g.ops().iter().any(|op| {
-                op.kind() != ModelOpKind::Backward && op.reads_params().contains(&pid)
-            });
+            let read = g
+                .ops()
+                .iter()
+                .any(|op| op.kind() != ModelOpKind::Backward && op.reads_params().contains(&pid));
             assert!(read, "{model}: param {} never read", g.param(pid).name());
         }
     });

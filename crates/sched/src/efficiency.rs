@@ -135,7 +135,10 @@ mod tests {
             upper_makespan(ops.iter().map(|_| SimDuration::from_micros(10))),
             SimDuration::from_micros(40)
         );
-        assert_eq!(lower_makespan(&g, &ops, ten_us), SimDuration::from_micros(20));
+        assert_eq!(
+            lower_makespan(&g, &ops, ten_us),
+            SimDuration::from_micros(20)
+        );
     }
 
     #[test]

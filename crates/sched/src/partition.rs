@@ -144,8 +144,7 @@ impl PartitionGraph {
 
     /// Local predecessor list of local op `i`.
     pub fn preds(&self, i: usize) -> &[u32] {
-        self.preds[i]
-            .as_slice()
+        self.preds[i].as_slice()
     }
 
     /// Evaluates the oracle for every local op.

@@ -218,8 +218,20 @@ mod tests {
         let ch = b.add_channel(w, ps);
         let p1 = b.add_param("w1", 1_000_000);
         let p2 = b.add_param("w2", 2_000_000);
-        let r1 = b.add_op("recv1", w, OpKind::recv(p1, ch), Cost::bytes(1_000_000), &[]);
-        let r2 = b.add_op("recv2", w, OpKind::recv(p2, ch), Cost::bytes(2_000_000), &[]);
+        let r1 = b.add_op(
+            "recv1",
+            w,
+            OpKind::recv(p1, ch),
+            Cost::bytes(1_000_000),
+            &[],
+        );
+        let r2 = b.add_op(
+            "recv2",
+            w,
+            OpKind::recv(p2, ch),
+            Cost::bytes(2_000_000),
+            &[],
+        );
         let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(5.0e8), &[r1]);
         let op2 = b.add_op("op2", w, OpKind::Compute, Cost::flops(5.0e8), &[op1, r2]);
         (b.build().unwrap(), w, [r1, r2, op1, op2])

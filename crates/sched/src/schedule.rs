@@ -140,7 +140,13 @@ mod tests {
         for i in 0..4 {
             let p = b.add_param(format!("p{i}"), 10);
             let ch = if i % 2 == 0 { ch0 } else { ch1 };
-            recvs.push(b.add_op(format!("recv{i}"), w, OpKind::recv(p, ch), Cost::bytes(10), &[]));
+            recvs.push(b.add_op(
+                format!("recv{i}"),
+                w,
+                OpKind::recv(p, ch),
+                Cost::bytes(10),
+                &[],
+            ));
         }
         (b.build().unwrap(), w, recvs)
     }

@@ -186,8 +186,20 @@ mod tests {
         let ch = b.add_channel(w, ps);
         let p1 = b.add_param("w1", 1_000_000);
         let p2 = b.add_param("w2", 1_000_000);
-        let r1 = b.add_op("recv1", w, OpKind::recv(p1, ch), Cost::bytes(1_000_000), &[]);
-        let r2 = b.add_op("recv2", w, OpKind::recv(p2, ch), Cost::bytes(1_000_000), &[]);
+        let r1 = b.add_op(
+            "recv1",
+            w,
+            OpKind::recv(p1, ch),
+            Cost::bytes(1_000_000),
+            &[],
+        );
+        let r2 = b.add_op(
+            "recv2",
+            w,
+            OpKind::recv(p2, ch),
+            Cost::bytes(1_000_000),
+            &[],
+        );
         let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(1e9), &[r1]);
         b.add_op("op2", w, OpKind::Compute, Cost::flops(1e9), &[op1, r2]);
         let g = b.build().unwrap();

@@ -53,7 +53,13 @@ mod tests {
         let mut prev: Option<OpId> = None;
         for i in 0..n {
             let p = b.add_param(format!("p{i}"), 100);
-            let r = b.add_op(format!("recv{i}"), w, OpKind::recv(p, ch), Cost::bytes(100), &[]);
+            let r = b.add_op(
+                format!("recv{i}"),
+                w,
+                OpKind::recv(p, ch),
+                Cost::bytes(100),
+                &[],
+            );
             recvs.push(r);
             let deps: Vec<OpId> = match prev {
                 Some(l) => vec![l, r],

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultSpec;
 use serde::{Deserialize, Serialize};
 use tictac_timing::{NoiseModel, Platform};
 
@@ -44,6 +45,10 @@ pub struct SimConfig {
     /// workers), and `1` for pure peer topologies (a ring's directed links
     /// each carry one steady stream).
     pub bandwidth_share_override: Option<f64>,
+    /// Fault-injection model. The quiet default ([`FaultSpec::none`])
+    /// injects nothing and leaves every trace byte-identical to a run
+    /// without the fault subsystem.
+    pub faults: FaultSpec,
 }
 
 impl SimConfig {
@@ -58,6 +63,7 @@ impl SimConfig {
             enforcement: true,
             disorder_window: Some(32),
             bandwidth_share_override: None,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -71,6 +77,7 @@ impl SimConfig {
             enforcement: true,
             disorder_window: Some(32),
             bandwidth_share_override: None,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -85,6 +92,7 @@ impl SimConfig {
             enforcement: true,
             disorder_window: Some(32),
             bandwidth_share_override: None,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -122,6 +130,12 @@ impl SimConfig {
     /// [`SimConfig::enforcement`]).
     pub fn with_enforcement(mut self, enforcement: bool) -> Self {
         self.enforcement = enforcement;
+        self
+    }
+
+    /// Overrides the fault-injection model.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 

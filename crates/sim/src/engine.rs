@@ -1,41 +1,107 @@
 //! The discrete-event execution engine.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::faults::FaultPlan;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
-use tictac_graph::{Channel, Graph, OpId, OpKind};
+use std::collections::{BTreeMap, BinaryHeap};
+use tictac_graph::{Channel, ChannelId, DeviceId, Graph, OpId, OpKind};
 use tictac_sched::Schedule;
 use tictac_timing::{CostOracle, SimTime, TimeOracle};
-use tictac_trace::{ExecutionTrace, TraceBuilder};
+use tictac_trace::{ExecutionTrace, FaultEventKind, TraceBuilder};
 
 /// Simulates one iteration of `graph` under `schedule` and returns its
 /// execution trace.
 ///
 /// `iteration` seeds this iteration's random stream (combined with
 /// `config.seed`), so repeated calls with the same arguments are exactly
-/// reproducible while distinct iterations observe independent noise and
-/// ready-queue draws.
+/// reproducible while distinct iterations observe independent noise,
+/// ready-queue draws and injected faults.
+///
+/// This is the panicking convenience wrapper around [`try_simulate`];
+/// prefer the latter when faults are enabled and failures (exhausted retry
+/// budgets without a degraded barrier) are expected outcomes.
 ///
 /// # Panics
 ///
-/// Panics if `schedule` does not cover `graph`, or if the graph deadlocks
-/// (impossible for builder-validated DAGs).
+/// Panics if [`try_simulate`] returns an error.
 pub fn simulate(
     graph: &Graph,
     schedule: &Schedule,
     config: &SimConfig,
     iteration: u64,
 ) -> ExecutionTrace {
-    assert_eq!(schedule.len(), graph.len(), "schedule does not cover graph");
-    Engine::new(graph, schedule, config, iteration).run()
+    try_simulate(graph, schedule, config, iteration).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Simulates one iteration, sampling the iteration's [`FaultPlan`] from
+/// `config.faults`.
+///
+/// # Errors
+///
+/// Returns [`SimError::ScheduleMismatch`] if `schedule` does not cover
+/// `graph`, [`SimError::RetriesExhausted`] if a transfer runs out of
+/// retransmits with no degraded barrier configured, and
+/// [`SimError::Deadlock`] if the event queue drains with work outstanding
+/// (impossible for builder-validated DAGs without fault injection).
+pub fn try_simulate(
+    graph: &Graph,
+    schedule: &Schedule,
+    config: &SimConfig,
+    iteration: u64,
+) -> Result<ExecutionTrace, SimError> {
+    let plan = FaultPlan::sample(&config.faults, graph, config.seed, iteration);
+    simulate_with_plan(graph, schedule, config, iteration, &plan)
+}
+
+/// Simulates one iteration under an explicit, pre-sampled [`FaultPlan`]
+/// (replayable: the same plan injects the same faults every time).
+///
+/// # Errors
+///
+/// As [`try_simulate`].
+pub fn simulate_with_plan(
+    graph: &Graph,
+    schedule: &Schedule,
+    config: &SimConfig,
+    iteration: u64,
+    plan: &FaultPlan,
+) -> Result<ExecutionTrace, SimError> {
+    if schedule.len() != graph.len() {
+        return Err(SimError::ScheduleMismatch {
+            schedule_len: schedule.len(),
+            graph_len: graph.len(),
+        });
+    }
+    Engine::new(graph, schedule, config, iteration, plan.clone()).run()
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
-    ComputeDone(OpId),
-    TransferDone(OpId),
+    /// Op finished on its compute unit (stale if the epoch mismatches).
+    ComputeDone(OpId, u32),
+    /// Transfer completed on the wire (stale if the epoch mismatches).
+    TransferDone(OpId, u32),
+    /// Loss-detection timeout of a dropped transfer attempt fired.
+    TransferTimeout(OpId, u32),
+    /// Injected availability change from the iteration's fault plan.
+    Fault(FaultAction),
+    /// Degraded-mode sync barrier release.
+    Barrier,
+}
+
+/// Availability transitions scheduled from a [`FaultPlan`]. Times are in
+/// nanoseconds (the `Ev` clock domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultAction {
+    BlackoutStart { ch: usize, until: u64 },
+    BlackoutEnd { ch: usize },
+    CrashStart { dev: usize, until: u64 },
+    CrashEnd { dev: usize },
+    StallStart { dev: usize, until: u64 },
+    StallEnd { dev: usize },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +131,7 @@ struct Engine<'g> {
     enforcement: bool,
     disorder_window: usize,
     rng: SmallRng,
+    plan: FaultPlan,
 
     clock: SimTime,
     events: BinaryHeap<Reverse<Ev>>,
@@ -76,14 +143,32 @@ struct Engine<'g> {
     trace: TraceBuilder,
     remaining: usize,
 
+    /// Per-op event generation; bumping it cancels the op's in-flight
+    /// events (they are ignored as stale when popped).
+    epoch: Vec<u32>,
+    /// Per-recv transfer attempts made so far (zero-based).
+    attempts: Vec<u32>,
+    /// Simulation outcome latches.
+    error: Option<SimError>,
+    degraded: bool,
+
     /// Per-device compute state.
     compute_ready: Vec<Vec<OpId>>,
     compute_busy: Vec<bool>,
+    /// The op running on each device and its scheduled completion (ns).
+    inflight_compute: Vec<Option<(OpId, u64)>>,
+    /// Device unavailable until this instant (ns; crash or stall).
+    device_down_until: Vec<u64>,
     /// Per-worker slowdown factor for this iteration.
     slowdown: Vec<f64>,
 
     /// Per-channel gRPC state.
     chan_busy: Vec<bool>,
+    /// The transfer (recv op) in flight on each channel.
+    inflight_recv: Vec<Option<OpId>>,
+    /// Channel unavailable until this instant (ns; blackout or endpoint
+    /// crash).
+    chan_down_until: Vec<u64>,
     /// Enforcement counters: prioritized transfers handed so far.
     counter: Vec<u64>,
     /// Blocked prioritized sends, keyed by rank.
@@ -104,7 +189,13 @@ struct Engine<'g> {
 }
 
 impl<'g> Engine<'g> {
-    fn new(graph: &'g Graph, schedule: &'g Schedule, config: &SimConfig, iteration: u64) -> Self {
+    fn new(
+        graph: &'g Graph,
+        schedule: &'g Schedule,
+        config: &SimConfig,
+        iteration: u64,
+        plan: FaultPlan,
+    ) -> Self {
         let n = graph.len();
         let mut rng = SmallRng::seed_from_u64(
             config
@@ -113,7 +204,7 @@ impl<'g> Engine<'g> {
         );
 
         // Per-iteration worker slowdowns (system-level variance, §6.3).
-        let slowdown: Vec<f64> = graph
+        let mut slowdown: Vec<f64> = graph
             .devices()
             .iter()
             .map(|d| {
@@ -124,6 +215,11 @@ impl<'g> Engine<'g> {
                 }
             })
             .collect();
+        // Injected persistent stragglers compound the sampled variance
+        // (applied after so the noise stream is untouched by the plan).
+        for &(device, factor) in &plan.stragglers {
+            slowdown[device.index()] *= factor;
+        }
 
         // Enforcement ranks: priorities normalized to [0, n) per channel,
         // attached to the PS-side send op of each prioritized transfer
@@ -176,6 +272,7 @@ impl<'g> Engine<'g> {
             enforcement: config.enforcement,
             disorder_window: config.disorder_window.unwrap_or(usize::MAX).max(1),
             rng,
+            plan,
             clock: SimTime::ZERO,
             events: BinaryHeap::new(),
             seq: 0,
@@ -184,10 +281,18 @@ impl<'g> Engine<'g> {
             started_at: vec![SimTime::ZERO; n],
             trace: TraceBuilder::new(n),
             remaining: n,
+            epoch: vec![0; n],
+            attempts: vec![0; n],
+            error: None,
+            degraded: false,
             compute_ready: vec![Vec::new(); graph.devices().len()],
             compute_busy: vec![false; graph.devices().len()],
+            inflight_compute: vec![None; graph.devices().len()],
+            device_down_until: vec![0; graph.devices().len()],
             slowdown,
             chan_busy: vec![false; graph.channels().len()],
+            inflight_recv: vec![None; graph.channels().len()],
+            chan_down_until: vec![0; graph.channels().len()],
             counter: vec![0; graph.channels().len()],
             blocked: vec![BTreeMap::new(); graph.channels().len()],
             rank,
@@ -198,7 +303,72 @@ impl<'g> Engine<'g> {
         }
     }
 
-    fn run(mut self) -> ExecutionTrace {
+    /// Pre-schedules every availability transition of the fault plan plus
+    /// the degraded barrier, and logs the iteration-long stragglers.
+    /// Quiet plans schedule nothing, keeping the event stream identical to
+    /// a fault-free run.
+    fn schedule_faults(&mut self) {
+        for i in 0..self.plan.stragglers.len() {
+            let (device, _) = self.plan.stragglers[i];
+            self.trace
+                .push_fault(SimTime::ZERO, FaultEventKind::StragglerApplied { device });
+        }
+        for i in 0..self.plan.blackouts.len() {
+            let b = self.plan.blackouts[i];
+            self.schedule_event(
+                b.at,
+                EventKind::Fault(FaultAction::BlackoutStart {
+                    ch: b.channel.index(),
+                    until: b.until.as_nanos(),
+                }),
+            );
+            self.schedule_event(
+                b.until,
+                EventKind::Fault(FaultAction::BlackoutEnd {
+                    ch: b.channel.index(),
+                }),
+            );
+        }
+        for i in 0..self.plan.crashes.len() {
+            let c = self.plan.crashes[i];
+            self.schedule_event(
+                c.at,
+                EventKind::Fault(FaultAction::CrashStart {
+                    dev: c.device.index(),
+                    until: c.until.as_nanos(),
+                }),
+            );
+            self.schedule_event(
+                c.until,
+                EventKind::Fault(FaultAction::CrashEnd {
+                    dev: c.device.index(),
+                }),
+            );
+        }
+        for i in 0..self.plan.stalls.len() {
+            let s = self.plan.stalls[i];
+            self.schedule_event(
+                s.at,
+                EventKind::Fault(FaultAction::StallStart {
+                    dev: s.device.index(),
+                    until: s.until.as_nanos(),
+                }),
+            );
+            self.schedule_event(
+                s.until,
+                EventKind::Fault(FaultAction::StallEnd {
+                    dev: s.device.index(),
+                }),
+            );
+        }
+        if let Some(timeout) = self.plan.barrier_timeout {
+            self.schedule_event(SimTime::ZERO + timeout, EventKind::Barrier);
+        }
+    }
+
+    fn run(mut self) -> Result<ExecutionTrace, SimError> {
+        self.schedule_faults();
+
         // Dispatch roots.
         for i in 0..self.graph.len() {
             if self.indegree[i] == 0 {
@@ -207,17 +377,50 @@ impl<'g> Engine<'g> {
         }
         self.pump();
 
-        while let Some(Reverse(ev)) = self.events.pop() {
+        while self.remaining > 0 {
+            let Some(Reverse(ev)) = self.events.pop() else {
+                break;
+            };
             self.clock = SimTime::from_nanos(ev.at);
             match ev.kind {
-                EventKind::ComputeDone(op) => self.on_compute_done(op),
-                EventKind::TransferDone(op) => self.on_transfer_done(op),
+                EventKind::ComputeDone(op, epoch) => {
+                    if epoch != self.epoch[op.index()] {
+                        continue; // cancelled by a crash or stall
+                    }
+                    self.on_compute_done(op);
+                }
+                EventKind::TransferDone(op, epoch) => {
+                    if epoch != self.epoch[op.index()] {
+                        continue; // the attempt was killed mid-flight
+                    }
+                    self.on_transfer_done(op);
+                }
+                EventKind::TransferTimeout(op, epoch) => {
+                    if epoch != self.epoch[op.index()] {
+                        continue; // detection restarted by a later fault
+                    }
+                    self.on_transfer_timeout(op);
+                }
+                EventKind::Fault(action) => self.on_fault(action),
+                EventKind::Barrier => self.on_barrier(),
+            }
+            if self.error.is_some() || self.degraded {
+                break;
             }
             self.pump();
         }
 
-        assert_eq!(self.remaining, 0, "simulation deadlocked");
-        self.trace.finish()
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.remaining > 0 && !self.degraded {
+            return Err(SimError::Deadlock {
+                completed: self.graph.len() - self.remaining,
+                remaining: self.remaining,
+                at: self.clock,
+            });
+        }
+        Ok(self.trace.finish())
     }
 
     /// Runs all synchronous starts enabled by the current state.
@@ -326,8 +529,10 @@ impl<'g> Engine<'g> {
         }
     }
 
-    /// Starts the next transfer on every idle channel. Channels proceed
-    /// concurrently at fair-shared bandwidth.
+    /// Starts the next transfer on every idle, reachable channel. Channels
+    /// proceed concurrently at fair-shared bandwidth; blacked-out channels
+    /// (and channels of crashed workers) hold their queues until the
+    /// outage ends.
     ///
     /// Queue discipline per channel: transfers carrying an enforcement
     /// rank go lowest-rank-first (they are handed off in rank order by the
@@ -337,11 +542,16 @@ impl<'g> Engine<'g> {
     /// request arrival order at each worker's channel is arbitrary (§2.2).
     /// With probability `reorder_error` the channel instead takes a random
     /// queued transfer, emulating gRPC's occasional out-of-order
-    /// processing of enforced hand-offs (§5.1).
+    /// processing of enforced hand-offs (§5.1). Retransmits re-enter the
+    /// queue and compete under the same discipline, so enforced rank order
+    /// survives transfer loss.
     fn try_start_transfers(&mut self) -> bool {
         let mut progressed = false;
         for ch in 0..self.chan_queue.len() {
-            if self.chan_busy[ch] || self.chan_queue[ch].is_empty() {
+            if self.chan_busy[ch]
+                || self.chan_queue[ch].is_empty()
+                || self.chan_down_until[ch] > self.clock.as_nanos()
+            {
                 continue;
             }
             let queue = &self.chan_queue[ch];
@@ -366,21 +576,65 @@ impl<'g> Engine<'g> {
 
     fn start_transfer(&mut self, ch: usize, recv: OpId) {
         self.chan_busy[ch] = true;
+        self.inflight_recv[ch] = Some(recv);
         let bytes = self.graph.op(recv).cost().bytes;
         let base = self
             .oracle
             .platform()
             .transfer_time_shared(bytes, self.bandwidth_share);
+        // The wire-time draw happens whether or not the attempt survives,
+        // so the noise stream is independent of drop decisions.
         let dur = self.noise.apply(&mut self.rng, base);
         self.started_at[recv.index()] = self.clock;
-        self.schedule_event(self.clock + dur, EventKind::TransferDone(recv));
+        let epoch = self.epoch[recv.index()];
+        if self.plan.draw_drop() {
+            // Lost on the wire: the receiver only notices when the
+            // loss-detection timeout for this attempt fires; the channel
+            // stays wedged on the failed stream until then.
+            let attempt = self.attempts[recv.index()];
+            self.trace.push_fault(
+                self.clock,
+                FaultEventKind::TransferDropped { op: recv, attempt },
+            );
+            let timeout = self.plan.retry.timeout_for(attempt);
+            self.schedule_event(
+                self.clock + timeout,
+                EventKind::TransferTimeout(recv, epoch),
+            );
+        } else {
+            self.schedule_event(self.clock + dur, EventKind::TransferDone(recv, epoch));
+        }
+    }
+
+    /// Kills the transfer in flight on `ch` (endpoint crash or blackout):
+    /// the attempt's completion is cancelled and loss detection restarts
+    /// now, as if the outage reset the stream.
+    fn kill_inflight_transfer(&mut self, ch: usize) {
+        if let Some(recv) = self.inflight_recv[ch].take() {
+            self.epoch[recv.index()] += 1;
+            let attempt = self.attempts[recv.index()];
+            self.trace.push_fault(
+                self.clock,
+                FaultEventKind::TransferDropped { op: recv, attempt },
+            );
+            let timeout = self.plan.retry.timeout_for(attempt);
+            let epoch = self.epoch[recv.index()];
+            self.schedule_event(
+                self.clock + timeout,
+                EventKind::TransferTimeout(recv, epoch),
+            );
+        }
     }
 
     /// The ready-queue rule of §3.1: candidates are the ready ops with the
     /// lowest priority number plus all unprioritized ready ops; the pick
-    /// among candidates is uniformly random.
+    /// among candidates is uniformly random. Crashed or stalled devices
+    /// start nothing until they come back.
     fn try_start_compute(&mut self, dev: usize) -> bool {
-        if self.compute_busy[dev] || self.compute_ready[dev].is_empty() {
+        if self.compute_busy[dev]
+            || self.compute_ready[dev].is_empty()
+            || self.device_down_until[dev] > self.clock.as_nanos()
+        {
             return false;
         }
         let ready = &self.compute_ready[dev];
@@ -410,20 +664,26 @@ impl<'g> Engine<'g> {
             .apply(&mut self.rng, base)
             .mul_f64(self.slowdown[dev]);
         self.started_at[op.index()] = self.clock;
-        self.schedule_event(self.clock + dur, EventKind::ComputeDone(op));
+        let end = self.clock + dur;
+        self.inflight_compute[dev] = Some((op, end.as_nanos()));
+        let epoch = self.epoch[op.index()];
+        self.schedule_event(end, EventKind::ComputeDone(op, epoch));
         true
     }
 
     fn on_compute_done(&mut self, op: OpId) {
         let dev = self.graph.op(op).device().index();
         self.compute_busy[dev] = false;
-        self.trace.record(op, self.started_at[op.index()], self.clock);
+        self.inflight_compute[dev] = None;
+        self.trace
+            .record(op, self.started_at[op.index()], self.clock);
         self.mark_done(op);
     }
 
     fn on_transfer_done(&mut self, recv: OpId) {
         let ch_id = self.graph.op(recv).kind().channel().expect("recv channel");
         self.chan_busy[ch_id.index()] = false;
+        self.inflight_recv[ch_id.index()] = None;
         let start = self.started_at[recv.index()];
         self.trace.record(recv, start, self.clock);
         // Attribute the same interval to the sending end (already `done`
@@ -432,6 +692,160 @@ impl<'g> Engine<'g> {
             self.trace.record(send, start, self.clock);
         }
         self.mark_done(recv);
+    }
+
+    /// A transfer attempt was declared lost: free the channel, then either
+    /// retransmit (within budget) or give up — a hard error unless a
+    /// degraded barrier will absorb the loss.
+    fn on_transfer_timeout(&mut self, recv: OpId) {
+        let ch = self
+            .graph
+            .op(recv)
+            .kind()
+            .channel()
+            .expect("recv channel")
+            .index();
+        self.chan_busy[ch] = false;
+        if self.inflight_recv[ch] == Some(recv) {
+            self.inflight_recv[ch] = None;
+        }
+        let attempt = self.attempts[recv.index()];
+        self.trace.push_fault(
+            self.clock,
+            FaultEventKind::TransferTimeout { op: recv, attempt },
+        );
+        let next = attempt + 1;
+        self.attempts[recv.index()] = next;
+        if self.plan.retry.attempt_allowed(next) {
+            self.trace.push_fault(
+                self.clock,
+                FaultEventKind::Retransmit {
+                    op: recv,
+                    attempt: next,
+                },
+            );
+            self.chan_queue[ch].push(recv);
+        } else if self.plan.barrier_timeout.is_none() {
+            self.error = Some(SimError::RetriesExhausted {
+                op: recv,
+                attempts: next,
+                at: self.clock,
+            });
+        }
+        // With a barrier configured, the abandoned transfer is left
+        // incomplete and deferred when the barrier fires.
+    }
+
+    fn on_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::BlackoutStart { ch, until } => {
+                self.chan_down_until[ch] = self.chan_down_until[ch].max(until);
+                self.trace.push_fault(
+                    self.clock,
+                    FaultEventKind::BlackoutStart {
+                        channel: ChannelId::from_index(ch),
+                    },
+                );
+                self.kill_inflight_transfer(ch);
+            }
+            FaultAction::BlackoutEnd { ch } => {
+                self.trace.push_fault(
+                    self.clock,
+                    FaultEventKind::BlackoutEnd {
+                        channel: ChannelId::from_index(ch),
+                    },
+                );
+            }
+            FaultAction::CrashStart { dev, until } => {
+                self.device_down_until[dev] = self.device_down_until[dev].max(until);
+                self.trace.push_fault(
+                    self.clock,
+                    FaultEventKind::WorkerCrashed {
+                        device: DeviceId::from_index(dev),
+                    },
+                );
+                // In-flight compute is lost and re-run after recovery.
+                if let Some((op, _)) = self.inflight_compute[dev].take() {
+                    self.epoch[op.index()] += 1;
+                    self.compute_busy[dev] = false;
+                    self.compute_ready[dev].push(op);
+                }
+                // The crashed worker's channels go dark; in-flight
+                // transfers on them are lost and retried after detection.
+                for ch in 0..self.graph.channels().len() {
+                    if self.graph.channels()[ch].worker().index() == dev {
+                        self.chan_down_until[ch] = self.chan_down_until[ch].max(until);
+                        self.kill_inflight_transfer(ch);
+                    }
+                }
+            }
+            FaultAction::CrashEnd { dev } => {
+                self.trace.push_fault(
+                    self.clock,
+                    FaultEventKind::WorkerRecovered {
+                        device: DeviceId::from_index(dev),
+                    },
+                );
+            }
+            FaultAction::StallStart { dev, until } => {
+                self.device_down_until[dev] = self.device_down_until[dev].max(until);
+                self.trace.push_fault(
+                    self.clock,
+                    FaultEventKind::PsStallStart {
+                        device: DeviceId::from_index(dev),
+                    },
+                );
+                // Pause semantics: the in-flight update is not lost, it
+                // finishes late by the stall length.
+                if let Some((op, end)) = self.inflight_compute[dev] {
+                    self.epoch[op.index()] += 1;
+                    let pause = until.saturating_sub(self.clock.as_nanos());
+                    let new_end = end.saturating_add(pause);
+                    self.inflight_compute[dev] = Some((op, new_end));
+                    let epoch = self.epoch[op.index()];
+                    self.schedule_event(
+                        SimTime::from_nanos(new_end),
+                        EventKind::ComputeDone(op, epoch),
+                    );
+                }
+            }
+            FaultAction::StallEnd { dev } => {
+                self.trace.push_fault(
+                    self.clock,
+                    FaultEventKind::PsStallEnd {
+                        device: DeviceId::from_index(dev),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Degraded-mode sync barrier (fault-tolerant execution): if work is
+    /// still outstanding when the barrier timeout expires, the iteration
+    /// completes anyway and the stragglers' remaining ops are deferred to
+    /// the next iteration.
+    fn on_barrier(&mut self) {
+        if self.remaining == 0 {
+            return;
+        }
+        for i in 0..self.graph.len() {
+            if !self.done[i] {
+                self.trace.push_fault(
+                    self.clock,
+                    FaultEventKind::DeferredOp {
+                        op: OpId::from_index(i),
+                    },
+                );
+            }
+        }
+        self.trace.push_fault(
+            self.clock,
+            FaultEventKind::BarrierDegraded {
+                remaining: self.remaining as u32,
+            },
+        );
+        self.trace.raise_makespan(self.clock);
+        self.degraded = true;
     }
 
     /// Marks an op complete and dispatches newly-ready successors.
@@ -452,11 +866,12 @@ impl<'g> Engine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultSpec;
     use tictac_cluster::{deploy, ClusterSpec};
     use tictac_graph::{Cost, GraphBuilder};
     use tictac_models::{tiny_mlp, Mode};
     use tictac_sched::no_ordering;
-    use tictac_timing::{Platform, SimDuration};
+    use tictac_timing::{Platform, RetryPolicy, SimDuration};
 
     fn fig1a() -> (Graph, [OpId; 6]) {
         // Full Figure 1a including PS side, sized so the recv order
@@ -468,10 +883,34 @@ mod tests {
         let mb = 8 << 20;
         let p1 = b.add_param("p1", mb);
         let p2 = b.add_param("p2", mb);
-        let r_read1 = b.add_op("read1", ps, OpKind::Read { param: p1 }, Cost::flops(1.0), &[]);
-        let r_read2 = b.add_op("read2", ps, OpKind::Read { param: p2 }, Cost::flops(1.0), &[]);
-        let s1 = b.add_op("send1", ps, OpKind::send(p1, ch), Cost::bytes(mb), &[r_read1]);
-        let s2 = b.add_op("send2", ps, OpKind::send(p2, ch), Cost::bytes(mb), &[r_read2]);
+        let r_read1 = b.add_op(
+            "read1",
+            ps,
+            OpKind::Read { param: p1 },
+            Cost::flops(1.0),
+            &[],
+        );
+        let r_read2 = b.add_op(
+            "read2",
+            ps,
+            OpKind::Read { param: p2 },
+            Cost::flops(1.0),
+            &[],
+        );
+        let s1 = b.add_op(
+            "send1",
+            ps,
+            OpKind::send(p1, ch),
+            Cost::bytes(mb),
+            &[r_read1],
+        );
+        let s2 = b.add_op(
+            "send2",
+            ps,
+            OpKind::send(p2, ch),
+            Cost::bytes(mb),
+            &[r_read2],
+        );
         let r1 = b.add_op("recv1", w, OpKind::recv(p1, ch), Cost::bytes(mb), &[s1]);
         let r2 = b.add_op("recv2", w, OpKind::recv(p2, ch), Cost::bytes(mb), &[s2]);
         let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(1e10), &[r1]);
@@ -603,5 +1042,166 @@ mod tests {
             a.end <= b.start || b.end <= a.start,
             "overlapping transfers on one channel: {a:?} vs {b:?}"
         );
+    }
+
+    #[test]
+    fn quiet_faults_leave_traces_untouched() {
+        let (g, _) = fig1a();
+        let cfg = SimConfig::deterministic(Platform::cpu_cluster());
+        let clean = simulate(&g, &no_ordering(&g), &cfg, 0);
+        assert!(clean.fault_events().is_empty());
+        // try_simulate with a quiet spec is the same simulation.
+        let again = try_simulate(&g, &no_ordering(&g), &cfg, 0).unwrap();
+        assert_eq!(clean, again);
+    }
+
+    #[test]
+    fn schedule_mismatch_is_a_typed_error() {
+        let (g, _) = fig1a();
+        let cfg = SimConfig::deterministic(Platform::cpu_cluster());
+        let bad = Schedule::empty(g.len() + 1);
+        match try_simulate(&g, &bad, &cfg, 0) {
+            Err(SimError::ScheduleMismatch { graph_len, .. }) => assert_eq!(graph_len, g.len()),
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_transfers_are_retransmitted_to_completion() {
+        let (g, _) = fig1a();
+        let cfg = SimConfig::deterministic(Platform::cpu_cluster()).with_faults(
+            FaultSpec::none()
+                .with_drop_prob(0.5)
+                .with_retry(RetryPolicy::fixed(SimDuration::from_millis(20), 30)),
+        );
+        let clean = simulate(
+            &g,
+            &no_ordering(&g),
+            &SimConfig::deterministic(Platform::cpu_cluster()),
+            0,
+        );
+        // Some iteration in 0..8 must observe at least one drop at 50%.
+        let mut saw_drop = false;
+        for i in 0..8 {
+            let trace = try_simulate(&g, &no_ordering(&g), &cfg, i).unwrap();
+            assert_eq!(trace.executed_ops(), g.len());
+            if !trace.fault_events().is_empty() {
+                saw_drop = true;
+                assert!(
+                    trace.makespan() > clean.makespan(),
+                    "recovery must cost time"
+                );
+            }
+        }
+        assert!(saw_drop, "50% drop rate never triggered in 8 iterations");
+    }
+
+    #[test]
+    fn exhausted_retries_error_without_a_barrier() {
+        let (g, _) = fig1a();
+        let cfg = SimConfig::deterministic(Platform::cpu_cluster()).with_faults(
+            FaultSpec::none()
+                .with_drop_prob(1.0)
+                .with_retry(RetryPolicy::fixed(SimDuration::from_millis(1), 2)),
+        );
+        match try_simulate(&g, &no_ordering(&g), &cfg, 0) {
+            Err(SimError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected retry exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_degrades_instead_of_failing() {
+        let (g, _) = fig1a();
+        let barrier = SimDuration::from_millis(400);
+        let cfg = SimConfig::deterministic(Platform::cpu_cluster()).with_faults(
+            FaultSpec::none()
+                .with_drop_prob(1.0)
+                .with_retry(RetryPolicy::fixed(SimDuration::from_millis(1), 2))
+                .with_barrier_timeout(barrier),
+        );
+        let trace = try_simulate(&g, &no_ordering(&g), &cfg, 0).unwrap();
+        assert!(trace.executed_ops() < g.len(), "work must be deferred");
+        assert_eq!(trace.makespan(), barrier);
+        let deferred = trace
+            .fault_events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultEventKind::DeferredOp { .. }))
+            .count();
+        assert!(deferred > 0);
+        assert!(trace
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::BarrierDegraded { .. })));
+    }
+
+    #[test]
+    fn crashed_workers_recover_and_finish() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        // Onsets must land inside the iteration (clean makespan ~540us).
+        let cfg = SimConfig::cloud_gpu().with_faults(
+            FaultSpec::none()
+                .with_crashes(1.0, SimDuration::from_micros(80))
+                .with_onset_window(SimDuration::from_micros(200)),
+        );
+        let trace = try_simulate(d.graph(), &no_ordering(d.graph()), &cfg, 0).unwrap();
+        assert_eq!(trace.executed_ops(), d.graph().len());
+        let crashes = trace
+            .fault_events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultEventKind::WorkerCrashed { .. }))
+            .count();
+        let recoveries = trace
+            .fault_events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultEventKind::WorkerRecovered { .. }))
+            .count();
+        assert_eq!(crashes, 2);
+        assert_eq!(recoveries, 2);
+    }
+
+    #[test]
+    fn blackouts_and_stalls_delay_but_complete() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 2)).unwrap();
+        let clean_cfg = SimConfig::deterministic(Platform::cloud_gpu());
+        let clean = simulate(d.graph(), &no_ordering(d.graph()), &clean_cfg, 0);
+        let cfg = clean_cfg.clone().with_faults(
+            FaultSpec::none()
+                .with_blackouts(1.0, SimDuration::from_millis(3))
+                .with_ps_stalls(1.0, SimDuration::from_millis(4))
+                .with_onset_window(SimDuration::from_millis(1)),
+        );
+        let trace = try_simulate(d.graph(), &no_ordering(d.graph()), &cfg, 0).unwrap();
+        assert_eq!(trace.executed_ops(), d.graph().len());
+        assert!(trace.makespan() >= clean.makespan());
+        assert!(trace
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::BlackoutStart { .. })));
+        assert!(trace
+            .fault_events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::PsStallStart { .. })));
+    }
+
+    #[test]
+    fn faulty_runs_replay_exactly_with_an_explicit_plan() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let cfg = SimConfig::cloud_gpu().with_faults(
+            FaultSpec::none()
+                .with_drop_prob(0.2)
+                .with_crashes(0.5, SimDuration::from_millis(10))
+                .with_retry(RetryPolicy::fixed(SimDuration::from_millis(5), 30)),
+        );
+        let s = no_ordering(d.graph());
+        let plan = FaultPlan::sample(&cfg.faults, d.graph(), cfg.seed, 3);
+        let a = simulate_with_plan(d.graph(), &s, &cfg, 3, &plan).unwrap();
+        let b = simulate_with_plan(d.graph(), &s, &cfg, 3, &plan).unwrap();
+        assert_eq!(a, b, "same plan, same trace — bytes and all");
+        let c = try_simulate(d.graph(), &s, &cfg, 3).unwrap();
+        assert_eq!(a, c, "try_simulate samples exactly this plan");
     }
 }

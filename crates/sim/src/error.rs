@@ -1,0 +1,93 @@
+//! Typed simulation failures.
+
+use std::fmt;
+use tictac_graph::OpId;
+use tictac_timing::SimTime;
+
+/// Why a simulation could not produce a complete trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The schedule does not cover the graph (length mismatch).
+    ScheduleMismatch {
+        /// Ops covered by the schedule.
+        schedule_len: usize,
+        /// Ops in the graph.
+        graph_len: usize,
+    },
+    /// The event queue drained with ops outstanding and no degraded
+    /// barrier to release them (impossible for builder-validated DAGs
+    /// without fault injection).
+    Deadlock {
+        /// Ops that completed.
+        completed: usize,
+        /// Ops left incomplete.
+        remaining: usize,
+        /// Virtual time when progress stopped.
+        at: SimTime,
+    },
+    /// A transfer exhausted its retry budget and no degraded barrier was
+    /// configured to absorb the loss.
+    RetriesExhausted {
+        /// The recv op of the failed transfer.
+        op: OpId,
+        /// Attempts made (initial send plus retransmits).
+        attempts: u32,
+        /// Virtual time of the final timeout.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScheduleMismatch {
+                schedule_len,
+                graph_len,
+            } => write!(
+                f,
+                "schedule does not cover graph: {schedule_len} priorities for {graph_len} ops"
+            ),
+            SimError::Deadlock {
+                completed,
+                remaining,
+                at,
+            } => write!(
+                f,
+                "simulation deadlocked at {at}: {completed} ops done, {remaining} outstanding"
+            ),
+            SimError::RetriesExhausted { op, attempts, at } => write!(
+                f,
+                "transfer {op} exhausted its retry budget ({attempts} attempts) at {at}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let e = SimError::ScheduleMismatch {
+            schedule_len: 3,
+            graph_len: 5,
+        };
+        assert!(e.to_string().contains("schedule does not cover graph"));
+        let e = SimError::Deadlock {
+            completed: 2,
+            remaining: 1,
+            at: SimTime::from_nanos(10),
+        };
+        assert!(e.to_string().contains("deadlocked"));
+        let e = SimError::RetriesExhausted {
+            op: OpId::from_index(4),
+            attempts: 5,
+            at: SimTime::from_nanos(10),
+        };
+        assert!(e.to_string().contains("retry budget"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

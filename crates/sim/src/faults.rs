@@ -1,0 +1,419 @@
+//! Seeded fault injection: probabilistic specifications and the concrete
+//! per-iteration plans sampled from them.
+//!
+//! A [`FaultSpec`] describes *rates* — how likely each fault class is per
+//! iteration — and the recovery policy ([`RetryPolicy`], degraded-barrier
+//! timeout). A [`FaultPlan`] is one reproducible draw from that
+//! specification for a particular `(seed, iteration)`: the exact channels
+//! blacked out, workers crashed, stragglers slowed and shards stalled,
+//! plus a dedicated RNG stream for per-attempt transfer drops. Sampling is
+//! independent of the engine's noise stream, so enabling faults perturbs
+//! the injected failures only, never the underlying runtime variance, and
+//! a quiet spec leaves the simulation byte-identical to a fault-free run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tictac_graph::{ChannelId, DeviceId, Graph};
+use tictac_timing::{RetryPolicy, SimDuration, SimTime};
+
+/// Stream tag separating fault sampling from the engine's noise RNG.
+const FAULT_STREAM: u64 = 0xFA17_5EED_0DD5_ED17;
+
+/// Probabilistic fault model of one deployment.
+///
+/// All probabilities are per *iteration* (per channel, worker or
+/// parameter server as appropriate). The quiet default —
+/// [`FaultSpec::none`] — injects nothing and leaves the simulator's
+/// behaviour exactly as if the fault subsystem did not exist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability that any individual transfer attempt is lost on the
+    /// wire (transient loss; detected by timeout, recovered by
+    /// retransmit).
+    pub drop_prob: f64,
+    /// Probability that a channel suffers one blackout window during the
+    /// iteration.
+    pub blackout_prob: f64,
+    /// Length of a channel blackout.
+    pub blackout: SimDuration,
+    /// Probability that a worker crashes once during the iteration.
+    pub crash_prob: f64,
+    /// Time a crashed worker is down before it recovers and re-runs lost
+    /// work.
+    pub crash_downtime: SimDuration,
+    /// Probability that a worker is a persistent straggler for the whole
+    /// iteration.
+    pub straggler_prob: f64,
+    /// Compute slowdown factor applied to a straggling worker (`>= 1`).
+    pub straggler_factor: f64,
+    /// Probability that a parameter server's update thread stalls once
+    /// during the iteration.
+    pub ps_stall_prob: f64,
+    /// Length of a parameter-server stall.
+    pub ps_stall: SimDuration,
+    /// Fault onsets (blackouts, crashes, stalls) are sampled uniformly in
+    /// `[0, onset_window)` of virtual time.
+    pub onset_window: SimDuration,
+    /// Loss detection and retransmit policy for dropped transfers.
+    pub retry: RetryPolicy,
+    /// Degraded-mode sync barrier: when set, the iteration completes at
+    /// this virtual time even if ops are outstanding; the stragglers'
+    /// updates are deferred to the next iteration. When `None`, an
+    /// exhausted retry budget is a hard [`SimError`].
+    ///
+    /// [`SimError`]: crate::SimError
+    pub barrier_timeout: Option<SimDuration>,
+}
+
+impl FaultSpec {
+    /// The quiet specification: no faults, no barrier.
+    pub fn none() -> Self {
+        Self {
+            drop_prob: 0.0,
+            blackout_prob: 0.0,
+            blackout: SimDuration::from_millis(20),
+            crash_prob: 0.0,
+            crash_downtime: SimDuration::from_millis(100),
+            straggler_prob: 0.0,
+            straggler_factor: 2.0,
+            ps_stall_prob: 0.0,
+            ps_stall: SimDuration::from_millis(50),
+            onset_window: SimDuration::from_millis(100),
+            retry: RetryPolicy::grpc_default(),
+            barrier_timeout: None,
+        }
+    }
+
+    /// Whether this specification can never inject a fault.
+    pub fn is_quiet(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.blackout_prob == 0.0
+            && self.crash_prob == 0.0
+            && self.straggler_prob == 0.0
+            && self.ps_stall_prob == 0.0
+    }
+
+    /// Overrides the per-attempt transfer loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop_prob must be in [0,1]");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Overrides the per-channel blackout probability and duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn with_blackouts(mut self, p: f64, duration: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "blackout_prob must be in [0,1]");
+        self.blackout_prob = p;
+        self.blackout = duration;
+        self
+    }
+
+    /// Overrides the per-worker crash probability and downtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn with_crashes(mut self, p: f64, downtime: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "crash_prob must be in [0,1]");
+        self.crash_prob = p;
+        self.crash_downtime = downtime;
+        self
+    }
+
+    /// Overrides the per-worker persistent-straggler probability and
+    /// slowdown factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability or `factor < 1`.
+    pub fn with_stragglers(mut self, p: f64, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "straggler_prob must be in [0,1]");
+        assert!(factor >= 1.0, "straggler_factor must be at least 1");
+        self.straggler_prob = p;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Overrides the per-PS stall probability and duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn with_ps_stalls(mut self, p: f64, duration: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "ps_stall_prob must be in [0,1]");
+        self.ps_stall_prob = p;
+        self.ps_stall = duration;
+        self
+    }
+
+    /// Overrides the onset-sampling window.
+    pub fn with_onset_window(mut self, window: SimDuration) -> Self {
+        self.onset_window = window;
+        self
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables the degraded-mode barrier at `timeout`.
+    pub fn with_barrier_timeout(mut self, timeout: SimDuration) -> Self {
+        self.barrier_timeout = Some(timeout);
+        self
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// One channel blackout window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Blackout {
+    /// The affected channel.
+    pub channel: ChannelId,
+    /// When the channel goes dark.
+    pub at: SimTime,
+    /// When it comes back.
+    pub until: SimTime,
+}
+
+/// One worker crash/recover cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Crash {
+    /// The crashed worker.
+    pub device: DeviceId,
+    /// When the worker dies.
+    pub at: SimTime,
+    /// When it recovers.
+    pub until: SimTime,
+}
+
+/// One parameter-server stall window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stall {
+    /// The stalled parameter server.
+    pub device: DeviceId,
+    /// When the update thread wedges.
+    pub at: SimTime,
+    /// When it resumes.
+    pub until: SimTime,
+}
+
+/// The concrete faults of one iteration, sampled from a [`FaultSpec`].
+///
+/// Plans compare with `==`, so tests can assert that identical
+/// `(seed, iteration)` pairs produce identical plans — and, through
+/// [`simulate_with_plan`], byte-identical traces.
+///
+/// [`simulate_with_plan`]: crate::simulate_with_plan
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Channel blackout windows.
+    pub blackouts: Vec<Blackout>,
+    /// Worker crash/recover cycles.
+    pub crashes: Vec<Crash>,
+    /// Persistent stragglers: `(worker, slowdown factor)`.
+    pub stragglers: Vec<(DeviceId, f64)>,
+    /// Parameter-server stall windows.
+    pub stalls: Vec<Stall>,
+    /// Per-attempt transfer loss probability.
+    pub drop_prob: f64,
+    /// Loss detection and retransmit policy.
+    pub retry: RetryPolicy,
+    /// Degraded-barrier release time, if enabled.
+    pub barrier_timeout: Option<SimDuration>,
+    /// Dedicated stream deciding which transfer attempts are lost (kept
+    /// inside the plan so replaying a plan replays its drops).
+    drop_rng: SmallRng,
+}
+
+impl FaultPlan {
+    /// Samples the iteration's faults from `spec` for the given graph.
+    ///
+    /// The draw is keyed by `(seed, iteration)` on a stream separate from
+    /// the engine's noise RNG, so the same arguments always yield the same
+    /// plan and fault sampling never perturbs fault-free behaviour.
+    pub fn sample(spec: &FaultSpec, graph: &Graph, seed: u64, iteration: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(
+            seed ^ FAULT_STREAM ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let onset = |rng: &mut SmallRng, window: SimDuration| -> SimTime {
+            if window.is_zero() {
+                SimTime::ZERO
+            } else {
+                SimTime::from_nanos(rng.gen_range(0..window.as_nanos()))
+            }
+        };
+
+        let mut blackouts = Vec::new();
+        if spec.blackout_prob > 0.0 {
+            for channel in graph.channels() {
+                if rng.gen::<f64>() < spec.blackout_prob {
+                    let at = onset(&mut rng, spec.onset_window);
+                    blackouts.push(Blackout {
+                        channel: channel.id(),
+                        at,
+                        until: at + spec.blackout,
+                    });
+                }
+            }
+        }
+
+        let mut crashes = Vec::new();
+        let mut stragglers = Vec::new();
+        if spec.crash_prob > 0.0 || spec.straggler_prob > 0.0 {
+            for device in graph.devices() {
+                if !device.is_worker() {
+                    continue;
+                }
+                if spec.crash_prob > 0.0 && rng.gen::<f64>() < spec.crash_prob {
+                    let at = onset(&mut rng, spec.onset_window);
+                    crashes.push(Crash {
+                        device: device.id(),
+                        at,
+                        until: at + spec.crash_downtime,
+                    });
+                }
+                if spec.straggler_prob > 0.0 && rng.gen::<f64>() < spec.straggler_prob {
+                    stragglers.push((device.id(), spec.straggler_factor));
+                }
+            }
+        }
+
+        let mut stalls = Vec::new();
+        if spec.ps_stall_prob > 0.0 {
+            for device in graph.devices() {
+                if device.is_worker() {
+                    continue;
+                }
+                if rng.gen::<f64>() < spec.ps_stall_prob {
+                    let at = onset(&mut rng, spec.onset_window);
+                    stalls.push(Stall {
+                        device: device.id(),
+                        at,
+                        until: at + spec.ps_stall,
+                    });
+                }
+            }
+        }
+
+        Self {
+            blackouts,
+            crashes,
+            stragglers,
+            stalls,
+            drop_prob: spec.drop_prob,
+            retry: spec.retry,
+            barrier_timeout: spec.barrier_timeout,
+            drop_rng: SmallRng::seed_from_u64(rng.gen()),
+        }
+    }
+
+    /// Whether this plan can inject nothing.
+    pub fn is_quiet(&self) -> bool {
+        self.blackouts.is_empty()
+            && self.crashes.is_empty()
+            && self.stragglers.is_empty()
+            && self.stalls.is_empty()
+            && self.drop_prob == 0.0
+            && self.barrier_timeout.is_none()
+    }
+
+    /// Decides whether the next transfer attempt is lost on the wire.
+    ///
+    /// Draws from the plan's dedicated stream only when losses are
+    /// possible, so quiet plans consume nothing.
+    pub(crate) fn draw_drop(&mut self) -> bool {
+        self.drop_prob > 0.0 && self.drop_rng.gen::<f64>() < self.drop_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tictac_cluster::{deploy, ClusterSpec};
+    use tictac_models::{tiny_mlp, Mode};
+
+    fn graph() -> tictac_graph::Graph {
+        deploy(&tiny_mlp(Mode::Training, 8), &ClusterSpec::new(3, 2))
+            .unwrap()
+            .graph()
+            .clone()
+    }
+
+    #[test]
+    fn quiet_spec_samples_quiet_plans() {
+        let g = graph();
+        let plan = FaultPlan::sample(&FaultSpec::none(), &g, 1, 0);
+        assert!(plan.is_quiet());
+        assert!(FaultSpec::none().is_quiet());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed_and_iteration() {
+        let g = graph();
+        let spec = FaultSpec::none()
+            .with_drop_prob(0.1)
+            .with_blackouts(0.8, SimDuration::from_millis(5))
+            .with_crashes(0.5, SimDuration::from_millis(50))
+            .with_stragglers(0.5, 3.0)
+            .with_ps_stalls(0.5, SimDuration::from_millis(10));
+        assert!(!spec.is_quiet());
+        let a = FaultPlan::sample(&spec, &g, 7, 3);
+        let b = FaultPlan::sample(&spec, &g, 7, 3);
+        assert_eq!(a, b);
+        let c = FaultPlan::sample(&spec, &g, 7, 4);
+        let d = FaultPlan::sample(&spec, &g, 8, 3);
+        assert!(a != c || a != d, "different keys should differ");
+    }
+
+    #[test]
+    fn certain_faults_hit_every_target() {
+        let g = graph();
+        let spec = FaultSpec::none()
+            .with_blackouts(1.0, SimDuration::from_millis(1))
+            .with_crashes(1.0, SimDuration::from_millis(1))
+            .with_stragglers(1.0, 2.5)
+            .with_ps_stalls(1.0, SimDuration::from_millis(1));
+        let plan = FaultPlan::sample(&spec, &g, 1, 0);
+        let workers = g.workers().count();
+        let servers = g.parameter_servers().count();
+        assert_eq!(plan.blackouts.len(), g.channels().len());
+        assert_eq!(plan.crashes.len(), workers);
+        assert_eq!(plan.stragglers.len(), workers);
+        assert_eq!(plan.stalls.len(), servers);
+        for b in &plan.blackouts {
+            assert!(b.until > b.at);
+            assert!(b.at.as_nanos() < spec.onset_window.as_nanos());
+        }
+    }
+
+    #[test]
+    fn drop_stream_replays_with_the_plan() {
+        let g = graph();
+        let spec = FaultSpec::none().with_drop_prob(0.5);
+        let plan = FaultPlan::sample(&spec, &g, 42, 0);
+        let draws = |mut p: FaultPlan| -> Vec<bool> { (0..64).map(|_| p.draw_drop()).collect() };
+        assert_eq!(draws(plan.clone()), draws(plan));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob")]
+    fn rejects_invalid_drop_probability() {
+        FaultSpec::none().with_drop_prob(1.5);
+    }
+}

@@ -22,6 +22,15 @@
 //! * **Runtime variance**: multiplicative log-normal per-op noise and
 //!   occasional whole-worker slowdowns ([`NoiseModel`]).
 //!
+//! * **Fault injection & fault-tolerant execution**: a seeded, fully
+//!   deterministic [`FaultSpec`]/[`FaultPlan`] model (transient transfer
+//!   drops, channel blackouts, worker crash/recover cycles, persistent
+//!   stragglers, PS stalls) recovered by timeout-driven retransmits with
+//!   exponential backoff and, optionally, a degraded-mode sync barrier
+//!   that completes the iteration with the slowest workers' updates
+//!   deferred. Failures that cannot be absorbed surface as typed
+//!   [`SimError`]s via [`try_simulate`].
+//!
 //! The simulator consumes the partitioned [`Graph`] built by
 //! `tictac-cluster`, a [`Schedule`] from `tictac-sched`, and produces an
 //! [`ExecutionTrace`] per iteration plus [`IterationMetrics`].
@@ -35,8 +44,12 @@
 
 mod config;
 mod engine;
+mod error;
+mod faults;
 mod metrics;
 
 pub use config::SimConfig;
-pub use engine::simulate;
-pub use metrics::{analyze, straggler_pct, IterationMetrics};
+pub use engine::{simulate, simulate_with_plan, try_simulate};
+pub use error::SimError;
+pub use faults::{Blackout, Crash, FaultPlan, FaultSpec, Stall};
+pub use metrics::{analyze, straggler_pct, FaultCounters, IterationMetrics};

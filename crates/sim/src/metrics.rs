@@ -3,12 +3,85 @@
 use serde::{Deserialize, Serialize};
 use tictac_graph::{DeviceId, Graph};
 use tictac_timing::{SimDuration, SimTime};
-use tictac_trace::ExecutionTrace;
+use tictac_trace::{ExecutionTrace, FaultEvent, FaultEventKind};
+
+/// Tallies of fault and recovery activity in one or more iterations,
+/// derived from the [`FaultEvent`] stream of a trace. All-zero for a
+/// fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Transfer attempts lost on the wire (initial sends and retransmits).
+    pub drops: u64,
+    /// Loss-detection timeouts that fired.
+    pub timeouts: u64,
+    /// Retransmits issued after a timeout.
+    pub retransmits: u64,
+    /// Channel blackouts that started.
+    pub blackouts: u64,
+    /// Worker crashes that started.
+    pub crashes: u64,
+    /// Parameter-server stalls that started.
+    pub ps_stalls: u64,
+    /// Persistent stragglers applied this iteration.
+    pub stragglers: u64,
+    /// Ops left incomplete when a degraded barrier released the iteration.
+    pub deferred_ops: u64,
+    /// Iterations released by a degraded barrier with work outstanding.
+    pub degraded_barriers: u64,
+}
+
+impl FaultCounters {
+    /// Tallies the fault events of one trace.
+    pub fn from_trace(trace: &ExecutionTrace) -> Self {
+        Self::from_events(trace.fault_events())
+    }
+
+    /// Tallies a raw fault-event stream.
+    pub fn from_events(events: &[FaultEvent]) -> Self {
+        let mut c = Self::default();
+        for e in events {
+            match e.kind {
+                FaultEventKind::TransferDropped { .. } => c.drops += 1,
+                FaultEventKind::TransferTimeout { .. } => c.timeouts += 1,
+                FaultEventKind::Retransmit { .. } => c.retransmits += 1,
+                FaultEventKind::BlackoutStart { .. } => c.blackouts += 1,
+                FaultEventKind::WorkerCrashed { .. } => c.crashes += 1,
+                FaultEventKind::PsStallStart { .. } => c.ps_stalls += 1,
+                FaultEventKind::StragglerApplied { .. } => c.stragglers += 1,
+                FaultEventKind::DeferredOp { .. } => c.deferred_ops += 1,
+                FaultEventKind::BarrierDegraded { .. } => c.degraded_barriers += 1,
+                FaultEventKind::BlackoutEnd { .. }
+                | FaultEventKind::WorkerRecovered { .. }
+                | FaultEventKind::PsStallEnd { .. } => {}
+            }
+        }
+        c
+    }
+
+    /// `true` when nothing fault-related happened.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Accumulates another iteration's counters into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.drops += other.drops;
+        self.timeouts += other.timeouts;
+        self.retransmits += other.retransmits;
+        self.blackouts += other.blackouts;
+        self.crashes += other.crashes;
+        self.ps_stalls += other.ps_stalls;
+        self.stragglers += other.stragglers;
+        self.deferred_ops += other.deferred_ops;
+        self.degraded_barriers += other.degraded_barriers;
+    }
+}
 
 /// Summary of one simulated iteration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationMetrics {
-    /// The iteration makespan (all ops, including the PS update tail).
+    /// The iteration makespan (all ops, including the PS update tail; for
+    /// a degraded iteration, the barrier release time).
     pub makespan: SimDuration,
     /// Per-worker finish times (completion of the worker's last op), in
     /// worker order.
@@ -16,6 +89,11 @@ pub struct IterationMetrics {
     /// Straggler time as a percentage of the iteration (§6.3): the longest
     /// any worker waited for the slowest worker, over the makespan.
     pub straggler_pct: f64,
+    /// Fault and recovery activity observed this iteration.
+    pub faults: FaultCounters,
+    /// Percentage of the graph's ops that actually executed — below 100
+    /// only when a degraded barrier deferred work.
+    pub goodput_pct: f64,
 }
 
 impl IterationMetrics {
@@ -54,10 +132,17 @@ pub fn analyze(graph: &Graph, workers: &[DeviceId], trace: &ExecutionTrace) -> I
         .iter()
         .map(|&w| trace.device_finish(graph, w).unwrap_or(SimTime::ZERO))
         .collect();
+    let goodput_pct = if graph.is_empty() {
+        100.0
+    } else {
+        100.0 * trace.executed_ops() as f64 / graph.len() as f64
+    };
     IterationMetrics {
         makespan: trace.makespan(),
         straggler_pct: straggler_pct(&worker_finish, trace.makespan()),
         worker_finish,
+        faults: FaultCounters::from_trace(trace),
+        goodput_pct,
     }
 }
 
@@ -97,5 +182,50 @@ mod tests {
         assert!(m.straggler_pct >= 0.0 && m.straggler_pct <= 100.0);
         let tput = m.throughput(8, 3);
         assert!(tput > 0.0);
+        // A fault-free run is clean with full goodput.
+        assert!(m.faults.is_clean());
+        assert_eq!(m.goodput_pct, 100.0);
+    }
+
+    #[test]
+    fn counters_tally_fault_events() {
+        use tictac_graph::OpId;
+        use tictac_trace::{FaultEvent, FaultEventKind};
+        let op = OpId::from_index(0);
+        let at = t(10);
+        let events = [
+            FaultEvent {
+                at,
+                kind: FaultEventKind::TransferDropped { op, attempt: 0 },
+            },
+            FaultEvent {
+                at,
+                kind: FaultEventKind::TransferTimeout { op, attempt: 0 },
+            },
+            FaultEvent {
+                at,
+                kind: FaultEventKind::Retransmit { op, attempt: 1 },
+            },
+            FaultEvent {
+                at,
+                kind: FaultEventKind::DeferredOp { op },
+            },
+            FaultEvent {
+                at,
+                kind: FaultEventKind::BarrierDegraded { remaining: 1 },
+            },
+        ];
+        let c = FaultCounters::from_events(&events);
+        assert_eq!(c.drops, 1);
+        assert_eq!(c.timeouts, 1);
+        assert_eq!(c.retransmits, 1);
+        assert_eq!(c.deferred_ops, 1);
+        assert_eq!(c.degraded_barriers, 1);
+        assert!(!c.is_clean());
+        let mut total = FaultCounters::default();
+        total.merge(&c);
+        total.merge(&c);
+        assert_eq!(total.drops, 2);
+        assert_eq!(total.degraded_barriers, 2);
     }
 }

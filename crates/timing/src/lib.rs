@@ -25,9 +25,11 @@
 mod noise;
 mod oracle;
 mod platform;
+mod retry;
 mod time;
 
 pub use noise::NoiseModel;
 pub use oracle::{CostOracle, GeneralOracle, MeasuredProfile, TimeOracle};
 pub use platform::Platform;
+pub use retry::RetryPolicy;
 pub use time::{SimDuration, SimTime};

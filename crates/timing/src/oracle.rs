@@ -175,7 +175,13 @@ mod tests {
         let p = b.add_param("p", 1 << 20);
         let recv = b.add_op("recv", w, OpKind::recv(p, ch), Cost::bytes(1 << 20), &[]);
         let comp = b.add_op("comp", w, OpKind::Compute, Cost::flops(3.0e9), &[recv]);
-        let send = b.add_op("send", w, OpKind::send(p, ch), Cost::bytes(1 << 20), &[comp]);
+        let send = b.add_op(
+            "send",
+            w,
+            OpKind::send(p, ch),
+            Cost::bytes(1 << 20),
+            &[comp],
+        );
         (b.build().unwrap(), recv, comp, send)
     }
 

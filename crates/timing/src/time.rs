@@ -68,6 +68,28 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies by a non-negative float factor, saturating at the
+    /// representable maximum instead of overflowing (used by exponential
+    /// backoff, where late attempts can exceed any iteration horizon).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `factor` is negative or NaN.
+    pub fn saturating_mul_f64(self, factor: f64) -> SimDuration {
+        debug_assert!(!factor.is_nan() && factor >= 0.0, "invalid factor");
+        let product = self.0 as f64 * factor;
+        if product >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(product.round() as u64)
+        }
+    }
+
     /// Multiplies by a non-negative float factor, rounding to nanoseconds.
     ///
     /// # Panics

@@ -12,8 +12,97 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use tictac_graph::{DeviceId, Graph, OpId};
+use tictac_graph::{ChannelId, DeviceId, Graph, OpId};
 use tictac_timing::{MeasuredProfile, SimDuration, SimTime};
+
+/// What kind of fault-handling activity a [`FaultEvent`] records.
+///
+/// Events describe the *observable* behaviour of the fault-tolerance
+/// machinery: injected losses, the detection timeouts and retransmits
+/// they trigger, availability windows of devices and channels, and the
+/// degraded-barrier decisions that close an iteration with work deferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// A transfer attempt was lost on the wire (noticed only at timeout).
+    TransferDropped {
+        /// The recv op of the transfer.
+        op: OpId,
+        /// Zero-based attempt number that was lost.
+        attempt: u32,
+    },
+    /// The loss-detection timeout of a transfer attempt fired.
+    TransferTimeout {
+        /// The recv op of the transfer.
+        op: OpId,
+        /// Zero-based attempt number that timed out.
+        attempt: u32,
+    },
+    /// The transfer was re-queued for another attempt.
+    Retransmit {
+        /// The recv op of the transfer.
+        op: OpId,
+        /// Zero-based number of the new attempt.
+        attempt: u32,
+    },
+    /// A channel became unavailable (network blackout).
+    BlackoutStart {
+        /// The affected channel.
+        channel: ChannelId,
+    },
+    /// A channel became available again.
+    BlackoutEnd {
+        /// The affected channel.
+        channel: ChannelId,
+    },
+    /// A worker crashed: its in-flight compute is lost and its channels go
+    /// dark until recovery.
+    WorkerCrashed {
+        /// The crashed worker.
+        device: DeviceId,
+    },
+    /// A crashed worker came back and resumes (re-running lost work).
+    WorkerRecovered {
+        /// The recovered worker.
+        device: DeviceId,
+    },
+    /// A parameter-server shard stopped making progress (update thread
+    /// wedged); in-flight updates finish late.
+    PsStallStart {
+        /// The stalled parameter server.
+        device: DeviceId,
+    },
+    /// A stalled parameter server resumed.
+    PsStallEnd {
+        /// The recovered parameter server.
+        device: DeviceId,
+    },
+    /// A persistent straggler slowdown was applied to a worker for the
+    /// whole iteration.
+    StragglerApplied {
+        /// The slowed worker.
+        device: DeviceId,
+    },
+    /// The degraded barrier closed the iteration with this op incomplete;
+    /// its effect is deferred to the next iteration.
+    DeferredOp {
+        /// The deferred op.
+        op: OpId,
+    },
+    /// The degraded barrier fired with work outstanding.
+    BarrierDegraded {
+        /// Number of ops left incomplete.
+        remaining: u32,
+    },
+}
+
+/// One timestamped fault-handling event within an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: FaultEventKind,
+}
 
 /// When one op executed within an iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,12 +125,20 @@ impl OpRecord {
 pub struct ExecutionTrace {
     records: Vec<Option<OpRecord>>,
     makespan: SimDuration,
+    events: Vec<FaultEvent>,
 }
 
 impl ExecutionTrace {
-    /// The iteration makespan (time of the last op completion).
+    /// The iteration makespan: the last op completion, or the degraded
+    /// barrier's release time if it fired later.
     pub fn makespan(&self) -> SimDuration {
         self.makespan
+    }
+
+    /// The fault-handling events of the iteration, in time order (empty
+    /// for fault-free runs).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.events
     }
 
     /// The record of `op`, if it executed.
@@ -169,6 +266,8 @@ impl ExecutionTrace {
 #[derive(Debug, Clone)]
 pub struct TraceBuilder {
     records: Vec<Option<OpRecord>>,
+    events: Vec<FaultEvent>,
+    makespan_floor: SimTime,
 }
 
 impl TraceBuilder {
@@ -176,6 +275,8 @@ impl TraceBuilder {
     pub fn new(n: usize) -> Self {
         Self {
             records: vec![None; n],
+            events: Vec::new(),
+            makespan_floor: SimTime::ZERO,
         }
     }
 
@@ -192,6 +293,19 @@ impl TraceBuilder {
         *slot = Some(OpRecord { start, end });
     }
 
+    /// Appends a fault-handling event. Callers push in time order (the
+    /// simulator processes events chronologically).
+    pub fn push_fault(&mut self, at: SimTime, kind: FaultEventKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+
+    /// Raises the makespan floor: the finished trace's makespan is at
+    /// least `at`, even if every recorded op ends earlier (used when a
+    /// degraded barrier releases the iteration after the last completion).
+    pub fn raise_makespan(&mut self, at: SimTime) {
+        self.makespan_floor = self.makespan_floor.max(at);
+    }
+
     /// Finalizes the trace.
     pub fn finish(self) -> ExecutionTrace {
         let makespan = self
@@ -201,10 +315,12 @@ impl TraceBuilder {
             .map(|r| r.end)
             .max()
             .unwrap_or(SimTime::ZERO)
+            .max(self.makespan_floor)
             .duration_since(SimTime::ZERO);
         ExecutionTrace {
             records: self.records,
             makespan,
+            events: self.events,
         }
     }
 }
@@ -262,7 +378,11 @@ pub fn gantt(graph: &Graph, trace: &ExecutionTrace, width: usize) -> String {
     let label_w = rows.iter().map(|(_, l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (_, label, cells) in &rows {
-        let _ = writeln!(out, "{label:>label_w$} |{}|", cells.iter().collect::<String>());
+        let _ = writeln!(
+            out,
+            "{label:>label_w$} |{}|",
+            cells.iter().collect::<String>()
+        );
     }
     let _ = writeln!(
         out,
@@ -285,7 +405,11 @@ pub fn estimate_profile(traces: &[ExecutionTrace]) -> MeasuredProfile {
     assert!(!traces.is_empty(), "at least one trace required");
     let runs: Vec<Vec<SimDuration>> = traces
         .iter()
-        .map(|t| (0..t.len()).map(|i| t.duration(OpId::from_index(i))).collect())
+        .map(|t| {
+            (0..t.len())
+                .map(|i| t.duration(OpId::from_index(i)))
+                .collect()
+        })
         .collect();
     MeasuredProfile::from_runs(&runs)
 }
@@ -379,6 +503,32 @@ mod tests {
         let trace = TraceBuilder::new(3).finish();
         assert_eq!(trace.makespan(), SimDuration::ZERO);
         assert!(trace.is_empty());
+        assert!(trace.fault_events().is_empty());
+    }
+
+    #[test]
+    fn fault_events_and_makespan_floor_are_kept() {
+        let (g, _, ops) = sample_graph();
+        let mut tb = TraceBuilder::new(g.len());
+        tb.record(ops[0], t(0), t(100));
+        tb.push_fault(
+            t(40),
+            FaultEventKind::TransferDropped {
+                op: ops[1],
+                attempt: 0,
+            },
+        );
+        tb.push_fault(t(90), FaultEventKind::DeferredOp { op: ops[1] });
+        tb.raise_makespan(t(500));
+        let trace = tb.finish();
+        assert_eq!(trace.makespan(), SimDuration::from_nanos(500));
+        assert_eq!(trace.fault_events().len(), 2);
+        assert_eq!(trace.fault_events()[0].at, t(40));
+        // The floor never lowers a later completion.
+        let mut tb = TraceBuilder::new(g.len());
+        tb.record(ops[0], t(0), t(900));
+        tb.raise_makespan(t(500));
+        assert_eq!(tb.finish().makespan(), SimDuration::from_nanos(900));
     }
 
     #[test]

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|name| Model::from_name(&name))
         .unwrap_or(Model::InceptionV3);
 
-    println!("RL inference agents: {} reading from 2 PS shards\n", model.name());
+    println!(
+        "RL inference agents: {} reading from 2 PS shards\n",
+        model.name()
+    );
     let graph = model.build(Mode::Inference);
 
     let mut rows = Vec::new();

@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // TAC needs the traced min-of-5 profile (§5 of the paper).
     let unordered = no_ordering(g);
-    let traces: Vec<_> = (0..5).map(|i| simulate(g, &unordered, &config, i)).collect();
+    let traces: Vec<_> = (0..5)
+        .map(|i| simulate(g, &unordered, &config, i))
+        .collect();
     let profile = estimate_profile(&traces);
 
     // Initial Algorithm-1 properties, for the "why" column.
@@ -71,11 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tic_schedule = tic(g, worker);
     let mut tic_seq: Vec<_> = tac_seq.clone();
     tic_seq.sort_by_key(|&op| (tic_schedule.priority(op), op));
-    let agree = tac_seq
-        .iter()
-        .zip(&tic_seq)
-        .filter(|(a, b)| a == b)
-        .count();
+    let agree = tac_seq.iter().zip(&tic_seq).filter(|(a, b)| a == b).count();
     println!(
         "\nTIC assigns {} distinct priority levels; its order agrees with TAC on {}/{} positions.",
         {

@@ -7,9 +7,7 @@
 //! cargo run --release --example straggler_study
 //! ```
 
-use tictac::{
-    ClusterSpec, Mode, Model, SchedulerKind, Session, SimConfig, Summary,
-};
+use tictac::{ClusterSpec, Mode, Model, SchedulerKind, Session, SimConfig, Summary};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = Model::ResNet50V2.build(Mode::Training);

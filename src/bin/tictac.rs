@@ -63,7 +63,10 @@ fn model_arg(args: &[String]) -> Model {
 fn flag_usize(flags: &HashMap<String, String>, name: &str, default: usize) -> usize {
     flags
         .get(name)
-        .map(|v| v.parse().unwrap_or_else(|_| usage(&format!("--{name} expects a number"))))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| usage(&format!("--{name} expects a number")))
+        })
         .unwrap_or(default)
 }
 
@@ -127,7 +130,9 @@ fn schedule(args: &[String], flags: &HashMap<String, String>) {
     let order = match flag_scheduler(flags) {
         SchedulerKind::Tac => {
             let unordered = no_ordering(g);
-            let traces: Vec<_> = (0..5).map(|i| simulate(g, &unordered, &config, i)).collect();
+            let traces: Vec<_> = (0..5)
+                .map(|i| simulate(g, &unordered, &config, i))
+                .collect();
             tac_order(g, worker, &estimate_profile(&traces))
         }
         _ => {

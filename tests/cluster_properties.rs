@@ -2,9 +2,7 @@
 //! the full deploy → schedule → simulate pipeline.
 
 use proptest::prelude::*;
-use tictac::{
-    deploy, no_ordering, simulate, tic, ClusterSpec, Mode, ModelGraph, SimConfig,
-};
+use tictac::{deploy, no_ordering, simulate, tic, ClusterSpec, ModelGraph, SimConfig};
 use tictac_graph::{ModelGraphBuilder, ModelOpId, ModelOpKind, ParamId};
 
 /// A random layered MLP-ish model: `layers` sequential blocks, each with a

@@ -46,8 +46,22 @@ fn tic_beats_baseline_on_balanced_configs() {
 fn tac_matches_or_beats_tic_closely() {
     // §6/Appendix B: TIC is within a small margin of TAC.
     let cfg = SimConfig::cpu_cluster();
-    let tic = run(Model::InceptionV2, Mode::Inference, 4, 1, SchedulerKind::Tic, cfg.clone());
-    let tac = run(Model::InceptionV2, Mode::Inference, 4, 1, SchedulerKind::Tac, cfg);
+    let tic = run(
+        Model::InceptionV2,
+        Mode::Inference,
+        4,
+        1,
+        SchedulerKind::Tic,
+        cfg.clone(),
+    );
+    let tac = run(
+        Model::InceptionV2,
+        Mode::Inference,
+        4,
+        1,
+        SchedulerKind::Tac,
+        cfg,
+    );
     let ratio = tac.mean_throughput() / tic.mean_throughput();
     assert!(
         (0.9..=1.15).contains(&ratio),
@@ -77,8 +91,22 @@ fn any_fixed_order_reduces_stragglers() {
     // §6.3: enforcing any consistent order reduces the straggler effect,
     // regardless of order quality.
     let cfg = SimConfig::cloud_gpu();
-    let base = run(Model::ResNet50V1, Mode::Training, 8, 2, SchedulerKind::Baseline, cfg.clone());
-    let random = run(Model::ResNet50V1, Mode::Training, 8, 2, SchedulerKind::Random, cfg);
+    let base = run(
+        Model::ResNet50V1,
+        Mode::Training,
+        8,
+        2,
+        SchedulerKind::Baseline,
+        cfg.clone(),
+    );
+    let random = run(
+        Model::ResNet50V1,
+        Mode::Training,
+        8,
+        2,
+        SchedulerKind::Random,
+        cfg,
+    );
     assert!(
         random.max_straggler_pct() < base.max_straggler_pct(),
         "random {} vs baseline {}",

@@ -18,8 +18,20 @@ fn figure_1_good_vs_bad_order() {
     let mb = 4 << 20;
     let p1 = b.add_param("p1", mb);
     let p2 = b.add_param("p2", mb);
-    let read1 = b.add_op("read1", ps, OpKind::Read { param: p1 }, Cost::flops(1.0), &[]);
-    let read2 = b.add_op("read2", ps, OpKind::Read { param: p2 }, Cost::flops(1.0), &[]);
+    let read1 = b.add_op(
+        "read1",
+        ps,
+        OpKind::Read { param: p1 },
+        Cost::flops(1.0),
+        &[],
+    );
+    let read2 = b.add_op(
+        "read2",
+        ps,
+        OpKind::Read { param: p2 },
+        Cost::flops(1.0),
+        &[],
+    );
     let s1 = b.add_op("send1", ps, OpKind::send(p1, ch), Cost::bytes(mb), &[read1]);
     let s2 = b.add_op("send2", ps, OpKind::send(p2, ch), Cost::bytes(mb), &[read2]);
     let r1 = b.add_op("recv1", w, OpKind::recv(p1, ch), Cost::bytes(mb), &[s1]);
@@ -120,13 +132,9 @@ fn figure_8_ordering_does_not_change_loss() {
 fn table_1_parameter_census() {
     for model in Model::ALL {
         let built = model.build_with_batch(Mode::Inference, 1);
-        assert_eq!(
-            built.params().len(),
-            model.paper_row().params,
-            "{model}"
-        );
-        let rel =
-            (built.stats().param_mib() - model.paper_row().param_mib).abs() / model.paper_row().param_mib;
+        assert_eq!(built.params().len(), model.paper_row().params, "{model}");
+        let rel = (built.stats().param_mib() - model.paper_row().param_mib).abs()
+            / model.paper_row().param_mib;
         assert!(rel < 0.15, "{model} size off by {:.1}%", rel * 100.0);
     }
 }

@@ -1,0 +1,53 @@
+//! Offline vendored shim for `crossbeam::scope`, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantics difference from the real crate: a panicking child thread
+//! propagates out of [`scope`] as a panic rather than an `Err`, so callers'
+//! `.expect("worker thread panicked")` still fires — just one unwind
+//! earlier.
+
+/// A scoped-spawn handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope (unused by
+    /// this workspace, kept for signature compatibility).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let child = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&child))
+    }
+}
+
+/// Runs `f` with a scope allowing borrowing spawns; joins all children
+/// before returning.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        super::scope(|scope| {
+            for &x in &data {
+                let counter = &counter;
+                scope.spawn(move |_| counter.fetch_add(x, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,128 @@
+//! The `Standard` distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of each primitive: full range for integers,
+/// `[0, 1)` with 53 bits of precision for floats (as in `rand 0.8`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream samples a u32 and keeps one bit.
+        (rng.next_u32() & 1) == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit mantissa mapping to [0, 1), identical to rand 0.8's
+        // `Standard` for f64.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// 64×64→128-bit widening multiply, returning `(hi, lo)`.
+#[inline]
+fn wmul(a: u64, b: u64) -> (u64, u64) {
+    let full = (a as u128) * (b as u128);
+    ((full >> 64) as u64, full as u64)
+}
+
+/// Uniform `u64` in `[0, range)` by widening-multiply rejection with the
+/// `zone` of `rand 0.8`'s `UniformInt::sample_single` (bit-identical
+/// accept/reject decisions).
+#[inline]
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = wmul(v, range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! uniform_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(sample_u64_below(rng, span) as $ty)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every value is fair game.
+                    return rng.next_u64() as $ty;
+                }
+                start.wrapping_add(sample_u64_below(rng, span) as $ty)
+            }
+        }
+    )*};
+}
+
+uniform_int_range!(u64, usize, u32, i64, i32);
+
+macro_rules! uniform_float_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty gen_range");
+                let value01: $ty = Standard.sample(rng);
+                // scale * x + offset, as in UniformFloat::sample_single.
+                let scale = self.end - self.start;
+                value01 * scale + self.start
+            }
+        }
+    )*};
+}
+
+uniform_float_range!(f64, f32);

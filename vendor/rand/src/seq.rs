@@ -1,0 +1,35 @@
+//! Slice helpers.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (reverse Fisher–Yates, as in
+    /// `rand 0.8`).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..i + 1));
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = rng.gen_range(0..self.len());
+            Some(&self[i])
+        }
+    }
+}

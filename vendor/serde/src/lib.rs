@@ -1,0 +1,17 @@
+//! Offline vendored no-op subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types as
+//! forward-looking API decoration but never serializes anything (there is
+//! no `serde_json` or other format crate in the tree). With no registry
+//! access at build time, this stub supplies the two trait names and
+//! re-exports no-op derive macros so the annotations stay compilable.
+//! Swapping the real `serde` back in is a one-line workspace change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
