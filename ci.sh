@@ -21,4 +21,11 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== bench smoke =="
+# Quick plan (2 small models, median of 3), written to a scratch path so
+# the committed BENCH_results.json stays untouched; --check fails the
+# gate on malformed output.
+./target/release/bench --quick --out target/BENCH_results_smoke.json
+./target/release/bench --check target/BENCH_results_smoke.json
+
 echo "== ci.sh: all green =="

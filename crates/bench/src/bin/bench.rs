@@ -1,0 +1,154 @@
+//! `bench` — the in-repo wall-clock benchmark harness.
+//!
+//! ```text
+//! bench [--quick] [--out PATH] [--baseline PATH]
+//! bench --check PATH
+//! ```
+//!
+//! Times the per-model pipeline (build / deploy / tic / tac / tac_naive /
+//! simulate) with warmup + median-of-N, writes the report to
+//! `BENCH_results.json` (or `--out`), and prints a comparison against the
+//! checked-in `BENCH_baseline.json` when one is present. `--check`
+//! validates an existing report and exits nonzero if it is malformed.
+
+use tictac_bench::format::Table;
+use tictac_bench::micro::{render_json, run_plan, validate_report, BenchPlan, BenchReport};
+
+fn usage() -> ! {
+    eprintln!("usage: bench [--quick] [--out PATH] [--baseline PATH]\n       bench --check PATH");
+    std::process::exit(2);
+}
+
+fn check(path: &str) -> ! {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("bench --check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_report(&src) {
+        Ok(report) => {
+            println!(
+                "{path}: valid {} report ({} models, median of {})",
+                tictac_bench::micro::SCHEMA,
+                report.models.len(),
+                report.samples
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("bench --check: {path} is malformed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn summary(report: &BenchReport) -> String {
+    let mut t = Table::new([
+        "model",
+        "build ms",
+        "deploy ms",
+        "tic ms",
+        "tac ms",
+        "naive ms",
+        "sim ms",
+        "tac speedup",
+    ]);
+    for m in &report.models {
+        let p = &m.phases;
+        t.row([
+            m.model.clone(),
+            format!("{:.3}", p.build_ms),
+            format!("{:.3}", p.deploy_ms),
+            format!("{:.3}", p.tic_ms),
+            format!("{:.3}", p.tac_ms),
+            format!("{:.3}", p.tac_naive_ms),
+            format!("{:.3}", p.simulate_ms),
+            format!("{:.1}x", m.tac_speedup),
+        ]);
+    }
+    t.render()
+}
+
+fn comparison(report: &BenchReport, baseline: &BenchReport) -> String {
+    let mut t = Table::new(["model", "build", "deploy", "tic", "tac", "naive", "sim"]);
+    let mut matched = 0;
+    for m in &report.models {
+        let Some(base) = baseline.models.iter().find(|b| b.model == m.model) else {
+            continue;
+        };
+        matched += 1;
+        let ratio = |now: f64, then: f64| format!("x{:.2}", now / then.max(1e-9));
+        let (now, then) = (m.phases.pairs(), base.phases.pairs());
+        t.row([
+            m.model.clone(),
+            ratio(now[0].1, then[0].1),
+            ratio(now[1].1, then[1].1),
+            ratio(now[2].1, then[2].1),
+            ratio(now[3].1, then[3].1),
+            ratio(now[4].1, then[4].1),
+            ratio(now[5].1, then[5].1),
+        ]);
+    }
+    if matched == 0 {
+        return "no models in common with the baseline\n".into();
+    }
+    format!(
+        "vs baseline (this run / baseline; <1 is faster):\n{}",
+        t.render()
+    )
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_results.json");
+    let mut baseline_path = String::from("BENCH_baseline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--baseline" => baseline_path = args.next().unwrap_or_else(|| usage()),
+            "--check" => check(&args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("bench: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let plan = BenchPlan::new(quick);
+    println!(
+        "benching {} models (warmup {}, median of {})...",
+        plan.models.len(),
+        plan.warmup,
+        plan.samples
+    );
+    let report = run_plan(&plan, |timing| {
+        println!(
+            "  {:<22} tac {:.3} ms, naive {:.3} ms ({:.1}x)",
+            timing.model, timing.phases.tac_ms, timing.phases.tac_naive_ms, timing.tac_speedup
+        );
+    });
+
+    let json = render_json(&report);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\n{}", summary(&report));
+    println!("wrote {out}");
+
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(src) => match validate_report(&src) {
+            Ok(baseline) => println!("\n{}", comparison(&report, &baseline)),
+            Err(e) => {
+                eprintln!("bench: baseline {baseline_path} is malformed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => println!("(no baseline at {baseline_path}; skipping comparison)"),
+    }
+}

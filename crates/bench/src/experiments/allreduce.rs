@@ -9,6 +9,7 @@
 //! recover?
 
 use crate::format::Table;
+use crate::runner::parallel_map;
 use tictac_core::{
     deploy_all_reduce, no_ordering, simulate, speedup_pct, ClusterSpec, Mode, Model, SchedulerKind,
     Session, SimConfig,
@@ -38,7 +39,8 @@ pub fn run(quick: bool) -> String {
             "TIC vs ring gap",
         ]);
         let batch = model.default_batch();
-        for &workers in worker_counts {
+        // Each worker-count cell is an independent deployment; fan out.
+        let rows = parallel_map(worker_counts.to_vec(), |&workers| {
             let ps = (workers / 4).max(1);
             let graph = model.build(Mode::Training);
             let session = |scheduler: SchedulerKind| {
@@ -68,13 +70,16 @@ pub fn run(quick: bool) -> String {
             let ring_tput =
                 (batch * workers) as f64 / (makespans.iter().sum::<f64>() / makespans.len() as f64);
 
-            t.row([
+            [
                 workers.to_string(),
                 format!("{ps_base:.1}"),
                 format!("{ps_tic:.1}"),
                 format!("{ring_tput:.1}"),
                 format!("{:+.1}%", speedup_pct(ring_tput, ps_tic)),
-            ]);
+            ]
+        });
+        for row in rows {
+            t.row(row);
         }
         out.push_str(&format!("model = {}\n{}\n", model.name(), t.render()));
     }

@@ -3,6 +3,7 @@
 //! TAC — 1000 single-iteration runs of Inception v2 on envC.
 
 use crate::format::Table;
+use crate::runner::parallel_map;
 use tictac_core::{ols, Cdf, ClusterSpec, Mode, Model, SchedulerKind, Session, SimConfig};
 
 /// Runs Inception v2 training `N` times with and without TAC, then fits
@@ -24,15 +25,15 @@ pub fn run(quick: bool) -> String {
             .iterations(1)
             .build()
             .expect("valid cluster");
-        let mut efficiencies = Vec::with_capacity(runs);
-        let mut steps = Vec::with_capacity(runs);
-        for i in 0..runs {
-            let report = session.run_with_offset(i as u64);
+        // Each run seeds its own streams from the offset, so the points
+        // are independent and fan out across threads.
+        parallel_map((0..runs as u64).collect(), |&i| {
+            let report = session.run_with_offset(i);
             let rec = report.iterations[0];
-            efficiencies.push(rec.efficiency);
-            steps.push(rec.makespan.as_secs_f64());
-        }
-        (efficiencies, steps)
+            (rec.efficiency, rec.makespan.as_secs_f64())
+        })
+        .into_iter()
+        .unzip()
     };
 
     let (e_base, s_base) = collect(SchedulerKind::Baseline);

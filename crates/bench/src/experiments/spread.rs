@@ -8,6 +8,7 @@
 //! table.
 
 use crate::format::Table;
+use crate::runner::parallel_map;
 use tictac_core::{
     estimate_profile, no_ordering, simulate, tac, worst_case, ClusterSpec, Mode, Model, NoiseModel,
     SchedulerKind, Session, SimConfig,
@@ -37,7 +38,8 @@ pub fn run(quick: bool) -> String {
         "empirical spread",
         "achieved fraction",
     ]);
-    for &model in &models {
+    // One independent measurement pipeline per model.
+    let rows = parallel_map(models, |&model| {
         let graph = model.build(Mode::Inference);
         let deployed = tictac_core::deploy(&graph, &ClusterSpec::new(4, 1)).expect("valid cluster");
         let g = deployed.graph();
@@ -67,12 +69,15 @@ pub fn run(quick: bool) -> String {
             .run();
         let s = report.iterations[0].speedup_potential;
 
-        t.row([
+        [
             model.name().to_string(),
             format!("{s:.3}"),
             format!("{spread:.3}"),
             format!("{:.0}%", 100.0 * spread / s.max(1e-9)),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     format!(
         "Extension: empirical schedule spread vs speedup potential S (Eq. 4)\n(envG inference, 4 workers, noise off; adversary = reverse TAC)\n\n{}\n\

@@ -8,4 +8,5 @@
 
 pub mod experiments;
 pub mod format;
+pub mod micro;
 pub mod runner;

@@ -1,0 +1,639 @@
+//! In-repo micro-benchmark harness (the `bench` binary).
+//!
+//! The vendored `criterion` is a no-op API stub, so wall-clock numbers
+//! come from this module instead: each phase of the per-model pipeline
+//! (graph build → deploy → TIC → TAC → naive TAC → simulate) is timed
+//! with explicit warmup and a median-of-N estimator, and the report is
+//! written as `BENCH_results.json` at the repository root.
+//!
+//! The workspace vendors no JSON crate, so the report format is
+//! hand-rolled: [`render_json`] emits it and [`parse_json`] /
+//! [`validate_report`] read it back for `bench --check` and for the
+//! comparison against the checked-in `BENCH_baseline.json`.
+
+use std::hint::black_box;
+
+use tictac_core::{
+    deploy, no_ordering, simulate, tac_order, tac_order_naive, tic, ClusterSpec, CostOracle, Mode,
+    Model, Platform, SimConfig,
+};
+
+/// Schema tag stamped into every report; `--check` rejects anything else.
+pub const SCHEMA: &str = "tictac-bench/v1";
+
+/// What to measure and how hard to measure it.
+#[derive(Debug, Clone)]
+pub struct BenchPlan {
+    /// Trimmed model set and sample counts for CI smoke runs.
+    pub quick: bool,
+    /// Untimed iterations before sampling begins.
+    pub warmup: usize,
+    /// Timed iterations; the median is reported.
+    pub samples: usize,
+    /// Models to push through the pipeline.
+    pub models: Vec<Model>,
+}
+
+impl BenchPlan {
+    /// The default plan: every zoo model at median-of-5, or two small
+    /// models at median-of-3 in quick mode.
+    pub fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                quick,
+                warmup: 1,
+                samples: 3,
+                models: vec![Model::AlexNetV2, Model::InceptionV1],
+            }
+        } else {
+            Self {
+                quick,
+                warmup: 1,
+                samples: 5,
+                models: Model::ALL.to_vec(),
+            }
+        }
+    }
+}
+
+/// Median wall-clock milliseconds of `f` over `samples` runs after
+/// `warmup` untimed runs.
+pub fn median_ms<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Median milliseconds per pipeline phase for one model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTimings {
+    /// Building the layered model graph.
+    pub build_ms: f64,
+    /// Deploying it onto the cluster (partition + send/recv insertion).
+    pub deploy_ms: f64,
+    /// The TIC scheduler.
+    pub tic_ms: f64,
+    /// The incremental TAC scheduler (Algorithm 3 fast path).
+    pub tac_ms: f64,
+    /// The naive per-round recompute reference.
+    pub tac_naive_ms: f64,
+    /// One unordered simulated iteration.
+    pub simulate_ms: f64,
+}
+
+impl PhaseTimings {
+    /// Phase names in report order, paired with their values.
+    pub fn pairs(&self) -> [(&'static str, f64); 6] {
+        [
+            ("build_ms", self.build_ms),
+            ("deploy_ms", self.deploy_ms),
+            ("tic_ms", self.tic_ms),
+            ("tac_ms", self.tac_ms),
+            ("tac_naive_ms", self.tac_naive_ms),
+            ("simulate_ms", self.simulate_ms),
+        ]
+    }
+}
+
+/// One model's row of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelTiming {
+    /// Zoo model name.
+    pub model: String,
+    /// Median per-phase milliseconds.
+    pub phases: PhaseTimings,
+    /// `tac_naive_ms / tac_ms` — the incremental fast-path win.
+    pub tac_speedup: f64,
+}
+
+/// The full report backing `BENCH_results.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Whether the trimmed quick plan produced this report.
+    pub quick: bool,
+    /// Warmup iterations per phase.
+    pub warmup: usize,
+    /// Timed iterations per phase.
+    pub samples: usize,
+    /// Per-model timings.
+    pub models: Vec<ModelTiming>,
+}
+
+/// Times every pipeline phase for one model.
+///
+/// The setup mirrors the scheduling-cost experiment: training graphs at
+/// batch 2 on a 4-worker / 1-PS cluster, costs from the envG oracle.
+pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
+    let batch = 2;
+    let cluster = ClusterSpec::new(4, 1);
+    let oracle = CostOracle::new(Platform::cloud_gpu());
+
+    let build_ms = median_ms(plan.warmup, plan.samples, || {
+        black_box(model.build_with_batch(Mode::Training, batch));
+    });
+    let graph = model.build_with_batch(Mode::Training, batch);
+
+    let deploy_ms = median_ms(plan.warmup, plan.samples, || {
+        black_box(deploy(&graph, &cluster).expect("zoo model deploys"));
+    });
+    let deployed = deploy(&graph, &cluster).expect("zoo model deploys");
+    let g = deployed.graph();
+    let w0 = deployed.workers()[0];
+
+    let tic_ms = median_ms(plan.warmup, plan.samples, || {
+        black_box(tic(g, w0));
+    });
+    let tac_ms = median_ms(plan.warmup, plan.samples, || {
+        black_box(tac_order(g, w0, &oracle));
+    });
+    let tac_naive_ms = median_ms(plan.warmup, plan.samples, || {
+        black_box(tac_order_naive(g, w0, &oracle));
+    });
+
+    let schedule = no_ordering(g);
+    let config = SimConfig::cloud_gpu();
+    let simulate_ms = median_ms(plan.warmup, plan.samples, || {
+        black_box(simulate(g, &schedule, &config, 0));
+    });
+
+    ModelTiming {
+        model: model.name().to_string(),
+        phases: PhaseTimings {
+            build_ms,
+            deploy_ms,
+            tic_ms,
+            tac_ms,
+            tac_naive_ms,
+            simulate_ms,
+        },
+        tac_speedup: tac_naive_ms / tac_ms.max(1e-9),
+    }
+}
+
+/// Runs the whole plan, reporting progress through `progress`.
+pub fn run_plan(plan: &BenchPlan, mut progress: impl FnMut(&ModelTiming)) -> BenchReport {
+    let mut models = Vec::with_capacity(plan.models.len());
+    for &model in &plan.models {
+        let timing = bench_model(model, plan);
+        progress(&timing);
+        models.push(timing);
+    }
+    BenchReport {
+        quick: plan.quick,
+        warmup: plan.warmup,
+        samples: plan.samples,
+        models,
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the report as pretty-printed JSON.
+pub fn render_json(report: &BenchReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": {},\n", quote(SCHEMA)));
+    s.push_str(&format!("  \"quick\": {},\n", report.quick));
+    s.push_str(&format!("  \"warmup\": {},\n", report.warmup));
+    s.push_str(&format!("  \"samples\": {},\n", report.samples));
+    s.push_str("  \"models\": [\n");
+    for (i, m) in report.models.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"model\": {},\n", quote(&m.model)));
+        s.push_str("      \"phases\": {\n");
+        let pairs = m.phases.pairs();
+        for (j, (name, value)) in pairs.iter().enumerate() {
+            let comma = if j + 1 < pairs.len() { "," } else { "" };
+            s.push_str(&format!("        {}: {value:.6}{comma}\n", quote(name)));
+        }
+        s.push_str("      },\n");
+        s.push_str(&format!("      \"tac_speedup\": {:.6}\n", m.tac_speedup));
+        let comma = if i + 1 < report.models.len() { "," } else { "" };
+        s.push_str(&format!("    }}{comma}\n"));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// A parsed JSON value (the workspace vendors no JSON crate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("json error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected {word}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => self.err(&format!("unexpected {:?}", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("json error at byte {}: invalid utf-8", self.pos))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    if (c as u32) < 0x20 {
+                        return self.err("raw control character in string");
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => self.err(&format!("bad number {text:?}")),
+        }
+    }
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after document");
+    }
+    Ok(value)
+}
+
+fn field_f64(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    let v = obj
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing numeric field {key:?}"))?;
+    if v < 0.0 {
+        return Err(format!("{ctx}: field {key:?} is negative"));
+    }
+    Ok(v)
+}
+
+/// Parses and validates a `BENCH_results.json` document, reconstructing
+/// the report. Any structural problem is an `Err` — this is what
+/// `bench --check` exits nonzero on.
+pub fn validate_report(src: &str) -> Result<BenchReport, String> {
+    let doc = parse_json(src)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?} is not {SCHEMA:?}"));
+    }
+    let quick = doc
+        .get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("missing bool field \"quick\"")?;
+    let warmup = field_f64(&doc, "warmup", "report")? as usize;
+    let samples = field_f64(&doc, "samples", "report")? as usize;
+    let entries = doc
+        .get("models")
+        .and_then(Json::as_array)
+        .ok_or("missing array field \"models\"")?;
+    if entries.is_empty() {
+        return Err("\"models\" is empty".into());
+    }
+    let mut models = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let name = entry
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("model entry: missing string field \"model\"")?;
+        let phases = entry
+            .get("phases")
+            .ok_or_else(|| format!("{name}: missing \"phases\""))?;
+        let phases = PhaseTimings {
+            build_ms: field_f64(phases, "build_ms", name)?,
+            deploy_ms: field_f64(phases, "deploy_ms", name)?,
+            tic_ms: field_f64(phases, "tic_ms", name)?,
+            tac_ms: field_f64(phases, "tac_ms", name)?,
+            tac_naive_ms: field_f64(phases, "tac_naive_ms", name)?,
+            simulate_ms: field_f64(phases, "simulate_ms", name)?,
+        };
+        let tac_speedup = field_f64(entry, "tac_speedup", name)?;
+        models.push(ModelTiming {
+            model: name.to_string(),
+            phases,
+            tac_speedup,
+        });
+    }
+    Ok(BenchReport {
+        quick,
+        warmup,
+        samples,
+        models,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            quick: true,
+            warmup: 1,
+            samples: 3,
+            models: vec![ModelTiming {
+                model: "alexnet_v2".into(),
+                phases: PhaseTimings {
+                    build_ms: 0.5,
+                    deploy_ms: 1.25,
+                    tic_ms: 0.125,
+                    tac_ms: 2.0,
+                    tac_naive_ms: 12.0,
+                    simulate_ms: 8.5,
+                },
+                tac_speedup: 6.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = sample_report();
+        let json = render_json(&report);
+        let back = validate_report(&json).expect("rendered report validates");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a\n\"bA": [1, -2.5e1, true, null, {}]}"#).unwrap();
+        let arr = v.get("a\n\"bA").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(arr[2].as_bool(), Some(true));
+        assert_eq!(arr[3], Json::Null);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\": }",
+            "{} trailing",
+            "{\"schema\": \"wrong\"}",
+            "{\"schema\": \"tictac-bench/v1\", \"quick\": true, \"warmup\": 1, \"samples\": 1, \"models\": []}",
+        ] {
+            assert!(validate_report(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut calls = 0usize;
+        let ms = median_ms(2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn quick_bench_times_one_small_model() {
+        let plan = BenchPlan {
+            quick: true,
+            warmup: 0,
+            samples: 1,
+            models: vec![Model::AlexNetV2],
+        };
+        let timing = bench_model(Model::AlexNetV2, &plan);
+        assert_eq!(timing.model, "alexnet_v2");
+        for (name, value) in timing.phases.pairs() {
+            assert!(value > 0.0, "phase {name} reported no time");
+        }
+        assert!(timing.tac_speedup > 0.0);
+    }
+}

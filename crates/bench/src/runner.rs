@@ -73,17 +73,27 @@ impl Point {
     }
 }
 
-/// Maps `f` over `items` on up to `available_parallelism` worker threads,
+/// Maps `f` over `items` on up to `available_parallelism` worker threads
+/// (override with the `TICTAC_THREADS` env var; `1` forces serial),
 /// preserving input order in the output.
+///
+/// Results are identical at any thread count: every point seeds its own
+/// random streams, and outputs are written back by input index.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let threads = std::env::var("TICTAC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .min(items.len().max(1));
     if threads <= 1 {
         return items.iter().map(&f).collect();

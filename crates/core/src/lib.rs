@@ -52,8 +52,8 @@ pub use tictac_graph::{
 pub use tictac_metrics::{ols, percentile, Cdf, Histogram, OlsFit, Streaming, Summary};
 pub use tictac_models::{tiny_mlp, Mode, Model};
 pub use tictac_sched::{
-    efficiency, merge_schedules, no_ordering, random_order, tac, tac_order, tic, worst_case,
-    OpProperties, PartitionGraph, Schedule, TacComparator,
+    efficiency, merge_schedules, no_ordering, random_order, tac, tac_order, tac_order_naive, tic,
+    worst_case, OpProperties, PartitionGraph, Schedule, TacComparator,
 };
 pub use tictac_sim::{
     analyze, simulate, simulate_with_plan, try_simulate, Blackout, Crash, FaultCounters, FaultPlan,

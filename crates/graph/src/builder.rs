@@ -230,6 +230,7 @@ impl GraphBuilder {
             devices: self.devices,
             channels: self.channels,
             params: self.params,
+            name_index: std::sync::OnceLock::new(),
         };
 
         // Acyclicity.

@@ -43,6 +43,10 @@ pub struct Graph {
     pub(crate) devices: Vec<Device>,
     pub(crate) channels: Vec<Channel>,
     pub(crate) params: Vec<ParamInfo>,
+    /// Lazily-built name → id index backing [`Graph::find_op`]. Skipped by
+    /// serde (and reset by `Default` on deserialize); rebuilt on first use.
+    #[serde(skip)]
+    pub(crate) name_index: std::sync::OnceLock<std::collections::HashMap<String, OpId>>,
 }
 
 impl Graph {
@@ -204,11 +208,22 @@ impl Graph {
             .collect()
     }
 
-    /// Looks up an op by name. O(n); intended for tests and debugging.
+    /// Looks up an op by name.
+    ///
+    /// O(1) after the first call: the index over all op names is built
+    /// lazily and cached. Duplicate names resolve to the earliest op, like
+    /// the linear scan this replaced.
     pub fn find_op(&self, name: &str) -> Option<OpId> {
-        self.ops()
-            .find(|(_, op)| op.name() == name)
-            .map(|(id, _)| id)
+        self.name_index
+            .get_or_init(|| {
+                let mut index = std::collections::HashMap::with_capacity(self.ops.len());
+                for (id, op) in self.ops() {
+                    index.entry(op.name().to_string()).or_insert(id);
+                }
+                index
+            })
+            .get(name)
+            .copied()
     }
 
     /// The channel connecting `worker` and `ps`, if one exists.

@@ -170,7 +170,7 @@ pub fn recv_dependencies(graph: &Graph, recvs: &[OpId]) -> Vec<RecvSet> {
 }
 
 /// A fixed-width bitset over recv-op bit positions.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecvSet {
     words: Vec<u64>,
 }
@@ -270,6 +270,30 @@ impl RecvSet {
     pub fn remove(&mut self, i: usize) {
         if let Some(w) = self.words.get_mut(i / 64) {
             *w &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Overwrites this set with the contents of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn copy_from(&mut self, other: &RecvSet) {
+        assert_eq!(self.words.len(), other.words.len(), "capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &RecvSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place set difference: removes every bit set in `other`.
+    pub fn difference_with(&mut self, other: &RecvSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
         }
     }
 }
@@ -373,6 +397,28 @@ mod tests {
         t.insert(5);
         s.union_with(&t);
         assert!(s.contains(5));
+    }
+
+    #[test]
+    fn recvset_copy_intersect_difference() {
+        let mut a = RecvSet::empty(2);
+        a.insert(1);
+        a.insert(64);
+        a.insert(70);
+        let mut b = RecvSet::empty(2);
+        b.insert(64);
+        b.insert(2);
+
+        let mut s = RecvSet::empty(2);
+        s.copy_from(&a);
+        assert_eq!(s, a);
+
+        s.intersect_with(&b);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![64]);
+
+        s.copy_from(&a);
+        s.difference_with(&b);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 70]);
     }
 
     #[test]

@@ -14,13 +14,34 @@
 //!   transfer time (it is part of `op.M`).
 //!
 //! The paper recomputes all properties from scratch every round
-//! (`UpdateProperties`). This implementation is incremental: `M` and the
-//! per-op outstanding-dependency counts are maintained under
-//! [`OpProperties::complete`], `P` accumulates exactly when an op's count
-//! drops to one, and only `M⁺` needs a per-round sweep
-//! ([`OpProperties::recompute_m_plus`]). The results are identical; the
-//! complexity drops from `O(|R|·|G|·|R|)` to `O(|R|·|G|)` plus the `M⁺`
-//! sweeps.
+//! (`UpdateProperties`). This implementation is fully incremental
+//! (DESIGN.md §7): a reverse index maps each recv bit to the ops whose
+//! transitive dependency set contains it, so [`OpProperties::complete`]
+//! touches only the ops whose count actually changes — `M` and the counts
+//! are decremented in place, `P` accumulates exactly when an op's count
+//! drops to one, and `M⁺` is maintained by a frontier-restricted min-merge
+//! plus targeted re-derivation of the few bits whose minimum may have
+//! risen. The naive per-round sweep survives as
+//! [`OpProperties::recompute_m_plus`] / [`OpProperties::complete_naive`],
+//! the reference implementation that seeds the initial state and anchors
+//! the equivalence tests and benchmarks.
+//!
+//! # Why the incremental `M⁺` is exact
+//!
+//! Dependency sets grow along partition edges (`dep(succ) ⊇ dep(pred)`),
+//! so both `op.M` and the outstanding count are monotone non-decreasing
+//! from predecessor to successor. Three consequences:
+//!
+//! 1. The candidate set for a bit `c` (ops with `cnt ≥ 2` and `c ∈ dep`)
+//!    is *up-closed*: `M⁺[c]` is attained at a minimal candidate.
+//! 2. When completing a bit decreases a surviving candidate `i`, merging
+//!    `min(M⁺[c], M[i])` into every `c ∈ dep(i) ∩ R` is sound — and any
+//!    `c` covered by a predecessor `p` of `i` with `cnt(p) ≥ 2` can be
+//!    skipped, because `M⁺[c] ≤ M[p] ≤ M[i]` is guaranteed by `p`'s own
+//!    merge (or, inductively, by one of `p`'s predecessors').
+//! 3. The minimum for `c` can only *rise* when a candidate leaves the set
+//!    (its count drops from 2 to 1) while holding the stored minimum;
+//!    exactly those bits are re-derived from the reverse index.
 
 use crate::partition::PartitionGraph;
 use tictac_graph::topo::RecvSet;
@@ -45,6 +66,17 @@ pub struct OpProperties {
     /// Per recv bit: whether the op is a recv currently in `R` (used to
     /// exclude outstanding recvs from `P` contributions).
     is_recv: Vec<bool>,
+    /// Per recv bit: local ops whose transitive dependency set contains the
+    /// bit, ascending. The reverse of `part.deps`; lets `complete` touch
+    /// only affected ops instead of sweeping the partition.
+    dependents: Vec<Vec<u32>>,
+    /// Scratch bitset for the frontier-restricted merge (avoids per-round
+    /// allocation).
+    scratch_set: RecvSet,
+    /// Scratch: pre-completion `M` of each affected op.
+    scratch_old_m: Vec<SimDuration>,
+    /// Scratch: bits whose `M⁺` must be re-derived this round.
+    scratch_dirty: Vec<usize>,
 }
 
 impl OpProperties {
@@ -92,6 +124,13 @@ impl OpProperties {
             }
         }
 
+        let mut dependents = vec![Vec::new(); n_recv];
+        for i in 0..part.len() {
+            for bit in part.deps(i).iter() {
+                dependents[bit].push(i as u32);
+            }
+        }
+
         let mut props = Self {
             outstanding,
             n_outstanding: n_recv,
@@ -101,6 +140,10 @@ impl OpProperties {
             m_plus: vec![None; n_recv],
             durations,
             is_recv,
+            dependents,
+            scratch_set: RecvSet::empty(words),
+            scratch_old_m: Vec::new(),
+            scratch_dirty: Vec::new(),
         };
         props.recompute_m_plus(part);
         props
@@ -154,15 +197,136 @@ impl OpProperties {
     }
 
     /// Marks recv `bit` as completed (removes it from `R`) and updates `M`,
-    /// counts and `P` incrementally.
+    /// counts, `P` **and `M⁺`** incrementally.
     ///
-    /// Call [`recompute_m_plus`](Self::recompute_m_plus) afterwards if `M⁺`
-    /// values are needed for the next round.
+    /// Only ops whose dependency count actually changes (the reverse index
+    /// of `bit`) are touched; `M⁺` is maintained by a frontier-restricted
+    /// min-merge plus exact re-derivation of bits whose minimum may have
+    /// risen (see the module docs). Equivalent to
+    /// [`complete_naive`](Self::complete_naive) followed by
+    /// [`recompute_m_plus`](Self::recompute_m_plus).
     ///
     /// # Panics
     ///
     /// Panics if the recv is not outstanding.
     pub fn complete(&mut self, part: &PartitionGraph, bit: usize) {
+        assert!(self.outstanding.contains(bit), "recv {bit} not outstanding");
+        self.outstanding.remove(bit);
+        self.n_outstanding -= 1;
+        let recv_dur = self.durations[part.recvs()[bit] as usize];
+
+        // The completed bit can never be selected again, so its dependents
+        // list is dead weight: take it, freeing the borrow for the passes
+        // below.
+        let affected = std::mem::take(&mut self.dependents[bit]);
+
+        // Pass 1: decrement M and the counts, accumulate P — the same
+        // transitions as the naive sweep, restricted to affected ops.
+        self.scratch_old_m.clear();
+        for &i in &affected {
+            let i = i as usize;
+            self.scratch_old_m.push(self.m[i]);
+            self.m[i] = self.m[i].saturating_sub(recv_dur);
+            self.cnt[i] -= 1;
+            if self.cnt[i] == 1 && !self.is_recv[i] {
+                // The op now waits on exactly one outstanding recv.
+                if let Some(owner) = part.deps(i).iter_intersection(&self.outstanding).next() {
+                    self.p[owner] += self.durations[i];
+                }
+            }
+        }
+
+        // The completed recv left `R`; its own M+ slot is undefined now.
+        self.m_plus[bit] = None;
+
+        // Pass 2: an op leaving the candidate set (count 2 -> 1) while its
+        // old M equals the stored minimum may have been the argmin — those
+        // bits must be re-derived from scratch.
+        let mut dirty = std::mem::take(&mut self.scratch_dirty);
+        dirty.clear();
+        for (k, &i) in affected.iter().enumerate() {
+            let i = i as usize;
+            if self.cnt[i] != 1 {
+                continue;
+            }
+            let old_m = self.scratch_old_m[k];
+            for c in part.deps(i).iter_intersection(&self.outstanding) {
+                if self.m_plus[c] == Some(old_m) {
+                    dirty.push(c);
+                }
+            }
+        }
+
+        // Pass 3: surviving candidates decreased; min-merge their new M
+        // into their dependency bits. Bits covered by a predecessor that is
+        // itself a candidate are skipped: the predecessor's (smaller) M
+        // already bounds them.
+        let mut fresh = std::mem::take(&mut self.scratch_set);
+        for &i in &affected {
+            let i = i as usize;
+            if self.cnt[i] < 2 {
+                continue;
+            }
+            // Dependency sets nest along edges, so a qualifying predecessor
+            // with the same count has the *same* outstanding set — every
+            // bit is covered and the merge is a no-op. This catches almost
+            // every op on chain-shaped models without touching bitset
+            // words.
+            if part
+                .preds(i)
+                .iter()
+                .any(|&p| self.cnt[p as usize] == self.cnt[i])
+            {
+                continue;
+            }
+            let m_new = self.m[i];
+            fresh.copy_from(part.deps(i));
+            fresh.intersect_with(&self.outstanding);
+            for &p in part.preds(i) {
+                if self.cnt[p as usize] >= 2 {
+                    fresh.difference_with(part.deps(p as usize));
+                }
+            }
+            for c in fresh.iter() {
+                let slot = &mut self.m_plus[c];
+                *slot = Some(match *slot {
+                    Some(cur) => cur.min(m_new),
+                    None => m_new,
+                });
+            }
+        }
+        self.scratch_set = fresh;
+
+        // Pass 4: exact re-derivation of the dirty bits via the reverse
+        // index (overwrites whatever the merges left there).
+        dirty.sort_unstable();
+        dirty.dedup();
+        for &c in &dirty {
+            let mut best: Option<SimDuration> = None;
+            for &j in &self.dependents[c] {
+                let j = j as usize;
+                if self.cnt[j] >= 2 {
+                    best = Some(match best {
+                        Some(b) => b.min(self.m[j]),
+                        None => self.m[j],
+                    });
+                }
+            }
+            self.m_plus[c] = best;
+        }
+        self.scratch_dirty = dirty;
+    }
+
+    /// Reference implementation of the completion step: the full `O(|G|)`
+    /// sweep of the seed engine, leaving `M⁺` stale. Pair with
+    /// [`recompute_m_plus`](Self::recompute_m_plus) to reproduce the naive
+    /// per-round cost; used by the equivalence tests and the benchmark
+    /// harness's `tac_naive` stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recv is not outstanding.
+    pub fn complete_naive(&mut self, part: &PartitionGraph, bit: usize) {
         assert!(self.outstanding.contains(bit), "recv {bit} not outstanding");
         self.outstanding.remove(bit);
         self.n_outstanding -= 1;
@@ -182,8 +346,10 @@ impl OpProperties {
         }
     }
 
-    /// Recomputes `M⁺` for all outstanding recvs (the only non-incremental
-    /// part of Algorithm 1).
+    /// Recomputes `M⁺` for all outstanding recvs with a full sweep — the
+    /// naive per-round reference. [`complete`](Self::complete) maintains
+    /// the same values incrementally; this remains for initialization and
+    /// as the oracle in equivalence tests and benchmarks.
     pub fn recompute_m_plus(&mut self, part: &PartitionGraph) {
         for v in &mut self.m_plus {
             *v = None;

@@ -54,12 +54,42 @@ impl TacComparator {
     }
 }
 
+/// Picks the minimum outstanding recv under [`TacComparator`] (ties broken
+/// by op id for determinism).
+fn select_best(part: &PartitionGraph, props: &OpProperties) -> usize {
+    props
+        .outstanding()
+        .map(|bit| {
+            (
+                bit,
+                RecvScore {
+                    p: props.p(bit),
+                    m: props.recv_time(part, bit),
+                    m_plus: props.m_plus(bit),
+                },
+            )
+        })
+        .reduce(|best, cand| {
+            if TacComparator.precedes(cand.1, best.1) {
+                cand
+            } else {
+                best
+            }
+        })
+        .map(|(bit, _)| bit)
+        .expect("outstanding set is non-empty")
+}
+
 /// Computes the TAC transfer order for the recv ops of `worker`.
 ///
 /// Iteratively (Algorithm 3): update properties for the outstanding set,
 /// pick the minimum recv under [`TacComparator`] (ties broken by op id for
 /// determinism), mark it complete and repeat. Returns recv ops in transfer
 /// order.
+///
+/// Properties are maintained incrementally across rounds (DESIGN.md §7);
+/// [`tac_order_naive`] is the reference implementation with the paper's
+/// per-round recomputation, kept for equivalence tests and benchmarks.
 pub fn tac_order(graph: &Graph, worker: DeviceId, oracle: &dyn TimeOracle) -> Vec<OpId> {
     let part = PartitionGraph::new(graph, worker);
     let durations = part.durations(graph, oracle);
@@ -67,29 +97,27 @@ pub fn tac_order(graph: &Graph, worker: DeviceId, oracle: &dyn TimeOracle) -> Ve
 
     let mut order = Vec::with_capacity(part.recvs().len());
     while props.outstanding_count() > 0 {
-        let best = props
-            .outstanding()
-            .map(|bit| {
-                (
-                    bit,
-                    RecvScore {
-                        p: props.p(bit),
-                        m: props.recv_time(&part, bit),
-                        m_plus: props.m_plus(bit),
-                    },
-                )
-            })
-            .reduce(|best, cand| {
-                if TacComparator.precedes(cand.1, best.1) {
-                    cand
-                } else {
-                    best
-                }
-            })
-            .map(|(bit, _)| bit)
-            .expect("outstanding set is non-empty");
+        let best = select_best(&part, &props);
         order.push(part.global(part.recvs()[best] as usize));
         props.complete(&part, best);
+    }
+    order
+}
+
+/// Reference implementation of [`tac_order`] using the naive full sweep
+/// (`complete_naive` + `recompute_m_plus`) every round, as the paper's
+/// pseudo-code is written. Returns the same order as [`tac_order`] — the
+/// proptest and zoo equivalence tests pin that — at `O(|R|²·|G|)` cost.
+pub fn tac_order_naive(graph: &Graph, worker: DeviceId, oracle: &dyn TimeOracle) -> Vec<OpId> {
+    let part = PartitionGraph::new(graph, worker);
+    let durations = part.durations(graph, oracle);
+    let mut props = OpProperties::new(&part, durations);
+
+    let mut order = Vec::with_capacity(part.recvs().len());
+    while props.outstanding_count() > 0 {
+        let best = select_best(&part, &props);
+        order.push(part.global(part.recvs()[best] as usize));
+        props.complete_naive(&part, best);
         props.recompute_m_plus(&part);
     }
     order

@@ -3,7 +3,7 @@
 
 use tictac_cluster::{deploy, ClusterSpec};
 use tictac_models::{Mode, Model};
-use tictac_sched::{tac_order, tic, PartitionGraph};
+use tictac_sched::{tac_order, tac_order_naive, tic, PartitionGraph};
 use tictac_timing::{CostOracle, Platform};
 
 #[test]
@@ -100,6 +100,25 @@ fn partition_sizes_match_deployment_accounting() {
             assert_eq!(part.len(), g.ops_on(w).count(), "{model}");
             assert_eq!(part.recvs().len(), g.recv_ops_on(w).len(), "{model}");
         }
+    }
+}
+
+#[test]
+fn incremental_tac_matches_naive_reference_on_the_zoo() {
+    // The incremental M+ maintenance must reproduce the paper's per-round
+    // recomputation pick-for-pick on every real model — the tie-breaking
+    // reduce makes any property drift show up as a different order.
+    let oracle = CostOracle::new(Platform::cloud_gpu());
+    for model in Model::ALL {
+        let graph = model.build_with_batch(Mode::Training, 2);
+        let deployed = deploy(&graph, &ClusterSpec::new(2, 1)).expect("valid cluster");
+        let g = deployed.graph();
+        let w0 = deployed.workers()[0];
+        assert_eq!(
+            tac_order(g, w0, &oracle),
+            tac_order_naive(g, w0, &oracle),
+            "{model}: incremental TAC diverged from the naive reference"
+        );
     }
 }
 

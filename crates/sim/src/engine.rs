@@ -6,7 +6,7 @@ use crate::faults::FaultPlan;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use tictac_graph::{Channel, ChannelId, DeviceId, Graph, OpId, OpKind};
 use tictac_sched::Schedule;
 use tictac_timing::{CostOracle, SimTime, TimeOracle};
@@ -75,7 +75,7 @@ pub fn simulate_with_plan(
             graph_len: graph.len(),
         });
     }
-    Engine::new(graph, schedule, config, iteration, plan.clone()).run()
+    Engine::new(graph, schedule, config, iteration, plan).run()
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +122,202 @@ impl PartialOrd for Ev {
     }
 }
 
+/// Per-device ready set, bucketed by schedule priority.
+///
+/// The seed engine scanned the whole ready `Vec` per pick to find the
+/// minimum priority and collect candidates. Here the candidate set — all
+/// unprioritized ready ops plus the ops holding the minimum priority — is
+/// directly addressable: unprioritized ops in one FIFO, prioritized ops
+/// bucketed by priority. A monotone sequence number stamps every push so
+/// the two pools can be threaded back into the exact readiness order the
+/// seed engine's candidate indices exposed (the RNG pick index must mean
+/// the same op).
+#[derive(Debug, Default)]
+struct ReadyQueue {
+    seq: u64,
+    /// Unprioritized ready ops in push order.
+    unprio: VecDeque<(u64, OpId)>,
+    /// Prioritized ready ops, bucketed by priority, each in push order.
+    buckets: BTreeMap<u64, VecDeque<(u64, OpId)>>,
+    len: usize,
+}
+
+impl ReadyQueue {
+    fn push(&mut self, op: OpId, priority: Option<u64>) {
+        self.seq += 1;
+        match priority {
+            None => self.unprio.push_back((self.seq, op)),
+            Some(p) => self.buckets.entry(p).or_default().push_back((self.seq, op)),
+        }
+        self.len += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pick candidates: unprioritized plus the minimum bucket.
+    fn candidates(&self) -> usize {
+        self.unprio.len() + self.buckets.first_key_value().map_or(0, |(_, b)| b.len())
+    }
+
+    /// Removes and returns the `idx`-th candidate in readiness order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.candidates()`.
+    fn take_candidate(&mut self, idx: usize) -> OpId {
+        let min_key = self.buckets.first_key_value().map(|(&k, _)| k);
+        let bucket_at = |b: usize| {
+            min_key.and_then(|k| self.buckets.get(&k).and_then(|q| q.get(b).map(|e| e.0)))
+        };
+        // Merge the two pools by sequence number up to position `idx`.
+        let (mut a, mut b) = (0usize, 0usize);
+        for _ in 0..idx {
+            match (self.unprio.get(a).map(|e| e.0), bucket_at(b)) {
+                (Some(x), Some(y)) if x < y => a += 1,
+                (Some(_), Some(_)) | (None, Some(_)) => b += 1,
+                (Some(_), None) => a += 1,
+                (None, None) => panic!("candidate index out of range"),
+            }
+        }
+        let from_unprio = match (self.unprio.get(a).map(|e| e.0), bucket_at(b)) {
+            (Some(x), Some(y)) => x < y,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => panic!("candidate index out of range"),
+        };
+        self.len -= 1;
+        if from_unprio {
+            self.unprio.remove(a).expect("candidate present").1
+        } else {
+            let k = min_key.expect("bucket candidate implies a bucket");
+            let bucket = self.buckets.get_mut(&k).expect("minimum bucket");
+            let op = bucket.remove(b).expect("candidate present").1;
+            if bucket.is_empty() {
+                self.buckets.remove(&k);
+            }
+            op
+        }
+    }
+}
+
+/// One queued transfer on a channel.
+#[derive(Debug, Clone, Copy)]
+struct ChanEntry {
+    seq: u64,
+    op: OpId,
+    rank: Option<u64>,
+    alive: bool,
+}
+
+/// Per-channel pending-transfer queue with an `O(log n)` ranked pick.
+///
+/// The seed engine kept a flat `Vec` and scanned it per pick for the
+/// minimum enforcement rank, then `Vec::remove`d by index. Here entries
+/// live in `order` (hand-off order — the disorder-window pick indexes
+/// live entries in this order) with a side map from enforcement rank to
+/// entry sequence number for the lowest-rank fast path. Removals tombstone
+/// the entry; dead prefixes pop eagerly and the deque is compacted when
+/// tombstones outnumber live entries, keeping walks amortized cheap.
+#[derive(Debug, Default)]
+struct ChanQueue {
+    seq: u64,
+    /// Queued transfers in hand-off order; `seq` is strictly increasing
+    /// along the deque (compaction preserves order).
+    order: VecDeque<ChanEntry>,
+    /// Enforcement rank -> `seq` of the live entry carrying it.
+    ranked: BTreeMap<u64, u64>,
+    live: usize,
+}
+
+impl ChanQueue {
+    fn push(&mut self, op: OpId, rank: Option<u64>) {
+        self.seq += 1;
+        if let Some(r) = rank {
+            let prev = self.ranked.insert(r, self.seq);
+            debug_assert!(prev.is_none(), "duplicate enforcement rank {r} queued");
+        }
+        self.order.push_back(ChanEntry {
+            seq: self.seq,
+            op,
+            rank,
+            alive: true,
+        });
+        self.live += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn live(&self) -> usize {
+        self.live
+    }
+
+    fn has_ranked(&self) -> bool {
+        !self.ranked.is_empty()
+    }
+
+    /// Removes and returns the queued transfer with the lowest enforcement
+    /// rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no ranked transfer is queued.
+    fn pop_min_rank(&mut self) -> OpId {
+        let (&rank, &seq) = self.ranked.iter().next().expect("a ranked entry");
+        self.ranked.remove(&rank);
+        let idx = self
+            .order
+            .binary_search_by(|e| e.seq.cmp(&seq))
+            .expect("ranked entry present in order");
+        let op = self.order[idx].op;
+        self.order[idx].alive = false;
+        self.live -= 1;
+        self.trim();
+        op
+    }
+
+    /// Removes and returns the `idx`-th live transfer in hand-off order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.live()`.
+    fn pop_live_index(&mut self, idx: usize) -> OpId {
+        let mut seen = 0usize;
+        let pos = self
+            .order
+            .iter()
+            .position(|e| {
+                if e.alive {
+                    seen += 1;
+                }
+                e.alive && seen == idx + 1
+            })
+            .expect("live index in range");
+        let entry = &mut self.order[pos];
+        entry.alive = false;
+        let op = entry.op;
+        if let Some(r) = entry.rank {
+            self.ranked.remove(&r);
+        }
+        self.live -= 1;
+        self.trim();
+        op
+    }
+
+    /// Pops dead prefixes and compacts when tombstones dominate.
+    fn trim(&mut self) {
+        while self.order.front().is_some_and(|e| !e.alive) {
+            self.order.pop_front();
+        }
+        if self.order.len() > 2 * self.live.max(1) {
+            self.order.retain(|e| e.alive);
+        }
+    }
+}
+
 struct Engine<'g> {
     graph: &'g Graph,
     schedule: &'g Schedule,
@@ -131,7 +327,10 @@ struct Engine<'g> {
     enforcement: bool,
     disorder_window: usize,
     rng: SmallRng,
-    plan: FaultPlan,
+    plan: &'g FaultPlan,
+    /// Fork of the plan's drop stream (the plan itself stays borrowed and
+    /// untouched, so one plan can be replayed across runs).
+    drop_rng: SmallRng,
 
     clock: SimTime,
     events: BinaryHeap<Reverse<Ev>>,
@@ -153,7 +352,7 @@ struct Engine<'g> {
     degraded: bool,
 
     /// Per-device compute state.
-    compute_ready: Vec<Vec<OpId>>,
+    compute_ready: Vec<ReadyQueue>,
     compute_busy: Vec<bool>,
     /// The op running on each device and its scheduled completion (ns).
     inflight_compute: Vec<Option<(OpId, u64)>>,
@@ -176,7 +375,7 @@ struct Engine<'g> {
     /// Enforcement rank per op (send ops of prioritized transfers).
     rank: Vec<Option<u64>>,
     /// Per-channel queues of handed-off transfers (recv ops).
-    chan_queue: Vec<Vec<OpId>>,
+    chan_queue: Vec<ChanQueue>,
     /// Enforcement rank propagated to the recv side (for queue pops).
     recv_rank: Vec<Option<u64>>,
     /// The send op feeding each recv (transfer pairing).
@@ -194,7 +393,7 @@ impl<'g> Engine<'g> {
         schedule: &'g Schedule,
         config: &SimConfig,
         iteration: u64,
-        plan: FaultPlan,
+        plan: &'g FaultPlan,
     ) -> Self {
         let n = graph.len();
         let mut rng = SmallRng::seed_from_u64(
@@ -273,6 +472,7 @@ impl<'g> Engine<'g> {
             disorder_window: config.disorder_window.unwrap_or(usize::MAX).max(1),
             rng,
             plan,
+            drop_rng: plan.drop_stream(),
             clock: SimTime::ZERO,
             events: BinaryHeap::new(),
             seq: 0,
@@ -285,7 +485,9 @@ impl<'g> Engine<'g> {
             attempts: vec![0; n],
             error: None,
             degraded: false,
-            compute_ready: vec![Vec::new(); graph.devices().len()],
+            compute_ready: (0..graph.devices().len())
+                .map(|_| ReadyQueue::default())
+                .collect(),
             compute_busy: vec![false; graph.devices().len()],
             inflight_compute: vec![None; graph.devices().len()],
             device_down_until: vec![0; graph.devices().len()],
@@ -296,7 +498,9 @@ impl<'g> Engine<'g> {
             counter: vec![0; graph.channels().len()],
             blocked: vec![BTreeMap::new(); graph.channels().len()],
             rank,
-            chan_queue: vec![Vec::new(); graph.channels().len()],
+            chan_queue: (0..graph.channels().len())
+                .map(|_| ChanQueue::default())
+                .collect(),
             recv_rank: vec![None; n],
             send_of: vec![None; n],
             bandwidth_share,
@@ -308,13 +512,12 @@ impl<'g> Engine<'g> {
     /// Quiet plans schedule nothing, keeping the event stream identical to
     /// a fault-free run.
     fn schedule_faults(&mut self) {
-        for i in 0..self.plan.stragglers.len() {
-            let (device, _) = self.plan.stragglers[i];
+        let plan = self.plan;
+        for &(device, _) in &plan.stragglers {
             self.trace
                 .push_fault(SimTime::ZERO, FaultEventKind::StragglerApplied { device });
         }
-        for i in 0..self.plan.blackouts.len() {
-            let b = self.plan.blackouts[i];
+        for b in &plan.blackouts {
             self.schedule_event(
                 b.at,
                 EventKind::Fault(FaultAction::BlackoutStart {
@@ -329,8 +532,7 @@ impl<'g> Engine<'g> {
                 }),
             );
         }
-        for i in 0..self.plan.crashes.len() {
-            let c = self.plan.crashes[i];
+        for c in &plan.crashes {
             self.schedule_event(
                 c.at,
                 EventKind::Fault(FaultAction::CrashStart {
@@ -345,8 +547,7 @@ impl<'g> Engine<'g> {
                 }),
             );
         }
-        for i in 0..self.plan.stalls.len() {
-            let s = self.plan.stalls[i];
+        for s in &plan.stalls {
             self.schedule_event(
                 s.at,
                 EventKind::Fault(FaultAction::StallStart {
@@ -361,7 +562,7 @@ impl<'g> Engine<'g> {
                 }),
             );
         }
-        if let Some(timeout) = self.plan.barrier_timeout {
+        if let Some(timeout) = plan.barrier_timeout {
             self.schedule_event(SimTime::ZERO + timeout, EventKind::Barrier);
         }
     }
@@ -437,6 +638,13 @@ impl<'g> Engine<'g> {
         }
     }
 
+    /// Whether the next transfer attempt is lost on the wire, drawn from
+    /// the engine's fork of the plan's drop stream (only when losses are
+    /// possible, so quiet plans consume nothing).
+    fn draw_drop(&mut self) -> bool {
+        self.plan.drop_prob > 0.0 && self.drop_rng.gen::<f64>() < self.plan.drop_prob
+    }
+
     fn schedule_event(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
         self.events.push(Reverse(Ev {
@@ -472,11 +680,11 @@ impl<'g> Engine<'g> {
                 self.recv_rank[op.index()] = send
                     .and_then(|s| self.rank[s.index()])
                     .or(self.rank[op.index()]);
-                self.chan_queue[ch].push(op);
+                self.chan_queue[ch].push(op, self.recv_rank[op.index()]);
             }
             _ => {
                 let dev = self.graph.op(op).device().index();
-                self.compute_ready[dev].push(op);
+                self.compute_ready[dev].push(op, self.schedule.priority(op));
             }
         }
     }
@@ -554,20 +762,22 @@ impl<'g> Engine<'g> {
             {
                 continue;
             }
-            let queue = &self.chan_queue[ch];
-            let ranked_min = queue
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &r)| self.recv_rank[r.index()].map(|rank| (rank, i)))
-                .min()
-                .map(|(_, i)| i);
-            let pick = match ranked_min {
-                Some(i) if !(queue.len() >= 2 && self.rng.gen::<f64>() < self.reorder_error) => i,
+            // RNG draw-order contract (DESIGN.md §7): the reorder-error
+            // draw happens exactly when a ranked transfer is queued AND at
+            // least two transfers are queued; the disorder-window draw
+            // spans the live queue in hand-off order — both identical to
+            // the seed engine's flat-Vec scan.
+            let len = self.chan_queue[ch].live();
+            let take_ranked = self.chan_queue[ch].has_ranked()
+                && !(len >= 2 && self.rng.gen::<f64>() < self.reorder_error);
+            let recv = if take_ranked {
+                self.chan_queue[ch].pop_min_rank()
+            } else {
                 // Unranked pops are locally disordered: pick among the
                 // oldest `disorder_window` queued transfers.
-                _ => self.rng.gen_range(0..queue.len().min(self.disorder_window)),
+                let pick = self.rng.gen_range(0..len.min(self.disorder_window));
+                self.chan_queue[ch].pop_live_index(pick)
             };
-            let recv = self.chan_queue[ch].remove(pick);
             self.start_transfer(ch, recv);
             progressed = true;
         }
@@ -587,7 +797,7 @@ impl<'g> Engine<'g> {
         let dur = self.noise.apply(&mut self.rng, base);
         self.started_at[recv.index()] = self.clock;
         let epoch = self.epoch[recv.index()];
-        if self.plan.draw_drop() {
+        if self.draw_drop() {
             // Lost on the wire: the receiver only notices when the
             // loss-detection timeout for this attempt fires; the channel
             // stays wedged on the failed stream until then.
@@ -637,25 +847,15 @@ impl<'g> Engine<'g> {
         {
             return false;
         }
-        let ready = &self.compute_ready[dev];
-        let min_priority = ready
-            .iter()
-            .filter_map(|&op| self.schedule.priority(op))
-            .min();
-        let candidates: Vec<usize> = ready
-            .iter()
-            .enumerate()
-            .filter(|(_, &op)| {
-                let p = self.schedule.priority(op);
-                p.is_none() || p == min_priority
-            })
-            .map(|(i, _)| i)
-            .collect();
         // Locally disordered pick: uniform over the oldest
-        // `disorder_window` candidates (candidates are in readiness order).
-        let window = candidates.len().min(self.disorder_window);
-        let chosen = candidates[self.rng.gen_range(0..window)];
-        let op = self.compute_ready[dev].remove(chosen);
+        // `disorder_window` candidates (unprioritized plus minimum-bucket
+        // ready ops, in readiness order — the same candidate list the seed
+        // engine's per-pick scan produced, so the RNG draw is identical).
+        let window = self.compute_ready[dev]
+            .candidates()
+            .min(self.disorder_window);
+        let chosen = self.rng.gen_range(0..window);
+        let op = self.compute_ready[dev].take_candidate(chosen);
 
         self.compute_busy[dev] = true;
         let base = self.oracle.duration(self.graph, op);
@@ -724,7 +924,7 @@ impl<'g> Engine<'g> {
                     attempt: next,
                 },
             );
-            self.chan_queue[ch].push(recv);
+            self.chan_queue[ch].push(recv, self.recv_rank[recv.index()]);
         } else if self.plan.barrier_timeout.is_none() {
             self.error = Some(SimError::RetriesExhausted {
                 op: recv,
@@ -768,7 +968,7 @@ impl<'g> Engine<'g> {
                 if let Some((op, _)) = self.inflight_compute[dev].take() {
                     self.epoch[op.index()] += 1;
                     self.compute_busy[dev] = false;
-                    self.compute_ready[dev].push(op);
+                    self.compute_ready[dev].push(op, self.schedule.priority(op));
                 }
                 // The crashed worker's channels go dark; in-flight
                 // transfers on them are lost and retried after detection.
@@ -916,6 +1116,54 @@ mod tests {
         let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(1e10), &[r1]);
         let op2 = b.add_op("op2", w, OpKind::Compute, Cost::flops(1e10), &[op1, r2]);
         (b.build().unwrap(), [s1, s2, r1, r2, op1, op2])
+    }
+
+    #[test]
+    fn ready_queue_merges_pools_in_push_order() {
+        let op = OpId::from_index;
+        let mut q = ReadyQueue::default();
+        q.push(op(0), None); // seq 1, unprio
+        q.push(op(1), Some(5)); // seq 2, bucket 5
+        q.push(op(2), Some(3)); // seq 3, bucket 3 (min)
+        q.push(op(3), None); // seq 4, unprio
+        q.push(op(4), Some(3)); // seq 5, bucket 3
+                                // Candidates = unprio {0, 3} + min bucket {2, 4}, in push order:
+                                // [0, 2, 3, 4]; op 1 (bucket 5) is not a candidate.
+        assert_eq!(q.candidates(), 4);
+        assert_eq!(q.take_candidate(2), op(3));
+        assert_eq!(q.take_candidate(1), op(2));
+        // Bucket 3 now holds only op 4; candidates = [0, 4].
+        assert_eq!(q.candidates(), 2);
+        assert_eq!(q.take_candidate(1), op(4));
+        // Bucket 3 drained: bucket 5 becomes the minimum.
+        assert_eq!(q.candidates(), 2);
+        assert_eq!(q.take_candidate(1), op(1));
+        assert_eq!(q.take_candidate(0), op(0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn chan_queue_ranked_and_live_index_pops() {
+        let op = OpId::from_index;
+        let mut q = ChanQueue::default();
+        q.push(op(0), None);
+        q.push(op(1), Some(7));
+        q.push(op(2), Some(2));
+        q.push(op(3), None);
+        assert_eq!(q.live(), 4);
+        assert!(q.has_ranked());
+        // Lowest rank first, regardless of queue position.
+        assert_eq!(q.pop_min_rank(), op(2));
+        // Live index skips the tombstone left behind: [0, 1, 3].
+        assert_eq!(q.pop_live_index(1), op(1));
+        assert!(!q.has_ranked());
+        assert_eq!(q.pop_live_index(1), op(3));
+        assert_eq!(q.pop_live_index(0), op(0));
+        assert!(q.is_empty());
+        // Requeue after drain (retransmit path): ranks come back.
+        q.push(op(2), Some(2));
+        assert!(q.has_ranked());
+        assert_eq!(q.pop_min_rank(), op(2));
     }
 
     #[test]

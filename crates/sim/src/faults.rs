@@ -335,10 +335,11 @@ impl FaultPlan {
 
     /// Decides whether the next transfer attempt is lost on the wire.
     ///
-    /// Draws from the plan's dedicated stream only when losses are
-    /// possible, so quiet plans consume nothing.
-    pub(crate) fn draw_drop(&mut self) -> bool {
-        self.drop_prob > 0.0 && self.drop_rng.gen::<f64>() < self.drop_prob
+    /// Forks the plan's dedicated drop stream. The engine draws loss
+    /// decisions from the fork, so a plan can be borrowed (and replayed)
+    /// any number of times: every fork replays the identical stream.
+    pub(crate) fn drop_stream(&self) -> SmallRng {
+        self.drop_rng.clone()
     }
 }
 
@@ -407,8 +408,12 @@ mod tests {
         let g = graph();
         let spec = FaultSpec::none().with_drop_prob(0.5);
         let plan = FaultPlan::sample(&spec, &g, 42, 0);
-        let draws = |mut p: FaultPlan| -> Vec<bool> { (0..64).map(|_| p.draw_drop()).collect() };
-        assert_eq!(draws(plan.clone()), draws(plan));
+        // Every fork of the stream replays the identical loss decisions,
+        // so borrowing the plan across engine runs replays its drops.
+        let draws = |mut rng: SmallRng| -> Vec<bool> {
+            (0..64).map(|_| rng.gen::<f64>() < plan.drop_prob).collect()
+        };
+        assert_eq!(draws(plan.drop_stream()), draws(plan.drop_stream()));
     }
 
     #[test]

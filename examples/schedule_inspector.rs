@@ -3,8 +3,11 @@
 //! the decisions.
 //!
 //! ```text
-//! cargo run --release --example schedule_inspector [model] [n]
+//! cargo run --release --example schedule_inspector [model] [n] [op-name]
 //! ```
+//!
+//! With an op name, additionally reports where that transfer lands in the
+//! TAC order (name lookup is O(1) via the graph's name index).
 
 use tictac::{
     deploy, estimate_profile, no_ordering, simulate, tac_order, tic, ClusterSpec, Mode, Model,
@@ -67,6 +70,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|d| d.to_string())
                 .unwrap_or_else(|| "inf".into()),
         );
+    }
+
+    // Optional focus op: where does one named transfer land?
+    if let Some(name) = args.next() {
+        match g.find_op(&name) {
+            Some(op) => match tac_seq.iter().position(|&o| o == op) {
+                Some(rank) => {
+                    let bit = bit_of(op);
+                    println!(
+                        "\n{name}: TAC rank {rank}/{} (M {} | P {} | M+ {})",
+                        tac_seq.len(),
+                        props.recv_time(&partition, bit),
+                        props.p(bit),
+                        props
+                            .m_plus(bit)
+                            .map(|d| d.to_string())
+                            .unwrap_or_else(|| "inf".into()),
+                    );
+                }
+                None => println!("\n{name}: not a scheduled transfer of worker 0"),
+            },
+            None => println!("\nno op named {name:?} in the deployed graph"),
+        }
     }
 
     // How much does TIC agree with TAC?

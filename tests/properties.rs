@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use tictac::{
-    no_ordering, simulate, tac_order, tic, Cost, Graph, GraphBuilder, OpId, OpKind, Platform,
-    SimConfig,
+    no_ordering, simulate, tac_order, tac_order_naive, tic, Cost, Graph, GraphBuilder, OpId,
+    OpKind, Platform, SimConfig,
 };
 use tictac_graph::topo;
 
@@ -121,6 +121,18 @@ proptest! {
         let mut expected = g.recvs.clone();
         expected.sort_unstable();
         prop_assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn incremental_tac_order_equals_the_naive_reference(g in random_graph_strategy()) {
+        // The fast path maintains M+ incrementally (DESIGN.md §7); the
+        // naive reference recomputes every property from scratch each
+        // round. Same comparator, same tie-breaks — the orders must be
+        // identical, not merely both valid.
+        let oracle = tictac::CostOracle::new(Platform::cloud_gpu());
+        let fast = tac_order(&g.graph, g.worker, &oracle);
+        let naive = tac_order_naive(&g.graph, g.worker, &oracle);
+        prop_assert_eq!(fast, naive);
     }
 
     #[test]
