@@ -28,4 +28,16 @@ echo "== bench smoke =="
 ./target/release/bench --quick --out target/BENCH_results_smoke.json
 ./target/release/bench --check target/BENCH_results_smoke.json
 
+echo "== golden traces =="
+# Fingerprint gate: any change to simulated behavior (including the
+# pinned Perfetto export bytes) fails here, not in review.
+cargo test --offline -q --test golden_traces
+cargo test --offline -q --test perfetto_snapshot
+
+echo "== trace export =="
+# Export one TAC AlexNet iteration and re-validate it from disk; the
+# validator requires at least one slice in every device/channel lane.
+./target/release/repro --export-trace target/trace_smoke.json
+./target/release/repro --validate-trace target/trace_smoke.json
+
 echo "== ci.sh: all green =="

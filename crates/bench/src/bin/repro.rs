@@ -3,16 +3,86 @@
 //! Usage:
 //!
 //! ```text
-//! repro --exp all            # every experiment (full fidelity)
-//! repro --exp fig7           # one experiment
-//! repro --exp fig12 --quick  # trimmed run counts for smoke tests
-//! repro --list               # list experiment names
-//! repro --out results/       # also write one report file per experiment
+//! repro --exp all                 # every experiment (full fidelity)
+//! repro --exp fig7                # one experiment
+//! repro --exp fig12 --quick       # trimmed run counts for smoke tests
+//! repro --list                    # list experiment names
+//! repro --out results/            # also write one report file per experiment
+//! repro --export-trace out.json   # write a Perfetto trace of one iteration
+//! repro --validate-trace out.json # parse + sanity-check an exported trace
 //! ```
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use tictac_bench::experiments;
+use tictac_core::{
+    validate_perfetto, ClusterSpec, Mode, Model, Registry, SchedulerKind, Session, SimConfig,
+};
+
+/// Exports one TAC-scheduled AlexNet iteration (2 workers, 1 PS, seed 0)
+/// as Chrome/Perfetto `trace_event` JSON — load it at `ui.perfetto.dev`.
+fn export_trace(path: &PathBuf) {
+    let session = Session::builder(Model::AlexNetV2.build_with_batch(Mode::Training, 2))
+        .cluster(ClusterSpec::new(2, 1))
+        .config(SimConfig::cloud_gpu())
+        .scheduler(SchedulerKind::Tac)
+        .observe(Registry::enabled())
+        .build()
+        .expect("zoo model deploys");
+    let json = session.perfetto_json(0).expect("fault-free iteration");
+    std::fs::write(path, &json).expect("write trace file");
+    let stats = validate_perfetto(&json).expect("exporter emits valid trace JSON");
+    eprintln!(
+        "wrote {} ({} events: {} slices, {} instants, {} flows)",
+        path.display(),
+        stats.events,
+        stats.slices,
+        stats.instants,
+        stats.flow_starts + stats.flow_ends,
+    );
+}
+
+fn validate_trace(path: &PathBuf) {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read {}: {e}", path.display())));
+    match validate_perfetto(&src) {
+        Ok(stats) => {
+            println!(
+                "{}: OK ({} events: {} slices, {} instants, {} flow starts, {} flow ends)",
+                path.display(),
+                stats.events,
+                stats.slices,
+                stats.instants,
+                stats.flow_starts,
+                stats.flow_ends,
+            );
+            for (process, slices) in &stats.slices_per_process {
+                println!("  {process}: {slices} slices");
+            }
+            // An exported iteration must exercise every device: a device
+            // lane with zero slices means the trace is truncated or the
+            // lane mapping regressed. (The synthetic barrier lane only
+            // carries events on degraded iterations.)
+            for process in &stats.processes {
+                let has_slices = stats
+                    .slices_per_process
+                    .iter()
+                    .any(|(name, count)| name == process && *count > 0);
+                if process != "barrier" && !has_slices {
+                    eprintln!(
+                        "{}: INVALID: device lane {process:?} has no slices",
+                        path.display()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("{}: INVALID: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let mut exp: Vec<String> = Vec::new();
@@ -30,6 +100,20 @@ fn main() {
             "--out" => {
                 let value = args.next().unwrap_or_else(|| usage("--out needs a value"));
                 out_dir = Some(PathBuf::from(value));
+            }
+            "--export-trace" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--export-trace needs a file path"));
+                export_trace(&PathBuf::from(value));
+                return;
+            }
+            "--validate-trace" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--validate-trace needs a file path"));
+                validate_trace(&PathBuf::from(value));
+                return;
             }
             "--list" => {
                 for (name, _) in experiments::ALL {
@@ -87,6 +171,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro --exp <name|all>[,name...] [--quick] [--out DIR] [--list]\n\
+         \x20      repro --export-trace FILE.json   (Perfetto trace of one TAC AlexNet iteration)\n\
+         \x20      repro --validate-trace FILE.json (parse + sanity-check an exported trace)\n\
          experiments: {}",
         experiments::ALL
             .iter()

@@ -10,6 +10,7 @@ mod fig10;
 mod fig11;
 mod fig12;
 mod fig13;
+mod observe;
 mod orders;
 mod sched_cost;
 mod spread;
@@ -39,6 +40,7 @@ pub const ALL: &[(&str, Runner)] = &[
     ("ablation-enforcement", ablations::enforcement),
     ("ablation-sharding", ablations::sharding),
     ("faults", faults::run),
+    ("observe", observe::run),
 ];
 
 /// Looks up an experiment runner by name.
@@ -87,7 +89,7 @@ mod tests {
             assert!(find(name).is_some(), "{name} missing");
         }
         assert!(find("nope").is_none());
-        assert_eq!(ALL.len(), 16);
+        assert_eq!(ALL.len(), 17);
     }
 
     #[test]

@@ -51,13 +51,21 @@ pub use tictac_graph::{
 };
 pub use tictac_metrics::{ols, percentile, Cdf, Histogram, OlsFit, Streaming, Summary};
 pub use tictac_models::{tiny_mlp, Mode, Model};
+pub use tictac_obs::{
+    overlap_report, perfetto_json, priority_inversions, realized_efficiency, validate_perfetto,
+    BucketHistogram, ChannelUsage, Counter, DeviceUsage, Gauge, HistogramStats, InversionRecord,
+    InversionReport, MetricValue, OverlapReport, PerfettoStats, RealizedEfficiency, Registry,
+    Snapshot, Timer, TimerStats,
+};
 pub use tictac_sched::{
-    efficiency, merge_schedules, no_ordering, random_order, tac, tac_order, tac_order_naive, tic,
-    worst_case, OpProperties, PartitionGraph, Schedule, TacComparator,
+    efficiency, merge_schedules, no_ordering, random_order, tac, tac_observed, tac_order,
+    tac_order_naive, tac_order_observed, tic, tic_observed, worst_case, OpProperties,
+    PartitionGraph, Schedule, TacComparator,
 };
 pub use tictac_sim::{
-    analyze, simulate, simulate_with_plan, try_simulate, Blackout, Crash, FaultCounters, FaultPlan,
-    FaultSpec, IterationMetrics, SimConfig, SimError, Stall,
+    analyze, simulate, simulate_with_plan, simulate_with_plan_observed, try_simulate,
+    try_simulate_observed, Blackout, Crash, FaultCounters, FaultPlan, FaultSpec, IterationMetrics,
+    SimConfig, SimError, Stall,
 };
 pub use tictac_timing::{
     CostOracle, GeneralOracle, MeasuredProfile, NoiseModel, Platform, RetryPolicy, SimDuration,

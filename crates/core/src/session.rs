@@ -5,10 +5,13 @@ use std::fmt;
 use std::time::Instant;
 use tictac_cluster::{deploy, ClusterSpec, DeployError, DeployedModel};
 use tictac_graph::{ModelGraph, OpId};
-use tictac_sched::{efficiency, no_ordering, random_order, tac, tic, Schedule};
-use tictac_sim::{analyze, simulate, try_simulate, FaultCounters, FaultSpec, SimConfig, SimError};
+use tictac_obs::Registry;
+use tictac_sched::{efficiency, no_ordering, random_order, tac_observed, tic_observed, Schedule};
+use tictac_sim::{
+    analyze, simulate, try_simulate_observed, FaultCounters, FaultSpec, SimConfig, SimError,
+};
 use tictac_timing::SimDuration;
-use tictac_trace::estimate_profile;
+use tictac_trace::{estimate_profile, ExecutionTrace};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -59,6 +62,7 @@ pub struct SessionBuilder {
     scheduler: SchedulerKind,
     warmup: usize,
     iterations: usize,
+    registry: Registry,
 }
 
 impl SessionBuilder {
@@ -92,6 +96,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a metrics registry (default: disabled). An enabled
+    /// registry observes schedule derivation (`sched.*`), the simulator
+    /// (`sim.*`) and the training loop (`session.*`) without perturbing
+    /// any simulated outcome: traces and reports are byte-identical
+    /// whether or not observation is on.
+    pub fn observe(mut self, registry: Registry) -> Self {
+        self.registry = registry;
+        self
+    }
+
     /// Deploys the model and computes the schedule.
     ///
     /// # Errors
@@ -100,7 +114,7 @@ impl SessionBuilder {
     pub fn build(self) -> Result<Session, DeployError> {
         let deployed = deploy(&self.model, &self.cluster)?;
         let started = Instant::now();
-        let schedule = compute_schedule(&deployed, self.scheduler, &self.config);
+        let schedule = compute_schedule(&deployed, self.scheduler, &self.config, &self.registry);
         let schedule_compute_time = started.elapsed();
         Ok(Session {
             model_name: self.model.name().to_string(),
@@ -112,6 +126,7 @@ impl SessionBuilder {
             iterations: self.iterations,
             schedule,
             schedule_compute_time,
+            registry: self.registry,
         })
     }
 }
@@ -124,6 +139,7 @@ fn compute_schedule(
     deployed: &DeployedModel,
     scheduler: SchedulerKind,
     config: &SimConfig,
+    registry: &Registry,
 ) -> Schedule {
     let graph = deployed.graph();
     let reference = deployed.workers()[0];
@@ -133,7 +149,9 @@ fn compute_schedule(
             let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED);
             deployed.replicate_schedule(&random_order(graph, reference, &mut rng))
         }
-        SchedulerKind::Tic => deployed.replicate_schedule(&tic(graph, reference)),
+        SchedulerKind::Tic => {
+            deployed.replicate_schedule(&tic_observed(graph, reference, registry))
+        }
         SchedulerKind::Tac => {
             // Tracing module + time-oracle estimator (§5): execute 5
             // unscheduled iterations, keep the per-op minimum. Profiling
@@ -153,7 +171,7 @@ fn compute_schedule(
                 })
                 .collect();
             let profile = estimate_profile(&traces);
-            deployed.replicate_schedule(&tac(graph, reference, &profile))
+            deployed.replicate_schedule(&tac_observed(graph, reference, &profile, registry))
         }
     }
 }
@@ -270,7 +288,21 @@ pub struct Session {
     iterations: usize,
     schedule: Schedule,
     schedule_compute_time: std::time::Duration,
+    registry: Registry,
 }
+
+/// Makespan histogram bounds, in microseconds: decades from 100 µs to
+/// 1000 s.
+const MAKESPAN_BUCKETS_US: [u64; 8] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
 
 impl Session {
     /// Starts building a session around a model graph.
@@ -282,6 +314,7 @@ impl Session {
             scheduler: SchedulerKind::Baseline,
             warmup: 2,
             iterations: 10,
+            registry: Registry::disabled(),
         }
     }
 
@@ -298,6 +331,47 @@ impl Session {
     /// The scheduling policy.
     pub fn scheduler(&self) -> SchedulerKind {
         self.scheduler
+    }
+
+    /// The metrics registry attached via
+    /// [`SessionBuilder::observe`] (disabled by default).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Simulates one iteration and returns its execution trace, exactly
+    /// as [`try_run`](Session::try_run) would simulate it at the same
+    /// iteration index (warm-up included: index 0 is the first warm-up
+    /// iteration).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] of an unrecoverable iteration.
+    pub fn trace_iteration(&self, iteration: u64) -> Result<ExecutionTrace, SimError> {
+        try_simulate_observed(
+            self.deployed.graph(),
+            &self.schedule,
+            &self.config,
+            iteration,
+            &self.registry,
+        )
+    }
+
+    /// Renders one iteration as Chrome/Perfetto `trace_event` JSON (load
+    /// it at `ui.perfetto.dev` or `chrome://tracing`): one lane per
+    /// device and channel, fault instants, degraded-barrier flows.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] of an unrecoverable iteration.
+    pub fn perfetto_json(&self, iteration: u64) -> Result<String, SimError> {
+        let trace = self.trace_iteration(iteration)?;
+        let label = format!("{}/{}/iter{}", self.model_name, self.scheduler, iteration);
+        Ok(tictac_obs::perfetto_json(
+            self.deployed.graph(),
+            &trace,
+            &label,
+        ))
     }
 
     /// Runs warm-up plus measured iterations and reports metrics.
@@ -350,9 +424,23 @@ impl Session {
             .map(|&w| graph.ops_on(w).collect())
             .collect();
 
+        let m_iterations = self.registry.counter("session.iterations");
+        let m_retries = self.registry.counter("session.retries");
+        let g_goodput = self.registry.gauge("session.goodput_pct");
+        let g_throughput = self.registry.gauge("session.throughput");
+        let h_makespan = self
+            .registry
+            .histogram("session.makespan_us", &MAKESPAN_BUCKETS_US);
+
         let mut records = Vec::with_capacity(self.iterations);
         for i in 0..(self.warmup + self.iterations) as u64 {
-            let trace = try_simulate(graph, &self.schedule, &self.config, offset + i)?;
+            let trace = try_simulate_observed(
+                graph,
+                &self.schedule,
+                &self.config,
+                offset + i,
+                &self.registry,
+            )?;
             if (i as usize) < self.warmup {
                 continue;
             }
@@ -371,9 +459,15 @@ impl Session {
                 min_e = min_e.min(report.efficiency_clamped());
                 potential = report.speedup_potential;
             }
+            let throughput = metrics.throughput(self.batch, self.deployed.workers().len());
+            m_iterations.inc();
+            m_retries.add(metrics.faults.retransmits);
+            g_goodput.set(metrics.goodput_pct);
+            g_throughput.set(throughput);
+            h_makespan.observe(metrics.makespan.as_nanos() / 1_000);
             records.push(IterationRecord {
                 makespan: metrics.makespan,
-                throughput: metrics.throughput(self.batch, self.deployed.workers().len()),
+                throughput,
                 straggler_pct: metrics.straggler_pct,
                 efficiency: min_e,
                 speedup_potential: potential,
@@ -505,6 +599,51 @@ mod tests {
             .unwrap();
         let healthy = session(SchedulerKind::Tac);
         assert_eq!(faulty.schedule(), healthy.schedule());
+    }
+
+    #[test]
+    fn observed_session_matches_unobserved_and_records_metrics() {
+        let plain = session(SchedulerKind::Tac).run();
+        let registry = Registry::enabled();
+        let observed = Session::builder(tiny_mlp(Mode::Training, 8))
+            .cluster(ClusterSpec::new(2, 1))
+            .config(SimConfig::cloud_gpu())
+            .scheduler(SchedulerKind::Tac)
+            .warmup(1)
+            .iterations(4)
+            .observe(registry.clone())
+            .build()
+            .unwrap();
+        let report = observed.run();
+        // Observation never perturbs results (schedule-compute wall time
+        // legitimately differs).
+        assert_eq!(report.iterations, plain.iterations);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("session.iterations"), Some(4));
+        assert_eq!(snap.counter("session.retries"), Some(0));
+        assert!(snap.counter("sched.tac.merges").is_some());
+        assert!(snap.counter("sim.events").unwrap() > 0);
+        match snap.get("session.goodput_pct") {
+            Some(tictac_obs::MetricValue::Gauge(v)) => assert_eq!(*v, 100.0),
+            other => panic!("expected goodput gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_exports_valid_perfetto_trace() {
+        let s = session(SchedulerKind::Tic);
+        let json = s.perfetto_json(0).unwrap();
+        let stats = tictac_obs::validate_perfetto(&json).unwrap();
+        assert!(stats.slices > 0);
+        // Every device renders at least one slice.
+        assert!(stats.slices_per_process.iter().all(|(_, n)| *n > 0));
+        // The exported trace matches the iteration the run loop simulates.
+        let trace = s.trace_iteration(0).unwrap();
+        assert_eq!(
+            json,
+            tictac_obs::perfetto_json(s.deployed().graph(), &trace, "tiny_mlp/tic/iter0")
+        );
     }
 
     #[test]

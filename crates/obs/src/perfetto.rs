@@ -1,0 +1,457 @@
+//! Chrome/Perfetto `trace_event` export of an [`ExecutionTrace`].
+//!
+//! The exporter renders one *process* per device and one *thread* (lane)
+//! per resource: a device's compute unit is its thread 0, and each
+//! channel is a thread of its worker's process. Emitted events:
+//!
+//! - `"M"` metadata naming every process and lane,
+//! - `"X"` complete slices for compute ops and transfers (send ops are
+//!   skipped — their interval duplicates the paired recv),
+//! - `"i"` instants for fault events, named after the
+//!   [`FaultEventKind`] variant and placed on the lane of the affected
+//!   resource,
+//! - `"s"`/`"f"` flow arrows from the degraded barrier's lane to each
+//!   deferred op's lane, making "which ops did the barrier abandon"
+//!   visible as arrows in the UI.
+//!
+//! Timestamps are microseconds with fixed three-decimal precision, so
+//! identical traces always serialize byte-identically (the golden
+//! snapshot test pins this). Open the output at <https://ui.perfetto.dev>
+//! or `chrome://tracing`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use tictac_graph::{Graph, OpId, Resource};
+use tictac_timing::SimTime;
+use tictac_trace::{ExecutionTrace, FaultEventKind};
+
+use crate::json::{parse_json, quote, Json};
+
+/// The synthetic pid hosting barrier/iteration-scope events: one past the
+/// last device pid.
+fn barrier_pid(graph: &Graph) -> usize {
+    graph.devices().len()
+}
+
+/// `(pid, tid)` of the lane a resource renders on.
+fn lane(graph: &Graph, resource: Resource) -> (usize, usize) {
+    match resource {
+        Resource::Compute(d) => (d.index(), 0),
+        Resource::Channel(c) => {
+            let ch = graph.channel(c);
+            (ch.worker().index(), 1 + c.index())
+        }
+    }
+}
+
+/// Microseconds with fixed 3-decimal precision (nanosecond resolution).
+fn us(t: SimTime) -> String {
+    format!("{:.3}", t.as_nanos() as f64 / 1000.0)
+}
+
+/// Renders `trace` as Chrome `trace_event` JSON (the object format).
+///
+/// `label` names the trace in the `otherData` block — typically
+/// `"model=alexnet_v2 schedule=tac iteration=0"`.
+pub fn perfetto_json(graph: &Graph, trace: &ExecutionTrace, label: &str) -> String {
+    let mut out = String::from("{\n\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+
+    // Metadata: process and lane names. Devices first, then the barrier
+    // process, then channel lanes in channel order.
+    for (pid, dev) in graph.devices().iter().enumerate() {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
+                quote(dev.name())
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"thread_name\",\"args\":{{\"name\":\"compute\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+    let bpid = barrier_pid(graph);
+    push(
+        format!(
+            "{{\"ph\":\"M\",\"pid\":{bpid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"barrier\"}}}}"
+        ),
+        &mut out,
+    );
+    for ch in graph.channels() {
+        let (pid, tid) = lane(graph, Resource::Channel(ch.id()));
+        let name = format!("ch{} -> {}", ch.id().index(), graph.device(ch.ps()).name());
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                quote(&name)
+            ),
+            &mut out,
+        );
+    }
+
+    // Complete slices, one per executed op (sends skipped).
+    for (id, op) in graph.ops() {
+        let Some(rec) = trace.record(id) else {
+            continue;
+        };
+        if op.kind().is_send() {
+            continue;
+        }
+        let resource = graph.resource(id);
+        let (pid, tid) = lane(graph, resource);
+        let cat = if resource.is_channel() {
+            "transfer"
+        } else {
+            "compute"
+        };
+        let mut args = format!("\"op\":{}", id.index());
+        if resource.is_channel() {
+            let _ = write!(args, ",\"bytes\":{}", op.cost().bytes);
+        }
+        push(
+            format!(
+                "{{\"ph\":\"X\",\"name\":{},\"cat\":\"{cat}\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}",
+                quote(op.name()),
+                us(rec.start),
+                us(SimTime::from_nanos(rec.duration().as_nanos())),
+            ),
+            &mut out,
+        );
+    }
+
+    // Fault events as thread-scoped instants on the affected lane, plus a
+    // flow arrow from the barrier lane to each deferred op's lane.
+    let mut flow_id = 0usize;
+    for event in trace.fault_events() {
+        let (name, lane_at, args) = fault_instant(graph, event.kind);
+        let (pid, tid) = lane_at;
+        push(
+            format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{name}\",\"cat\":\"fault\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}",
+                us(event.at),
+            ),
+            &mut out,
+        );
+        if let FaultEventKind::DeferredOp { op } = event.kind {
+            flow_id += 1;
+            let (dpid, dtid) = lane(graph, graph.resource(op));
+            push(
+                format!(
+                    "{{\"ph\":\"s\",\"name\":\"deferred\",\"cat\":\"flow\",\"id\":{flow_id},\"ts\":{},\"pid\":{bpid},\"tid\":0}}",
+                    us(event.at),
+                ),
+                &mut out,
+            );
+            push(
+                format!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"deferred\",\"cat\":\"flow\",\"id\":{flow_id},\"ts\":{},\"pid\":{dpid},\"tid\":{dtid}}}",
+                    us(event.at),
+                ),
+                &mut out,
+            );
+        }
+    }
+
+    let _ = write!(
+        out,
+        "\n],\n\"displayTimeUnit\": \"ns\",\n\"otherData\": {{\"label\": {}, \"makespan_ns\": {}}}\n}}\n",
+        quote(label),
+        trace.makespan().as_nanos()
+    );
+    out
+}
+
+/// The instant name (the `FaultEventKind` variant), lane, and args for a
+/// fault event.
+fn fault_instant(graph: &Graph, kind: FaultEventKind) -> (&'static str, (usize, usize), String) {
+    let op_lane = |op: OpId| lane(graph, graph.resource(op));
+    match kind {
+        FaultEventKind::TransferDropped { op, attempt } => (
+            "TransferDropped",
+            op_lane(op),
+            format!("\"op\":{},\"attempt\":{attempt}", op.index()),
+        ),
+        FaultEventKind::TransferTimeout { op, attempt } => (
+            "TransferTimeout",
+            op_lane(op),
+            format!("\"op\":{},\"attempt\":{attempt}", op.index()),
+        ),
+        FaultEventKind::Retransmit { op, attempt } => (
+            "Retransmit",
+            op_lane(op),
+            format!("\"op\":{},\"attempt\":{attempt}", op.index()),
+        ),
+        FaultEventKind::BlackoutStart { channel } => (
+            "BlackoutStart",
+            lane(graph, Resource::Channel(channel)),
+            format!("\"channel\":{}", channel.index()),
+        ),
+        FaultEventKind::BlackoutEnd { channel } => (
+            "BlackoutEnd",
+            lane(graph, Resource::Channel(channel)),
+            format!("\"channel\":{}", channel.index()),
+        ),
+        FaultEventKind::WorkerCrashed { device } => (
+            "WorkerCrashed",
+            (device.index(), 0),
+            format!("\"device\":{}", device.index()),
+        ),
+        FaultEventKind::WorkerRecovered { device } => (
+            "WorkerRecovered",
+            (device.index(), 0),
+            format!("\"device\":{}", device.index()),
+        ),
+        FaultEventKind::PsStallStart { device } => (
+            "PsStallStart",
+            (device.index(), 0),
+            format!("\"device\":{}", device.index()),
+        ),
+        FaultEventKind::PsStallEnd { device } => (
+            "PsStallEnd",
+            (device.index(), 0),
+            format!("\"device\":{}", device.index()),
+        ),
+        FaultEventKind::StragglerApplied { device } => (
+            "StragglerApplied",
+            (device.index(), 0),
+            format!("\"device\":{}", device.index()),
+        ),
+        FaultEventKind::DeferredOp { op } => {
+            ("DeferredOp", op_lane(op), format!("\"op\":{}", op.index()))
+        }
+        FaultEventKind::BarrierDegraded { remaining } => (
+            "BarrierDegraded",
+            (barrier_pid(graph), 0),
+            format!("\"remaining\":{remaining}"),
+        ),
+    }
+}
+
+/// Summary statistics of a parsed `trace_event` document, from
+/// [`validate_perfetto`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PerfettoStats {
+    /// Total events of any phase.
+    pub events: usize,
+    /// `"X"` complete slices.
+    pub slices: usize,
+    /// `"i"` instants.
+    pub instants: usize,
+    /// `"s"` flow starts.
+    pub flow_starts: usize,
+    /// `"f"` flow ends.
+    pub flow_ends: usize,
+    /// Every process name declared in `"M"` metadata (name-sorted),
+    /// whether or not any slice landed in its lanes.
+    pub processes: Vec<String>,
+    /// Slice count per process name (name-sorted).
+    pub slices_per_process: Vec<(String, usize)>,
+    /// Names of `cat:"fault"` instants, in document order.
+    pub fault_names: Vec<String>,
+}
+
+/// Parses `src` as `trace_event` JSON and checks its structural
+/// invariants: a `traceEvents` array whose slices carry name/ts/dur and a
+/// known lane, instants carry name/ts, and every flow start has a
+/// matching end. Returns summary stats on success.
+pub fn validate_perfetto(src: &str) -> Result<PerfettoStats, String> {
+    let doc = parse_json(src)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing array field \"traceEvents\"")?;
+
+    let mut stats = PerfettoStats {
+        events: events.len(),
+        ..PerfettoStats::default()
+    };
+    let mut process_names: BTreeMap<u64, String> = BTreeMap::new();
+    let mut slices_by_pid: BTreeMap<u64, usize> = BTreeMap::new();
+
+    let field_u64 = |e: &Json, key: &str| -> Result<u64, String> {
+        e.get(key)
+            .and_then(Json::as_f64)
+            .filter(|v| *v >= 0.0)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("event missing non-negative numeric {key:?}"))
+    };
+
+    for event in events {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or("event missing string field \"ph\"")?;
+        match ph {
+            "M" => {
+                if event.get("name").and_then(Json::as_str) == Some("process_name") {
+                    let pid = field_u64(event, "pid")?;
+                    let name = event
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .ok_or("process_name metadata missing args.name")?;
+                    process_names.insert(pid, name.to_string());
+                }
+            }
+            "X" => {
+                stats.slices += 1;
+                event
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("slice missing string field \"name\"")?;
+                let ts = event
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or("slice missing numeric \"ts\"")?;
+                let dur = event
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or("slice missing numeric \"dur\"")?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err("slice with negative ts or dur".into());
+                }
+                let pid = field_u64(event, "pid")?;
+                field_u64(event, "tid")?;
+                *slices_by_pid.entry(pid).or_insert(0) += 1;
+            }
+            "i" => {
+                stats.instants += 1;
+                let name = event
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("instant missing string field \"name\"")?;
+                event
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or("instant missing numeric \"ts\"")?;
+                if event.get("cat").and_then(Json::as_str) == Some("fault") {
+                    stats.fault_names.push(name.to_string());
+                }
+            }
+            "s" => stats.flow_starts += 1,
+            "f" => stats.flow_ends += 1,
+            other => return Err(format!("unsupported event phase {other:?}")),
+        }
+    }
+
+    if stats.flow_starts != stats.flow_ends {
+        return Err(format!(
+            "unbalanced flows: {} starts vs {} ends",
+            stats.flow_starts, stats.flow_ends
+        ));
+    }
+
+    stats.processes = process_names.values().cloned().collect();
+    stats.processes.sort();
+
+    for (pid, count) in slices_by_pid {
+        let name = process_names
+            .get(&pid)
+            .cloned()
+            .unwrap_or_else(|| format!("pid{pid}"));
+        // Channel lanes live under their worker's pid, so two entries can
+        // share a process name only if pids collide — they cannot.
+        stats.slices_per_process.push((name, count));
+    }
+    stats.slices_per_process.sort();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tictac_graph::{Cost, GraphBuilder, OpKind};
+    use tictac_trace::TraceBuilder;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn sample() -> (Graph, Vec<OpId>) {
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        let ch = b.add_channel(w, ps);
+        let p = b.add_param("p", 64);
+        let r = b.add_op("recv/p", w, OpKind::recv(p, ch), Cost::bytes(64), &[]);
+        let c = b.add_op("fwd", w, OpKind::Compute, Cost::flops(1.0), &[r]);
+        (b.build().unwrap(), vec![r, c])
+    }
+
+    #[test]
+    fn export_validates_and_counts_lanes() {
+        let (g, ops) = sample();
+        let mut tb = TraceBuilder::new(g.len());
+        tb.record(ops[0], t(0), t(2_500));
+        tb.record(ops[1], t(2_500), t(4_000));
+        let json = perfetto_json(&g, &tb.finish(), "unit test");
+        let stats = validate_perfetto(&json).expect("valid trace_event JSON");
+        assert_eq!(stats.slices, 2);
+        assert_eq!(stats.instants, 0);
+        // Both the compute slice and the channel slice land under w0's pid.
+        assert_eq!(stats.slices_per_process, vec![("w0".to_string(), 2)]);
+        // Every lane is declared, even the idle PS and barrier processes.
+        assert_eq!(stats.processes, vec!["barrier", "ps0", "w0"]);
+        assert!(json.contains("\"ts\":2.500"));
+        assert!(json.contains("\"bytes\":64"));
+    }
+
+    #[test]
+    fn fault_instants_and_flows_round_trip() {
+        let (g, ops) = sample();
+        let mut tb = TraceBuilder::new(g.len());
+        tb.record(ops[1], t(0), t(1_000));
+        tb.push_fault(
+            t(100),
+            FaultEventKind::TransferDropped {
+                op: ops[0],
+                attempt: 0,
+            },
+        );
+        tb.push_fault(t(900), FaultEventKind::DeferredOp { op: ops[0] });
+        tb.push_fault(t(900), FaultEventKind::BarrierDegraded { remaining: 1 });
+        let json = perfetto_json(&g, &tb.finish(), "faults");
+        let stats = validate_perfetto(&json).expect("valid");
+        assert_eq!(stats.instants, 3);
+        assert_eq!(stats.flow_starts, 1);
+        assert_eq!(stats.flow_ends, 1);
+        assert_eq!(
+            stats.fault_names,
+            vec!["TransferDropped", "DeferredOp", "BarrierDegraded"]
+        );
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_perfetto("{}").is_err());
+        assert!(validate_perfetto("{\"traceEvents\": [{\"ph\": \"X\"}]}").is_err());
+        assert!(
+            validate_perfetto("{\"traceEvents\": [{\"ph\": \"s\", \"id\": 1}]}").is_err(),
+            "unbalanced flow accepted"
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let (g, ops) = sample();
+        let mk = || {
+            let mut tb = TraceBuilder::new(g.len());
+            tb.record(ops[0], t(10), t(20));
+            tb.record(ops[1], t(20), t(30));
+            perfetto_json(&g, &tb.finish(), "det")
+        };
+        assert_eq!(mk(), mk());
+    }
+}

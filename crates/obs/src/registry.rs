@@ -1,0 +1,567 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms and
+//! monotonic timers behind zero-cost-when-disabled handles.
+//!
+//! A [`Registry`] is either *enabled* (backed by shared atomic state) or
+//! *disabled* (the default). Handles created from a disabled registry hold
+//! no allocation and every operation on them compiles down to a branch on
+//! `None` — instrumented code pays nothing when observability is off, and
+//! in particular never perturbs the simulator's RNG draw order.
+//!
+//! Handles are cheap to clone and are meant to be created once at setup
+//! time (registration formats metric names and takes a lock) and then used
+//! lock-free on the hot path (plain relaxed atomic updates).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A named-metric store. Cloning shares the underlying state.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    /// Gauges store `f64` bits.
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+    Timer(Arc<TimerCore>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Timer(_) => "timer",
+        }
+    }
+}
+
+impl Registry {
+    /// An enabled registry: handles record into shared state.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A disabled registry: every handle is a no-op (this is also
+    /// `Registry::default()`).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether handles created from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or re-attaches to) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.slot(
+            name,
+            || Metric::Counter(Arc::default()),
+            |m| {
+                if let Metric::Counter(c) = m {
+                    Some(c.clone())
+                } else {
+                    None
+                }
+            },
+        ))
+    }
+
+    /// Registers (or re-attaches to) the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.slot(
+            name,
+            || Metric::Gauge(Arc::default()),
+            |m| {
+                if let Metric::Gauge(g) = m {
+                    Some(g.clone())
+                } else {
+                    None
+                }
+            },
+        ))
+    }
+
+    /// Registers (or re-attaches to) the fixed-bucket histogram `name`.
+    /// `bounds` are inclusive upper bucket bounds, strictly increasing;
+    /// values above the last bound land in an overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly increasing, or if `name` is
+    /// already registered as a different kind or with different bounds.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> BucketHistogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let core = self.slot(
+            name,
+            || Metric::Histogram(Arc::new(HistogramCore::new(bounds))),
+            |m| {
+                if let Metric::Histogram(h) = m {
+                    assert_eq!(
+                        h.bounds, bounds,
+                        "histogram {name:?} re-registered with different bounds"
+                    );
+                    Some(h.clone())
+                } else {
+                    None
+                }
+            },
+        );
+        BucketHistogram(core)
+    }
+
+    /// Registers (or re-attaches to) the monotonic timer `name`. Timers
+    /// measure wall-clock spans via [`Timer::start`] guards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn timer(&self, name: &str) -> Timer {
+        Timer(self.slot(
+            name,
+            || Metric::Timer(Arc::default()),
+            |m| {
+                if let Metric::Timer(t) = m {
+                    Some(t.clone())
+                } else {
+                    None
+                }
+            },
+        ))
+    }
+
+    fn slot<T>(
+        &self,
+        name: &str,
+        mk: impl FnOnce() -> Metric,
+        extract: impl FnOnce(&Metric) -> Option<T>,
+    ) -> Option<T> {
+        let inner = self.inner.as_ref()?;
+        let mut metrics = inner.metrics.lock().expect("registry lock");
+        let entry = metrics.entry(name.to_string()).or_insert_with(mk);
+        let kind = entry.kind();
+        match extract(entry) {
+            Some(t) => Some(t),
+            None => panic!("metric {name:?} already registered as a {kind}"),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name. Empty for a disabled registry.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries = Vec::new();
+        if let Some(inner) = &self.inner {
+            let metrics = inner.metrics.lock().expect("registry lock");
+            for (name, metric) in metrics.iter() {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.load(Relaxed)),
+                    Metric::Gauge(g) => MetricValue::Gauge(f64::from_bits(g.load(Relaxed))),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Metric::Timer(t) => MetricValue::Timer(TimerStats {
+                        count: t.count.load(Relaxed),
+                        total_ns: t.total_ns.load(Relaxed),
+                        max_ns: t.max_ns.load(Relaxed),
+                    }),
+                };
+                entries.push((name.clone(), value));
+            }
+        }
+        Snapshot { entries }
+    }
+}
+
+/// A monotonically increasing `u64` counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`. No-op on a disabled handle.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 on a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Relaxed))
+    }
+}
+
+/// A last-value-wins `f64` gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge. No-op on a disabled handle.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(g) = &self.0 {
+            g.store(value.to_bits(), Relaxed);
+        }
+    }
+
+    /// The current value (0.0 on a disabled handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Relaxed)))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Inclusive upper bucket bounds, strictly increasing.
+    bounds: Vec<u64>,
+    /// One slot per bound plus a final overflow slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &[u64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramStats {
+        HistogramStats {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle over `u64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct BucketHistogram(Option<Arc<HistogramCore>>);
+
+impl BucketHistogram {
+    /// Records one sample. No-op on a disabled handle.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.observe(value);
+        }
+    }
+
+    /// The current stats (empty defaults on a disabled handle).
+    pub fn stats(&self) -> HistogramStats {
+        self.0
+            .as_ref()
+            .map(|h| h.snapshot())
+            .unwrap_or_else(|| HistogramStats {
+                bounds: Vec::new(),
+                buckets: vec![0],
+                count: 0,
+                sum: 0,
+                max: 0,
+            })
+    }
+}
+
+/// Point-in-time contents of a [`BucketHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramStats {
+    /// Inclusive upper bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; one extra trailing overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramStats {
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TimerCore {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl TimerCore {
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Relaxed);
+        self.total_ns.fetch_add(ns, Relaxed);
+        self.max_ns.fetch_max(ns, Relaxed);
+    }
+}
+
+/// A monotonic wall-clock span timer handle.
+#[derive(Debug, Clone, Default)]
+pub struct Timer(Option<Arc<TimerCore>>);
+
+impl Timer {
+    /// Starts a span; the elapsed time is recorded when the returned guard
+    /// drops. A disabled handle never reads the clock.
+    #[inline]
+    pub fn start(&self) -> TimerGuard {
+        TimerGuard(self.0.as_ref().map(|c| (c.clone(), Instant::now())))
+    }
+
+    /// Records an externally measured span of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        if let Some(c) = &self.0 {
+            c.record(ns);
+        }
+    }
+}
+
+/// Records its span into the owning [`Timer`] on drop.
+#[derive(Debug)]
+#[must_use = "dropping the guard ends the span"]
+pub struct TimerGuard(Option<(Arc<TimerCore>, Instant)>);
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        if let Some((core, started)) = self.0.take() {
+            core.record(started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Accumulated spans of a [`Timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerStats {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Total span time, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// One metric's value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A histogram's buckets and summary stats.
+    Histogram(HistogramStats),
+    /// A timer's accumulated spans.
+    Timer(TimerStats),
+}
+
+/// A point-in-time view of every metric in a [`Registry`], sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The value of counter `name`, if registered as one.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot as one `name = value` line per metric.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name} = {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} = {v:.3}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name} = count {} / mean {:.1} / max {}",
+                        h.count,
+                        h.mean(),
+                        h.max
+                    );
+                }
+                MetricValue::Timer(t) => {
+                    let _ = writeln!(
+                        out,
+                        "{name} = {} spans / total {:.3} ms / max {:.3} ms",
+                        t.count,
+                        t.total_ns as f64 / 1e6,
+                        t.max_ns as f64 / 1e6
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_no_ops() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("a");
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = reg.gauge("b");
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+        let h = reg.histogram("c", &[1, 2]);
+        h.observe(5);
+        assert_eq!(h.stats().count, 0);
+        let t = reg.timer("d");
+        drop(t.start());
+        t.record_ns(99);
+        assert!(reg.snapshot().entries.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let reg = Registry::enabled();
+        let c = reg.counter("sim.events");
+        c.inc();
+        c.add(4);
+        // Re-registration attaches to the same state.
+        assert_eq!(reg.counter("sim.events").get(), 5);
+        let g = reg.gauge("goodput");
+        g.set(87.5);
+        assert_eq!(g.get(), 87.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.events"), Some(5));
+        assert_eq!(snap.get("goodput"), Some(&MetricValue::Gauge(87.5)));
+        assert!(snap.render().contains("sim.events = 5"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("depth", &[1, 4, 16]);
+        for v in [0, 1, 2, 5, 100] {
+            h.observe(v);
+        }
+        let s = h.stats();
+        assert_eq!(s.buckets, vec![2, 1, 1, 1]); // ≤1, ≤4, ≤16, overflow
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 108);
+        assert_eq!(s.max, 100);
+        assert!((s.mean() - 21.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timers_accumulate_spans() {
+        let reg = Registry::enabled();
+        let t = reg.timer("derive");
+        {
+            let _guard = t.start();
+        }
+        t.record_ns(1_000);
+        match reg.snapshot().get("derive") {
+            Some(MetricValue::Timer(stats)) => {
+                assert_eq!(stats.count, 2);
+                assert!(stats.total_ns >= 1_000);
+            }
+            other => panic!("expected a timer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::enabled();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::enabled();
+        let _ = reg.counter("b");
+        let _ = reg.counter("a");
+        let names: Vec<_> = reg
+            .snapshot()
+            .entries
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

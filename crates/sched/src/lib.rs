@@ -40,5 +40,7 @@ mod tic;
 pub use partition::PartitionGraph;
 pub use properties::OpProperties;
 pub use schedule::{merge_schedules, no_ordering, random_order, Schedule};
-pub use tac::{tac, tac_order, tac_order_naive, worst_case, TacComparator};
-pub use tic::tic;
+pub use tac::{
+    tac, tac_observed, tac_order, tac_order_naive, tac_order_observed, worst_case, TacComparator,
+};
+pub use tic::{tic, tic_observed};

@@ -77,6 +77,12 @@ pub struct OpProperties {
     scratch_old_m: Vec<SimDuration>,
     /// Scratch: bits whose `M⁺` must be re-derived this round.
     scratch_dirty: Vec<usize>,
+    /// Total `M⁺` min-merges applied by [`complete`](Self::complete)
+    /// (Pass 3), across all rounds so far.
+    merges: u64,
+    /// Total dirty bits exactly re-derived by
+    /// [`complete`](Self::complete) (Pass 4), across all rounds so far.
+    rederived: u64,
 }
 
 impl OpProperties {
@@ -144,6 +150,8 @@ impl OpProperties {
             scratch_set: RecvSet::empty(words),
             scratch_old_m: Vec::new(),
             scratch_dirty: Vec::new(),
+            merges: 0,
+            rederived: 0,
         };
         props.recompute_m_plus(part);
         props
@@ -194,6 +202,19 @@ impl OpProperties {
     /// The transfer time of recv bit `bit` (its `M` as a root op).
     pub fn recv_time(&self, part: &PartitionGraph, bit: usize) -> SimDuration {
         self.durations[part.recvs()[bit] as usize]
+    }
+
+    /// Total `M⁺` min-merges applied by the incremental
+    /// [`complete`](Self::complete) so far — one per (candidate, bit) pair
+    /// actually touched in the frontier-restricted merge.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Total dirty bits whose `M⁺` the incremental
+    /// [`complete`](Self::complete) re-derived exactly so far.
+    pub fn rederived(&self) -> u64 {
+        self.rederived
     }
 
     /// Marks recv `bit` as completed (removes it from `R`) and updates `M`,
@@ -288,6 +309,7 @@ impl OpProperties {
                 }
             }
             for c in fresh.iter() {
+                self.merges += 1;
                 let slot = &mut self.m_plus[c];
                 *slot = Some(match *slot {
                     Some(cur) => cur.min(m_new),
@@ -301,6 +323,7 @@ impl OpProperties {
         // index (overwrites whatever the merges left there).
         dirty.sort_unstable();
         dirty.dedup();
+        self.rederived += dirty.len() as u64;
         for &c in &dirty {
             let mut best: Option<SimDuration> = None;
             for &j in &self.dependents[c] {

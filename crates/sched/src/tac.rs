@@ -4,6 +4,7 @@ use crate::partition::PartitionGraph;
 use crate::properties::OpProperties;
 use crate::schedule::Schedule;
 use tictac_graph::{DeviceId, Graph, OpId};
+use tictac_obs::Registry;
 use tictac_timing::{SimDuration, TimeOracle};
 
 /// The pairwise comparator of §4.3.
@@ -91,6 +92,27 @@ fn select_best(part: &PartitionGraph, props: &OpProperties) -> usize {
 /// [`tac_order_naive`] is the reference implementation with the paper's
 /// per-round recomputation, kept for equivalence tests and benchmarks.
 pub fn tac_order(graph: &Graph, worker: DeviceId, oracle: &dyn TimeOracle) -> Vec<OpId> {
+    tac_order_observed(graph, worker, oracle, &Registry::disabled())
+}
+
+/// [`tac_order`] with derivation instrumented into `registry`:
+///
+/// * `sched.tac.derive_ns` (timer) — the wall-clock derivation span;
+/// * `sched.tac.merges` (counter) — `M⁺` min-merges applied by the
+///   incremental property maintenance;
+/// * `sched.tac.rederived` (counter) — dirty bits whose `M⁺` was
+///   re-derived exactly.
+///
+/// With a disabled registry this is exactly [`tac_order`]: the order never
+/// depends on the registry.
+pub fn tac_order_observed(
+    graph: &Graph,
+    worker: DeviceId,
+    oracle: &dyn TimeOracle,
+    registry: &Registry,
+) -> Vec<OpId> {
+    let span = registry.timer("sched.tac.derive_ns");
+    let _guard = span.start();
     let part = PartitionGraph::new(graph, worker);
     let durations = part.durations(graph, oracle);
     let mut props = OpProperties::new(&part, durations);
@@ -101,6 +123,10 @@ pub fn tac_order(graph: &Graph, worker: DeviceId, oracle: &dyn TimeOracle) -> Ve
         order.push(part.global(part.recvs()[best] as usize));
         props.complete(&part, best);
     }
+    registry.counter("sched.tac.merges").add(props.merges());
+    registry
+        .counter("sched.tac.rederived")
+        .add(props.rederived());
     order
 }
 
@@ -126,8 +152,22 @@ pub fn tac_order_naive(graph: &Graph, worker: DeviceId, oracle: &dyn TimeOracle)
 /// Computes the TAC schedule for the recv ops of `worker`: sequential
 /// priorities `0, 1, 2, …` in [`tac_order`].
 pub fn tac(graph: &Graph, worker: DeviceId, oracle: &dyn TimeOracle) -> Schedule {
+    tac_observed(graph, worker, oracle, &Registry::disabled())
+}
+
+/// [`tac`] with derivation instrumented into `registry`; see
+/// [`tac_order_observed`] for the metrics recorded.
+pub fn tac_observed(
+    graph: &Graph,
+    worker: DeviceId,
+    oracle: &dyn TimeOracle,
+    registry: &Registry,
+) -> Schedule {
     let mut schedule = Schedule::empty(graph.len());
-    for (rank, op) in tac_order(graph, worker, oracle).into_iter().enumerate() {
+    for (rank, op) in tac_order_observed(graph, worker, oracle, registry)
+        .into_iter()
+        .enumerate()
+    {
         schedule.set(op, rank as u64);
     }
     schedule
@@ -265,6 +305,39 @@ mod tests {
         assert!(order[..2].contains(&a) && order[..2].contains(&bb));
         assert_eq!(order[2], c);
         assert_eq!(order[3], d);
+    }
+
+    #[test]
+    fn observed_order_matches_and_records_metrics() {
+        // Figure 4b topology: merges and re-derivations both fire.
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        let ch = b.add_channel(w, ps);
+        let recv = |b: &mut GraphBuilder, name: &str| {
+            let p = b.add_param(format!("p_{name}"), 1_000_000);
+            b.add_op(name, w, OpKind::recv(p, ch), Cost::bytes(1_000_000), &[])
+        };
+        let a = recv(&mut b, "A");
+        let bb = recv(&mut b, "B");
+        let c = recv(&mut b, "C");
+        let op1 = b.add_op("op1", w, OpKind::Compute, Cost::flops(1e9), &[a, bb]);
+        b.add_op("op2", w, OpKind::Compute, Cost::flops(1e9), &[op1, c]);
+        let g = b.build().unwrap();
+        let oracle = CostOracle::new(Platform::cpu_cluster());
+
+        let registry = tictac_obs::Registry::enabled();
+        let observed = tac_order_observed(&g, w, &oracle, &registry);
+        assert_eq!(observed, tac_order(&g, w, &oracle));
+
+        let snap = registry.snapshot();
+        assert!(snap.counter("sched.tac.merges").unwrap() > 0);
+        let timers: Vec<_> = snap
+            .entries
+            .iter()
+            .filter(|(name, _)| name == "sched.tac.derive_ns")
+            .collect();
+        assert_eq!(timers.len(), 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::partition::PartitionGraph;
 use crate::properties::OpProperties;
 use crate::schedule::Schedule;
 use tictac_graph::{DeviceId, Graph};
+use tictac_obs::Registry;
 use tictac_timing::GeneralOracle;
 
 /// Computes the TIC schedule for the recv ops of `worker`.
@@ -19,6 +20,15 @@ use tictac_timing::GeneralOracle;
 /// the lowest priority (`u64::MAX`), matching Algorithm 2's literal
 /// `priority ← M⁺`.
 pub fn tic(graph: &Graph, worker: DeviceId) -> Schedule {
+    tic_observed(graph, worker, &Registry::disabled())
+}
+
+/// [`tic`] with the derivation span timed into `registry` as
+/// `sched.tic.derive_ns`. With a disabled registry this is exactly
+/// [`tic`]: the schedule never depends on the registry.
+pub fn tic_observed(graph: &Graph, worker: DeviceId, registry: &Registry) -> Schedule {
+    let span = registry.timer("sched.tic.derive_ns");
+    let _guard = span.start();
     let part = PartitionGraph::new(graph, worker);
     let durations = part.durations(graph, &GeneralOracle);
     let props = OpProperties::new(&part, durations);

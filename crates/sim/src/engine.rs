@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use tictac_graph::{Channel, ChannelId, DeviceId, Graph, OpId, OpKind};
+use tictac_obs::{BucketHistogram, Counter, Registry};
 use tictac_sched::Schedule;
 use tictac_timing::{CostOracle, SimTime, TimeOracle};
 use tictac_trace::{ExecutionTrace, FaultEventKind, TraceBuilder};
@@ -69,13 +70,140 @@ pub fn simulate_with_plan(
     iteration: u64,
     plan: &FaultPlan,
 ) -> Result<ExecutionTrace, SimError> {
+    simulate_with_plan_observed(
+        graph,
+        schedule,
+        config,
+        iteration,
+        plan,
+        &Registry::disabled(),
+    )
+}
+
+/// Like [`try_simulate`], recording engine metrics — per-channel bytes,
+/// busy/idle time and queue depths, per-device busy time and ready-set
+/// depths, event and retransmit counts — into `registry`.
+///
+/// The instrumentation only *reads* engine state: a run observed through
+/// an enabled registry produces exactly the trace the unobserved run
+/// does (the golden-trace fingerprints pin the disabled path, and
+/// `tests/observability.rs` pins enabled-vs-disabled equality).
+///
+/// # Errors
+///
+/// As [`try_simulate`].
+pub fn try_simulate_observed(
+    graph: &Graph,
+    schedule: &Schedule,
+    config: &SimConfig,
+    iteration: u64,
+    registry: &Registry,
+) -> Result<ExecutionTrace, SimError> {
+    let plan = FaultPlan::sample(&config.faults, graph, config.seed, iteration);
+    simulate_with_plan_observed(graph, schedule, config, iteration, &plan, registry)
+}
+
+/// Like [`simulate_with_plan`], recording engine metrics into `registry`
+/// (see [`try_simulate_observed`]).
+///
+/// # Errors
+///
+/// As [`try_simulate`].
+pub fn simulate_with_plan_observed(
+    graph: &Graph,
+    schedule: &Schedule,
+    config: &SimConfig,
+    iteration: u64,
+    plan: &FaultPlan,
+    registry: &Registry,
+) -> Result<ExecutionTrace, SimError> {
     if schedule.len() != graph.len() {
         return Err(SimError::ScheduleMismatch {
             schedule_len: schedule.len(),
             graph_len: graph.len(),
         });
     }
-    Engine::new(graph, schedule, config, iteration, plan).run()
+    let mut engine = Engine::new(graph, schedule, config, iteration, plan);
+    engine.metrics = EngineMetrics::install(registry, graph);
+    engine.run()
+}
+
+/// Queue/ready-set depth histogram bounds (powers of two).
+const DEPTH_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// The engine's registry handles, allocated once per run so the hot path
+/// only touches atomics. Present only for enabled registries; every hook
+/// *reads* engine state and never draws from the RNG, so enabling
+/// metrics cannot perturb the simulated outcome.
+struct EngineMetrics {
+    registry: Registry,
+    /// `sim.events`: events popped from the queue.
+    events: Counter,
+    /// `sim.retransmits`: transfer attempts re-queued after a timeout.
+    retransmits: Counter,
+    /// `sim.chan{c}.bytes`: payload bytes of completed transfers.
+    chan_bytes: Vec<Counter>,
+    /// `sim.chan{c}.busy_ns`: wire time of completed transfers.
+    chan_busy_ns: Vec<Counter>,
+    /// `sim.chan{c}.transfers`: completed transfers.
+    chan_transfers: Vec<Counter>,
+    /// `sim.chan{c}.queue_depth`: pending transfers, sampled whenever an
+    /// idle channel considers starting one.
+    chan_queue_depth: Vec<BucketHistogram>,
+    /// `sim.dev{d}.busy_ns`: compute time of completed ops.
+    dev_busy_ns: Vec<Counter>,
+    /// `sim.dev{d}.ops`: completed compute ops.
+    dev_ops: Vec<Counter>,
+    /// `sim.dev{d}.ready_depth`: pick candidates, sampled whenever an
+    /// idle device starts an op.
+    dev_ready_depth: Vec<BucketHistogram>,
+}
+
+impl EngineMetrics {
+    fn install(registry: &Registry, graph: &Graph) -> Option<Box<Self>> {
+        if !registry.is_enabled() {
+            return None;
+        }
+        let chans = graph.channels().len();
+        let devs = graph.devices().len();
+        Some(Box::new(Self {
+            registry: registry.clone(),
+            events: registry.counter("sim.events"),
+            retransmits: registry.counter("sim.retransmits"),
+            chan_bytes: (0..chans)
+                .map(|c| registry.counter(&format!("sim.chan{c}.bytes")))
+                .collect(),
+            chan_busy_ns: (0..chans)
+                .map(|c| registry.counter(&format!("sim.chan{c}.busy_ns")))
+                .collect(),
+            chan_transfers: (0..chans)
+                .map(|c| registry.counter(&format!("sim.chan{c}.transfers")))
+                .collect(),
+            chan_queue_depth: (0..chans)
+                .map(|c| registry.histogram(&format!("sim.chan{c}.queue_depth"), &DEPTH_BUCKETS))
+                .collect(),
+            dev_busy_ns: (0..devs)
+                .map(|d| registry.counter(&format!("sim.dev{d}.busy_ns")))
+                .collect(),
+            dev_ops: (0..devs)
+                .map(|d| registry.counter(&format!("sim.dev{d}.ops")))
+                .collect(),
+            dev_ready_depth: (0..devs)
+                .map(|d| registry.histogram(&format!("sim.dev{d}.ready_depth"), &DEPTH_BUCKETS))
+                .collect(),
+        }))
+    }
+
+    /// End-of-run derived gauges: per-channel idle time against the
+    /// iteration makespan.
+    fn finish(&self, makespan: tictac_timing::SimDuration) {
+        for (c, busy) in self.chan_busy_ns.iter().enumerate() {
+            let idle = makespan.as_nanos().saturating_sub(busy.get());
+            self.registry
+                .gauge(&format!("sim.chan{c}.idle_ns"))
+                .set(idle as f64);
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -385,6 +513,8 @@ struct Engine<'g> {
     ///
     /// [`Platform::transfer_time_shared`]: tictac_timing::Platform::transfer_time_shared
     bandwidth_share: f64,
+    /// Registry handles (read-only observation; `None` when disabled).
+    metrics: Option<Box<EngineMetrics>>,
 }
 
 impl<'g> Engine<'g> {
@@ -504,6 +634,7 @@ impl<'g> Engine<'g> {
             recv_rank: vec![None; n],
             send_of: vec![None; n],
             bandwidth_share,
+            metrics: None,
         }
     }
 
@@ -582,6 +713,9 @@ impl<'g> Engine<'g> {
             let Some(Reverse(ev)) = self.events.pop() else {
                 break;
             };
+            if let Some(m) = &self.metrics {
+                m.events.inc();
+            }
             self.clock = SimTime::from_nanos(ev.at);
             match ev.kind {
                 EventKind::ComputeDone(op, epoch) => {
@@ -621,7 +755,11 @@ impl<'g> Engine<'g> {
                 at: self.clock,
             });
         }
-        Ok(self.trace.finish())
+        let trace = self.trace.finish();
+        if let Some(m) = &self.metrics {
+            m.finish(trace.makespan());
+        }
+        Ok(trace)
     }
 
     /// Runs all synchronous starts enabled by the current state.
@@ -768,6 +906,9 @@ impl<'g> Engine<'g> {
             // spans the live queue in hand-off order — both identical to
             // the seed engine's flat-Vec scan.
             let len = self.chan_queue[ch].live();
+            if let Some(m) = &self.metrics {
+                m.chan_queue_depth[ch].observe(len as u64);
+            }
             let take_ranked = self.chan_queue[ch].has_ranked()
                 && !(len >= 2 && self.rng.gen::<f64>() < self.reorder_error);
             let recv = if take_ranked {
@@ -847,6 +988,9 @@ impl<'g> Engine<'g> {
         {
             return false;
         }
+        if let Some(m) = &self.metrics {
+            m.dev_ready_depth[dev].observe(self.compute_ready[dev].candidates() as u64);
+        }
         // Locally disordered pick: uniform over the oldest
         // `disorder_window` candidates (unprioritized plus minimum-bucket
         // ready ops, in readiness order — the same candidate list the seed
@@ -875,6 +1019,14 @@ impl<'g> Engine<'g> {
         let dev = self.graph.op(op).device().index();
         self.compute_busy[dev] = false;
         self.inflight_compute[dev] = None;
+        if let Some(m) = &self.metrics {
+            m.dev_busy_ns[dev].add(
+                self.clock
+                    .duration_since(self.started_at[op.index()])
+                    .as_nanos(),
+            );
+            m.dev_ops[dev].inc();
+        }
         self.trace
             .record(op, self.started_at[op.index()], self.clock);
         self.mark_done(op);
@@ -885,6 +1037,12 @@ impl<'g> Engine<'g> {
         self.chan_busy[ch_id.index()] = false;
         self.inflight_recv[ch_id.index()] = None;
         let start = self.started_at[recv.index()];
+        if let Some(m) = &self.metrics {
+            let ch = ch_id.index();
+            m.chan_bytes[ch].add(self.graph.op(recv).cost().bytes);
+            m.chan_transfers[ch].inc();
+            m.chan_busy_ns[ch].add(self.clock.duration_since(start).as_nanos());
+        }
         self.trace.record(recv, start, self.clock);
         // Attribute the same interval to the sending end (already `done`
         // for dependency purposes at hand-off time).
@@ -917,6 +1075,9 @@ impl<'g> Engine<'g> {
         let next = attempt + 1;
         self.attempts[recv.index()] = next;
         if self.plan.retry.attempt_allowed(next) {
+            if let Some(m) = &self.metrics {
+                m.retransmits.inc();
+            }
             self.trace.push_fault(
                 self.clock,
                 FaultEventKind::Retransmit {
@@ -1432,6 +1593,49 @@ mod tests {
             .fault_events()
             .iter()
             .any(|e| matches!(e.kind, FaultEventKind::PsStallStart { .. })));
+    }
+
+    #[test]
+    fn observed_runs_match_unobserved_and_populate_metrics() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let cfg = SimConfig::cloud_gpu();
+        let s = no_ordering(d.graph());
+        let plain = try_simulate(d.graph(), &s, &cfg, 0).unwrap();
+        let registry = Registry::enabled();
+        let observed = try_simulate_observed(d.graph(), &s, &cfg, 0, &registry).unwrap();
+        assert_eq!(plain, observed, "observation must not perturb the run");
+
+        let snap = registry.snapshot();
+        assert!(snap.counter("sim.events").unwrap() > 0);
+        assert_eq!(snap.counter("sim.retransmits"), Some(0));
+        let compute_ops: u64 = (0..d.graph().devices().len())
+            .map(|i| snap.counter(&format!("sim.dev{i}.ops")).unwrap())
+            .sum();
+        let transfers: u64 = (0..d.graph().channels().len())
+            .map(|i| snap.counter(&format!("sim.chan{i}.transfers")).unwrap())
+            .sum();
+        let sends = d.graph().count_ops(|op| op.kind().is_send()) as u64;
+        // Every op executes once: transfers cover send+recv pairs, compute
+        // ops cover the rest.
+        assert_eq!(transfers, sends);
+        assert_eq!(compute_ops + 2 * transfers, d.graph().len() as u64);
+        let bytes: u64 = (0..d.graph().channels().len())
+            .map(|i| snap.counter(&format!("sim.chan{i}.bytes")).unwrap())
+            .sum();
+        assert!(bytes > 0);
+        // Idle gauges exist and are bounded by the makespan.
+        match snap.get("sim.chan0.idle_ns") {
+            Some(tictac_obs::MetricValue::Gauge(idle)) => {
+                assert!(*idle >= 0.0 && *idle <= plain.makespan().as_nanos() as f64);
+            }
+            other => panic!("expected idle gauge, got {other:?}"),
+        }
+        // A disabled registry records nothing.
+        let disabled = Registry::disabled();
+        let again = try_simulate_observed(d.graph(), &s, &cfg, 0, &disabled).unwrap();
+        assert_eq!(plain, again);
+        assert!(disabled.snapshot().entries.is_empty());
     }
 
     #[test]

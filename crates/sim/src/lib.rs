@@ -49,7 +49,9 @@ mod faults;
 mod metrics;
 
 pub use config::SimConfig;
-pub use engine::{simulate, simulate_with_plan, try_simulate};
+pub use engine::{
+    simulate, simulate_with_plan, simulate_with_plan_observed, try_simulate, try_simulate_observed,
+};
 pub use error::SimError;
 pub use faults::{Blackout, Crash, FaultPlan, FaultSpec, Stall};
 pub use metrics::{analyze, straggler_pct, FaultCounters, IterationMetrics};

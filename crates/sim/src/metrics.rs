@@ -58,6 +58,31 @@ impl FaultCounters {
         c
     }
 
+    /// Tallies fault events by *name* — the `FaultEventKind` variant
+    /// names, exactly as the Perfetto exporter emits them as
+    /// `cat:"fault"` instants. Unknown names are ignored, and the
+    /// End/Recovered variants do not increment, mirroring
+    /// [`from_events`](Self::from_events); counters rebuilt from an
+    /// exported trace therefore equal the trace-derived ones.
+    pub fn from_event_names<'a>(names: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut c = Self::default();
+        for name in names {
+            match name {
+                "TransferDropped" => c.drops += 1,
+                "TransferTimeout" => c.timeouts += 1,
+                "Retransmit" => c.retransmits += 1,
+                "BlackoutStart" => c.blackouts += 1,
+                "WorkerCrashed" => c.crashes += 1,
+                "PsStallStart" => c.ps_stalls += 1,
+                "StragglerApplied" => c.stragglers += 1,
+                "DeferredOp" => c.deferred_ops += 1,
+                "BarrierDegraded" => c.degraded_barriers += 1,
+                _ => {}
+            }
+        }
+        c
+    }
+
     /// `true` when nothing fault-related happened.
     pub fn is_clean(&self) -> bool {
         *self == Self::default()

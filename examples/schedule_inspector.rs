@@ -3,15 +3,22 @@
 //! the decisions.
 //!
 //! ```text
-//! cargo run --release --example schedule_inspector [model] [n] [op-name]
+//! cargo run --release --example schedule_inspector -- [model] [n] [op-name]
 //! ```
 //!
-//! With an op name, additionally reports where that transfer lands in the
-//! TAC order (name lookup is O(1) via the graph's name index).
+//! Arguments (all optional, positional):
+//!
+//! * `model` — zoo model name (default `inception_v1`);
+//! * `n` — how many leading TAC transfers to print (default 15);
+//! * `op-name` — a deployed op name (e.g. a `recv/...` transfer): reports
+//!   where that transfer lands in the TAC order (name lookup is O(1) via
+//!   the graph's name index), then simulates one enforced TAC iteration
+//!   and prints the overlap and priority-inversion report for the op's
+//!   channel.
 
 use tictac::{
-    deploy, estimate_profile, no_ordering, simulate, tac_order, tic, ClusterSpec, Mode, Model,
-    OpProperties, PartitionGraph, SimConfig,
+    deploy, estimate_profile, no_ordering, overlap_report, priority_inversions, simulate,
+    tac_order, tic, ClusterSpec, Mode, Model, OpProperties, PartitionGraph, Schedule, SimConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -92,6 +99,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 None => println!("\n{name}: not a scheduled transfer of worker 0"),
             },
             None => println!("\nno op named {name:?} in the deployed graph"),
+        }
+
+        // Overlap and inversion report for the op's channel, observed on
+        // one enforced TAC iteration.
+        if let Some(ch) = g.find_op(&name).and_then(|op| g.op(op).kind().channel()) {
+            let mut tac_schedule = Schedule::empty(g.len());
+            for (rank, &op) in tac_seq.iter().enumerate() {
+                tac_schedule.set(op, rank as u64);
+            }
+            let tac_schedule = deployed.replicate_schedule(&tac_schedule);
+            let trace = simulate(g, &tac_schedule, &config, 0);
+            let report = overlap_report(g, &trace);
+            let usage = report
+                .channel(ch)
+                .expect("transfer channels appear in the trace");
+            let inversions = priority_inversions(g, &trace, |op| tac_schedule.priority(op));
+            println!(
+                "\nchannel ch{} under enforced TAC (iteration 0):\n\
+                 \x20 busy {} | idle {} | {:.1}% utilized | {} transfers | {} bytes\n\
+                 \x20 priority inversions: {} on this channel, {} trace-wide\n\
+                 \x20 comm/compute overlap across the trace: {:.1}%",
+                ch.index(),
+                usage.busy,
+                usage.idle,
+                100.0 * usage.utilization(report.makespan),
+                usage.transfers,
+                usage.bytes,
+                inversions.on_channel(ch),
+                inversions.count(),
+                100.0 * report.overlap_frac(),
+            );
         }
     }
 

@@ -1,0 +1,54 @@
+//! Golden snapshot of the Perfetto exporter.
+//!
+//! Pins the exact bytes `Session::perfetto_json` produces for one
+//! fixed-seed TAC-scheduled AlexNet iteration — the same artifact
+//! `repro --export-trace` writes. The hand-rolled JSON writer has a
+//! fixed field order and fixed `ts`/`dur` formatting, so any change to
+//! the exporter (or to the underlying trace: this doubles as a sixth
+//! golden trace) shows up as a byte diff.
+//!
+//! Deliberate exporter changes re-pin with:
+//!
+//! ```text
+//! SNAPSHOT_UPDATE=1 cargo test -q --test perfetto_snapshot
+//! ```
+
+use tictac::{ClusterSpec, Mode, Model, SchedulerKind, Session, SimConfig};
+
+const SNAPSHOT: &str = "tests/snapshots/alexnet_tac_iter0.perfetto.json";
+
+fn export() -> String {
+    Session::builder(Model::AlexNetV2.build_with_batch(Mode::Training, 2))
+        .cluster(ClusterSpec::new(2, 1))
+        .config(SimConfig::cloud_gpu())
+        .scheduler(SchedulerKind::Tac)
+        .build()
+        .expect("zoo model deploys")
+        .perfetto_json(0)
+        .expect("fault-free iteration")
+}
+
+#[test]
+fn alexnet_trace_matches_snapshot() {
+    let json = export();
+    // The export must always be structurally valid, snapshot aside.
+    let stats = tictac::validate_perfetto(&json).expect("valid trace_event JSON");
+    assert!(stats.slices > 0);
+
+    if std::env::var_os("SNAPSHOT_UPDATE").is_some() {
+        std::fs::write(SNAPSHOT, &json).expect("write snapshot");
+        return;
+    }
+    let pinned = std::fs::read_to_string(SNAPSHOT)
+        .expect("snapshot missing; regenerate with SNAPSHOT_UPDATE=1");
+    assert_eq!(
+        json, pinned,
+        "Perfetto export drifted from {SNAPSHOT}; if deliberate, \
+         re-pin with SNAPSHOT_UPDATE=1"
+    );
+}
+
+#[test]
+fn export_is_stable_across_processes_within_a_run() {
+    assert_eq!(export(), export());
+}
