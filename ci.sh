@@ -34,6 +34,17 @@ echo "== golden traces =="
 cargo test --offline -q --test golden_traces
 cargo test --offline -q --test perfetto_snapshot
 
+echo "== threaded backend smoke =="
+# Real-OS-thread runtime gate (DESIGN.md §9): time the threaded backend
+# through the micro-bench pipeline, then run the quick sim-vs-wall-clock
+# comparison, which fails unless enforced TAC shows zero priority
+# inversions on the wall clock. TICTAC_THREADS is pinned so the wall
+# clock is not polluted by experiment-level fan-out on small CI boxes.
+./target/release/bench --quick --backend threaded --out target/BENCH_results_threaded.json
+./target/release/bench --check target/BENCH_results_threaded.json
+TICTAC_THREADS=2 ./target/release/repro --exp exec --quick --out target/ci-results
+grep -q "priority inversions under enforced TAC (threaded): 0" target/ci-results/exec.txt
+
 echo "== trace export =="
 # Export one TAC AlexNet iteration and re-validate it from disk; the
 # validator requires at least one slice in every device/channel lane.

@@ -12,10 +12,14 @@
 //! validates an existing report and exits nonzero if it is malformed.
 
 use tictac_bench::format::Table;
-use tictac_bench::micro::{render_json, run_plan, validate_report, BenchPlan, BenchReport};
+use tictac_bench::micro::{
+    render_json, run_plan, validate_report, BenchBackend, BenchPlan, BenchReport,
+};
 
 fn usage() -> ! {
-    eprintln!("usage: bench [--quick] [--out PATH] [--baseline PATH]\n       bench --check PATH");
+    eprintln!(
+        "usage: bench [--quick] [--backend sim|threaded] [--out PATH] [--baseline PATH]\n       bench --check PATH"
+    );
     std::process::exit(2);
 }
 
@@ -102,12 +106,20 @@ fn comparison(report: &BenchReport, baseline: &BenchReport) -> String {
 
 fn main() {
     let mut quick = false;
+    let mut backend = BenchBackend::Sim;
     let mut out = String::from("BENCH_results.json");
     let mut baseline_path = String::from("BENCH_baseline.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--backend" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                backend = BenchBackend::parse(&value).unwrap_or_else(|| {
+                    eprintln!("bench: unknown backend {value:?} (expected sim or threaded)");
+                    usage()
+                });
+            }
             "--out" => out = args.next().unwrap_or_else(|| usage()),
             "--baseline" => baseline_path = args.next().unwrap_or_else(|| usage()),
             "--check" => check(&args.next().unwrap_or_else(|| usage())),
@@ -119,12 +131,16 @@ fn main() {
         }
     }
 
-    let plan = BenchPlan::new(quick);
+    let plan = BenchPlan::new(quick).with_backend(backend);
     println!(
-        "benching {} models (warmup {}, median of {})...",
+        "benching {} models (warmup {}, median of {}, {} iteration phase)...",
         plan.models.len(),
         plan.warmup,
-        plan.samples
+        plan.samples,
+        match backend {
+            BenchBackend::Sim => "simulated",
+            BenchBackend::Threaded => "threaded wall-clock",
+        }
     );
     let report = run_plan(&plan, |timing| {
         println!(

@@ -4,7 +4,9 @@
 
 use crate::format::Table;
 use crate::runner::parallel_map;
-use tictac_core::{ols, Cdf, ClusterSpec, Mode, Model, SchedulerKind, Session, SimConfig};
+use tictac_core::{
+    ols, Cdf, ClusterSpec, Mode, Model, RunOptions, SchedulerKind, Session, SimConfig,
+};
 
 /// Runs Inception v2 training `N` times with and without TAC, then fits
 /// step time against the efficiency metric and compares CDFs.
@@ -28,7 +30,7 @@ pub fn run(quick: bool) -> String {
         // Each run seeds its own streams from the offset, so the points
         // are independent and fan out across threads.
         parallel_map((0..runs as u64).collect(), |&i| {
-            let report = session.run_with_offset(i);
+            let report = session.run_with(RunOptions::new().offset(i));
             let rec = report.iterations[0];
             (rec.efficiency, rec.makespan.as_secs_f64())
         })

@@ -2,6 +2,7 @@
 
 mod ablations;
 mod allreduce;
+mod exec;
 mod faults;
 mod fig07;
 mod fig08;
@@ -41,6 +42,7 @@ pub const ALL: &[(&str, Runner)] = &[
     ("ablation-sharding", ablations::sharding),
     ("faults", faults::run),
     ("observe", observe::run),
+    ("exec", exec::run),
 ];
 
 /// Looks up an experiment runner by name.
@@ -79,6 +81,16 @@ pub(crate) fn pick_models(quick: bool) -> Vec<Model> {
     }
 }
 
+/// Like [`pick_models`], but the full run covers the complete 10-model
+/// zoo (the backend-comparison experiment exercises every model).
+pub(crate) fn pick_models_zoo(quick: bool) -> Vec<Model> {
+    if quick {
+        vec![Model::AlexNetV2, Model::ResNet50V1]
+    } else {
+        Model::ALL.to_vec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,7 +101,7 @@ mod tests {
             assert!(find(name).is_some(), "{name} missing");
         }
         assert!(find("nope").is_none());
-        assert_eq!(ALL.len(), 17);
+        assert_eq!(ALL.len(), 18);
     }
 
     #[test]

@@ -16,10 +16,33 @@
 use std::hint::black_box;
 
 use tictac_core::{
-    deploy, no_ordering, simulate, tac_order, tac_order_naive, tic, ClusterSpec, CostOracle, Mode,
-    Model, Platform, SimConfig,
+    deploy, no_ordering, run_iteration, simulate, tac_order, tac_order_naive, tic, ClusterSpec,
+    CostOracle, ExecOptions, Mode, Model, Platform, SimConfig,
 };
 pub use tictac_obs::{parse_json, quote, Json};
+
+/// Which engine executes the timed iteration phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BenchBackend {
+    /// The discrete-event simulator (default; `simulate_ms` measures the
+    /// cost of *simulating* one iteration).
+    #[default]
+    Sim,
+    /// The multi-threaded runtime (`simulate_ms` measures the wall-clock
+    /// time of really *executing* one iteration on OS threads).
+    Threaded,
+}
+
+impl BenchBackend {
+    /// Parses a `--backend` argument value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(BenchBackend::Sim),
+            "threaded" => Some(BenchBackend::Threaded),
+            _ => None,
+        }
+    }
+}
 
 /// Schema tag stamped into every report; `--check` rejects anything else.
 pub const SCHEMA: &str = "tictac-bench/v1";
@@ -35,6 +58,8 @@ pub struct BenchPlan {
     pub samples: usize,
     /// Models to push through the pipeline.
     pub models: Vec<Model>,
+    /// Engine executing the timed iteration phase.
+    pub backend: BenchBackend,
 }
 
 impl BenchPlan {
@@ -47,6 +72,7 @@ impl BenchPlan {
                 warmup: 1,
                 samples: 3,
                 models: vec![Model::AlexNetV2, Model::InceptionV1],
+                backend: BenchBackend::Sim,
             }
         } else {
             Self {
@@ -54,8 +80,16 @@ impl BenchPlan {
                 warmup: 1,
                 samples: 5,
                 models: Model::ALL.to_vec(),
+                backend: BenchBackend::Sim,
             }
         }
+    }
+
+    /// Selects the engine for the timed iteration phase.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BenchBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -164,9 +198,17 @@ pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
 
     let schedule = no_ordering(g);
     let config = SimConfig::cloud_gpu();
-    let simulate_ms = median_ms(plan.warmup, plan.samples, || {
-        black_box(simulate(g, &schedule, &config, 0));
-    });
+    let simulate_ms = match plan.backend {
+        BenchBackend::Sim => median_ms(plan.warmup, plan.samples, || {
+            black_box(simulate(g, &schedule, &config, 0));
+        }),
+        BenchBackend::Threaded => {
+            let opts = ExecOptions::new(config.platform.clone());
+            median_ms(plan.warmup, plan.samples, || {
+                black_box(run_iteration(g, &schedule, &opts).expect("iteration completes"));
+            })
+        }
+    };
 
     ModelTiming {
         model: model.name().to_string(),
@@ -365,6 +407,7 @@ mod tests {
             warmup: 0,
             samples: 1,
             models: vec![Model::AlexNetV2],
+            backend: BenchBackend::Sim,
         };
         let timing = bench_model(Model::AlexNetV2, &plan);
         assert_eq!(timing.model, "alexnet_v2");
@@ -372,5 +415,24 @@ mod tests {
             assert!(value > 0.0, "phase {name} reported no time");
         }
         assert!(timing.tac_speedup > 0.0);
+    }
+
+    #[test]
+    fn threaded_backend_times_a_real_iteration() {
+        let plan = BenchPlan {
+            quick: true,
+            warmup: 0,
+            samples: 1,
+            models: vec![Model::AlexNetV2],
+            backend: BenchBackend::Threaded,
+        };
+        let timing = bench_model(Model::AlexNetV2, &plan);
+        assert!(timing.phases.simulate_ms > 0.0);
+        assert_eq!(
+            BenchBackend::parse("threaded"),
+            Some(BenchBackend::Threaded)
+        );
+        assert_eq!(BenchBackend::parse("sim"), Some(BenchBackend::Sim));
+        assert_eq!(BenchBackend::parse("nope"), None);
     }
 }

@@ -1,0 +1,325 @@
+//! Pluggable execution backends behind the [`Session`] API.
+//!
+//! A backend turns one iteration of a deployed model plus a schedule into
+//! an [`ExecutionTrace`]. Two implementations ship:
+//!
+//! * [`SimBackend`] — the discrete-event simulator (`tictac-sim`). The
+//!   default; deterministic, virtual-time, supports fault injection and
+//!   noise. Traces are byte-identical to the pre-backend-API sessions.
+//! * [`ThreadedBackend`] — the in-process multi-threaded runtime
+//!   (`tictac-exec`): real OS threads per device and channel, prioritized
+//!   queues with sender-side rank enforcement, wall-clock timestamps.
+//!
+//! Both emit the same trace type, so every downstream consumer — metrics,
+//! `tictac-obs` analyzers, Perfetto export — works on either unchanged.
+//! Select with [`SessionBuilder::backend`].
+//!
+//! [`Session`]: crate::Session
+//! [`SessionBuilder::backend`]: crate::SessionBuilder::backend
+
+use std::fmt;
+
+use tictac_cluster::DeployedModel;
+use tictac_exec::{run_iteration, ExecOptions, RuntimeError};
+use tictac_obs::Registry;
+use tictac_sched::Schedule;
+use tictac_sim::{try_simulate_observed, SimConfig, SimError};
+use tictac_trace::ExecutionTrace;
+
+/// The clock domain a backend's trace timestamps live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeDomain {
+    /// Deterministic simulated time (event-engine ticks).
+    Virtual,
+    /// Real elapsed time (nanoseconds since iteration start).
+    WallClock,
+}
+
+/// An iteration failure from whichever backend ran it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The simulator failed (retry exhaustion, deadlock, mismatch).
+    Sim(SimError),
+    /// The threaded runtime failed (stall, mismatch).
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExecError::Runtime(e) => write!(f, "threaded execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Sim(e) => Some(e),
+            ExecError::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+impl From<RuntimeError> for ExecError {
+    fn from(e: RuntimeError) -> Self {
+        ExecError::Runtime(e)
+    }
+}
+
+/// An engine that executes one iteration and produces a trace.
+///
+/// Implementations must be deterministic *given their domain*: the
+/// simulator reproduces byte-identical traces for identical inputs; the
+/// threaded runtime reproduces identical *orderings* under enforcement
+/// while timestamps carry real jitter.
+pub trait ExecutionBackend: fmt::Debug + Send + Sync {
+    /// Short lowercase backend name (e.g. `"sim"`), for display and trace
+    /// labels.
+    fn name(&self) -> &'static str;
+
+    /// The clock domain of emitted timestamps.
+    fn time_domain(&self) -> TimeDomain;
+
+    /// Executes iteration `iteration` of `deployed` under `schedule`.
+    ///
+    /// `registry`, when enabled, receives backend-internal metrics;
+    /// observation must never perturb the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] for unrecoverable iterations.
+    fn execute(
+        &self,
+        deployed: &DeployedModel,
+        schedule: &Schedule,
+        iteration: u64,
+        registry: &Registry,
+    ) -> Result<ExecutionTrace, ExecError>;
+}
+
+/// The discrete-event simulator backend (the default).
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    config: SimConfig,
+}
+
+impl SimBackend {
+    /// A simulator backend running under `config` (platform, noise,
+    /// faults, seed).
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+}
+
+impl ExecutionBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn time_domain(&self) -> TimeDomain {
+        TimeDomain::Virtual
+    }
+
+    fn execute(
+        &self,
+        deployed: &DeployedModel,
+        schedule: &Schedule,
+        iteration: u64,
+        registry: &Registry,
+    ) -> Result<ExecutionTrace, ExecError> {
+        try_simulate_observed(
+            deployed.graph(),
+            schedule,
+            &self.config,
+            iteration,
+            registry,
+        )
+        .map_err(ExecError::Sim)
+    }
+}
+
+/// The multi-threaded runtime backend: OS threads, prioritized channel
+/// queues with sender-side enforcement, wall-clock timestamps.
+///
+/// Faults, noise and reorder errors configured on the session's
+/// [`SimConfig`] do not apply here — a threaded run's variance is
+/// physical. Schedules (including TAC's profiled one) are identical
+/// across backends, so sim and threaded runs of one session are directly
+/// comparable.
+#[derive(Debug, Clone)]
+pub struct ThreadedBackend {
+    opts: ExecOptions,
+}
+
+impl ThreadedBackend {
+    /// A threaded backend with default options (cloud-GPU platform,
+    /// enforcement on, 1:1 time scale, 30 s watchdog).
+    pub fn new() -> Self {
+        Self {
+            opts: ExecOptions::default(),
+        }
+    }
+
+    /// A threaded backend on the same platform as `config`, so its
+    /// busy-loops replay the durations the simulator models.
+    pub fn from_config(config: &SimConfig) -> Self {
+        Self {
+            opts: ExecOptions::new(config.platform.clone()),
+        }
+    }
+
+    /// Scales every modeled duration by `scale` (smaller = faster wall
+    /// clock, larger relative scheduling overhead).
+    #[must_use]
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        self.opts = self.opts.with_time_scale(scale);
+        self
+    }
+
+    /// Enables or disables sender-side rank enforcement (§5.1).
+    #[must_use]
+    pub fn with_enforcement(mut self, on: bool) -> Self {
+        self.opts = self.opts.with_enforcement(on);
+        self
+    }
+
+    /// Sets the per-iteration stall watchdog.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: std::time::Duration) -> Self {
+        self.opts = self.opts.with_watchdog(watchdog);
+        self
+    }
+
+    /// Sets the base seed of the unprioritized-pop shuffle. Each
+    /// iteration folds its index into this seed, so the baseline's
+    /// transfer order is arbitrary *and unique per iteration* — the
+    /// paper's observed DAG-framework behavior (§3).
+    #[must_use]
+    pub fn with_shuffle_seed(mut self, seed: u64) -> Self {
+        self.opts = self.opts.with_shuffle_seed(seed);
+        self
+    }
+
+    /// The underlying runtime options.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+}
+
+impl Default for ThreadedBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutionBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn time_domain(&self) -> TimeDomain {
+        TimeDomain::WallClock
+    }
+
+    fn execute(
+        &self,
+        deployed: &DeployedModel,
+        schedule: &Schedule,
+        iteration: u64,
+        registry: &Registry,
+    ) -> Result<ExecutionTrace, ExecError> {
+        let started = std::time::Instant::now();
+        // Fold the iteration index into the shuffle seed: unprioritized
+        // queue pops land in a fresh arbitrary order every iteration,
+        // matching the paper's baseline observation (unique transfer
+        // order in every run). Ranked transfers are unaffected.
+        let opts = self.opts.clone().with_shuffle_seed(
+            self.opts.shuffle_seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let trace = run_iteration(deployed.graph(), schedule, &opts).map_err(ExecError::Runtime)?;
+        registry.counter("exec.iterations").inc();
+        registry
+            .histogram("exec.wall_us", &WALL_BUCKETS_US)
+            .observe(started.elapsed().as_micros() as u64);
+        Ok(trace)
+    }
+}
+
+/// Wall-clock histogram bounds, decades from 100 µs to 1000 s.
+const WALL_BUCKETS_US: [u64; 8] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tictac_cluster::{deploy, ClusterSpec};
+    use tictac_models::{tiny_mlp, Mode};
+    use tictac_sched::no_ordering;
+
+    #[test]
+    fn backends_emit_complete_traces_of_the_same_graph() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let s = no_ordering(d.graph());
+        let reg = Registry::disabled();
+
+        let sim: Box<dyn ExecutionBackend> = Box::new(SimBackend::new(SimConfig::cloud_gpu()));
+        let thr: Box<dyn ExecutionBackend> =
+            Box::new(ThreadedBackend::from_config(&SimConfig::cloud_gpu()).with_time_scale(0.5));
+        assert_eq!(sim.time_domain(), TimeDomain::Virtual);
+        assert_eq!(thr.time_domain(), TimeDomain::WallClock);
+        for b in [&sim, &thr] {
+            let trace = b.execute(&d, &s, 0, &reg).unwrap();
+            assert_eq!(
+                trace.executed_ops(),
+                d.graph().len(),
+                "backend {}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exec_errors_wrap_and_display_both_sources() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let bad = Schedule::empty(d.graph().len() + 7);
+        let reg = Registry::disabled();
+
+        let sim = SimBackend::new(SimConfig::cloud_gpu());
+        match sim.execute(&d, &bad, 0, &reg) {
+            Err(e @ ExecError::Sim(SimError::ScheduleMismatch { .. })) => {
+                assert!(e.to_string().contains("simulation failed"));
+            }
+            other => panic!("expected sim mismatch, got {other:?}"),
+        }
+        let thr = ThreadedBackend::new();
+        match thr.execute(&d, &bad, 0, &reg) {
+            Err(e @ ExecError::Runtime(RuntimeError::ScheduleMismatch { .. })) => {
+                assert!(e.to_string().contains("threaded execution failed"));
+            }
+            other => panic!("expected runtime mismatch, got {other:?}"),
+        }
+    }
+}

@@ -9,8 +9,11 @@
 //! 3. trace warm-up iterations and estimate the time oracle (min-of-5, §5),
 //! 4. compute a transfer schedule ([`SchedulerKind`]: baseline, random,
 //!    TIC or TAC) on the reference worker and replicate it,
-//! 5. simulate measured iterations and report throughput, scheduling
-//!    efficiency (Equation 3) and straggler impact.
+//! 5. execute measured iterations on a pluggable [`ExecutionBackend`] —
+//!    the discrete-event simulator ([`SimBackend`], default) or the
+//!    in-process multi-threaded runtime ([`ThreadedBackend`]) — and
+//!    report throughput, scheduling efficiency (Equation 3) and
+//!    straggler impact.
 //!
 //! # Example
 //!
@@ -31,20 +34,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod experiments;
 pub mod optimal;
 mod session;
 pub mod training;
 
+pub use backend::{ExecError, ExecutionBackend, SimBackend, ThreadedBackend, TimeDomain};
 pub use experiments::{count_unique_recv_orders, speedup_pct};
 pub use optimal::{makespan_of_order, optimal_order, OptimalSearch};
-pub use session::{IterationRecord, RunReport, SchedulerKind, Session, SessionBuilder};
+pub use session::{IterationRecord, RunOptions, RunReport, SchedulerKind, Session, SessionBuilder};
 
 // Re-export the substrate so downstream users need only one dependency.
 pub use tictac_cluster::{
     deploy, deploy_all_reduce, AllReduceDeployment, ClusterSpec, DeployError, DeployedModel,
     Sharding,
 };
+pub use tictac_exec::{run_iteration, ExecOptions, RuntimeError};
 pub use tictac_graph::{
     Channel, ChannelId, Cost, Device, DeviceId, DeviceKind, Graph, GraphBuilder, GraphError,
     ModelGraph, ModelGraphBuilder, ModelOpId, ModelOpKind, OpId, OpKind, ParamId, Resource,
@@ -59,8 +65,8 @@ pub use tictac_obs::{
 };
 pub use tictac_sched::{
     efficiency, merge_schedules, no_ordering, random_order, tac, tac_observed, tac_order,
-    tac_order_naive, tac_order_observed, tic, tic_observed, worst_case, OpProperties,
-    PartitionGraph, Schedule, TacComparator,
+    tac_order_naive, tac_order_observed, tic, tic_observed, worst_case, Baseline, OpProperties,
+    PartitionGraph, Random, Schedule, Scheduler, TacComparator, TacScheduler, TicScheduler,
 };
 pub use tictac_sim::{
     analyze, simulate, simulate_with_plan, simulate_with_plan_observed, try_simulate,

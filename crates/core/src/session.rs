@@ -6,15 +6,15 @@ use std::time::Instant;
 use tictac_cluster::{deploy, ClusterSpec, DeployError, DeployedModel};
 use tictac_graph::{ModelGraph, OpId};
 use tictac_obs::Registry;
-use tictac_sched::{efficiency, no_ordering, random_order, tac_observed, tic_observed, Schedule};
-use tictac_sim::{
-    analyze, simulate, try_simulate_observed, FaultCounters, FaultSpec, SimConfig, SimError,
+use tictac_sched::{
+    efficiency, no_ordering, Baseline, Random, Schedule, Scheduler, TacScheduler, TicScheduler,
 };
-use tictac_timing::SimDuration;
+use tictac_sim::{analyze, simulate, FaultCounters, FaultSpec, SimConfig};
+use tictac_timing::MeasuredProfile;
+use tictac_timing::{GeneralOracle, SimDuration, TimeOracle};
 use tictac_trace::{estimate_profile, ExecutionTrace};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::backend::{ExecError, ExecutionBackend, SimBackend, TimeDomain};
 
 /// Which transfer-scheduling policy to enforce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,6 +63,7 @@ pub struct SessionBuilder {
     warmup: usize,
     iterations: usize,
     registry: Registry,
+    backend: Option<Box<dyn ExecutionBackend>>,
 }
 
 impl SessionBuilder {
@@ -106,6 +107,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the execution backend (default: the discrete-event simulator,
+    /// [`SimBackend`], built from this session's config).
+    ///
+    /// Schedules — including TAC's profiled one — are computed identically
+    /// for every backend, so runs of one configuration differ only in how
+    /// the iteration is *executed*.
+    pub fn backend(mut self, backend: impl ExecutionBackend + 'static) -> Self {
+        self.backend = Some(Box::new(backend));
+        self
+    }
+
     /// Deploys the model and computes the schedule.
     ///
     /// # Errors
@@ -116,17 +128,20 @@ impl SessionBuilder {
         let started = Instant::now();
         let schedule = compute_schedule(&deployed, self.scheduler, &self.config, &self.registry);
         let schedule_compute_time = started.elapsed();
+        let backend = self
+            .backend
+            .unwrap_or_else(|| Box::new(SimBackend::new(self.config.clone())));
         Ok(Session {
             model_name: self.model.name().to_string(),
             batch: self.model.batch_size(),
             deployed,
-            config: self.config,
             scheduler: self.scheduler,
             warmup: self.warmup,
             iterations: self.iterations,
             schedule,
             schedule_compute_time,
             registry: self.registry,
+            backend,
         })
     }
 }
@@ -134,6 +149,29 @@ impl SessionBuilder {
 /// Iteration-index offset for the TAC profiling runs, far from measured
 /// iterations so their random streams do not collide.
 const PROFILE_ITERATION_BASE: u64 = 1 << 40;
+
+/// Tracing module + time-oracle estimator (§5): execute 5 unscheduled
+/// iterations, keep the per-op minimum. Profiling always runs fault-free —
+/// the paper profiles on a healthy cluster, and a crash-riddled profile
+/// would poison the estimated op durations. It also always runs on the
+/// *simulator*, whatever backend executes the session: schedules stay
+/// identical across backends, so sim and threaded runs are comparable.
+fn profile_oracle(deployed: &DeployedModel, config: &SimConfig) -> MeasuredProfile {
+    let graph = deployed.graph();
+    let profile_config = config.clone().with_faults(FaultSpec::none());
+    let unordered = no_ordering(graph);
+    let traces: Vec<_> = (0..5)
+        .map(|i| {
+            simulate(
+                graph,
+                &unordered,
+                &profile_config,
+                PROFILE_ITERATION_BASE + i,
+            )
+        })
+        .collect();
+    estimate_profile(&traces)
+}
 
 fn compute_schedule(
     deployed: &DeployedModel,
@@ -143,37 +181,22 @@ fn compute_schedule(
 ) -> Schedule {
     let graph = deployed.graph();
     let reference = deployed.workers()[0];
-    match scheduler {
-        SchedulerKind::Baseline => no_ordering(graph),
-        SchedulerKind::Random => {
-            let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED);
-            deployed.replicate_schedule(&random_order(graph, reference, &mut rng))
-        }
-        SchedulerKind::Tic => {
-            deployed.replicate_schedule(&tic_observed(graph, reference, registry))
-        }
-        SchedulerKind::Tac => {
-            // Tracing module + time-oracle estimator (§5): execute 5
-            // unscheduled iterations, keep the per-op minimum. Profiling
-            // always runs fault-free — the paper profiles on a healthy
-            // cluster, and a crash-riddled profile would poison the
-            // estimated op durations.
-            let profile_config = config.clone().with_faults(FaultSpec::none());
-            let unordered = no_ordering(graph);
-            let traces: Vec<_> = (0..5)
-                .map(|i| {
-                    simulate(
-                        graph,
-                        &unordered,
-                        &profile_config,
-                        PROFILE_ITERATION_BASE + i,
-                    )
-                })
-                .collect();
-            let profile = estimate_profile(&traces);
-            deployed.replicate_schedule(&tac_observed(graph, reference, &profile, registry))
-        }
-    }
+    // Policy selection is the only per-kind branching left: everything
+    // downstream (assign on the reference worker, replicate across
+    // workers) is one uniform path through the `Scheduler` trait.
+    let policy: Box<dyn Scheduler> = match scheduler {
+        SchedulerKind::Baseline => Box::new(Baseline),
+        SchedulerKind::Random => Box::new(Random {
+            seed: config.seed ^ 0x5EED,
+        }),
+        SchedulerKind::Tic => Box::new(TicScheduler),
+        SchedulerKind::Tac => Box::new(TacScheduler),
+    };
+    let oracle: Box<dyn TimeOracle> = match scheduler {
+        SchedulerKind::Tac => Box::new(profile_oracle(deployed, config)),
+        _ => Box::new(GeneralOracle),
+    };
+    deployed.replicate_schedule(&policy.assign(graph, reference, oracle.as_ref(), Some(registry)))
 }
 
 /// One measured iteration.
@@ -282,13 +305,45 @@ pub struct Session {
     model_name: String,
     batch: usize,
     deployed: DeployedModel,
-    config: SimConfig,
     scheduler: SchedulerKind,
     warmup: usize,
     iterations: usize,
     schedule: Schedule,
     schedule_compute_time: std::time::Duration,
     registry: Registry,
+    backend: Box<dyn ExecutionBackend>,
+}
+
+/// Options for [`Session::run_with`] / [`Session::try_run_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Iteration-index offset, so repeated runs observe fresh random
+    /// streams (used for the 1000-run experiments of §6.2/6.3). Default 0.
+    pub offset: u64,
+    /// Overrides the session's measured-iteration count for this run
+    /// (warm-up is unchanged). Default: the session's configured count.
+    pub iterations: Option<usize>,
+}
+
+impl RunOptions {
+    /// The defaults: offset 0, the session's configured iteration count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the iteration-index offset.
+    #[must_use]
+    pub fn offset(mut self, offset: u64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Overrides the measured-iteration count for this run.
+    #[must_use]
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = Some(iterations);
+        self
+    }
 }
 
 /// Makespan histogram bounds, in microseconds: decades from 100 µs to
@@ -315,6 +370,7 @@ impl Session {
             warmup: 2,
             iterations: 10,
             registry: Registry::disabled(),
+            backend: None,
         }
     }
 
@@ -339,34 +395,51 @@ impl Session {
         &self.registry
     }
 
-    /// Simulates one iteration and returns its execution trace, exactly
-    /// as [`try_run`](Session::try_run) would simulate it at the same
-    /// iteration index (warm-up included: index 0 is the first warm-up
-    /// iteration).
+    /// The execution backend running this session's iterations.
+    pub fn backend(&self) -> &dyn ExecutionBackend {
+        self.backend.as_ref()
+    }
+
+    /// Executes one iteration on the session's backend and returns its
+    /// trace, exactly as [`try_run`](Session::try_run) would execute it at
+    /// the same iteration index (warm-up included: index 0 is the first
+    /// warm-up iteration).
     ///
     /// # Errors
     ///
-    /// Returns the [`SimError`] of an unrecoverable iteration.
-    pub fn trace_iteration(&self, iteration: u64) -> Result<ExecutionTrace, SimError> {
-        try_simulate_observed(
-            self.deployed.graph(),
-            &self.schedule,
-            &self.config,
-            iteration,
-            &self.registry,
-        )
+    /// Returns the [`ExecError`] of an unrecoverable iteration.
+    pub fn trace_iteration(&self, iteration: u64) -> Result<ExecutionTrace, ExecError> {
+        self.backend
+            .execute(&self.deployed, &self.schedule, iteration, &self.registry)
     }
 
     /// Renders one iteration as Chrome/Perfetto `trace_event` JSON (load
     /// it at `ui.perfetto.dev` or `chrome://tracing`): one lane per
     /// device and channel, fault instants, degraded-barrier flows.
     ///
+    /// The export is backend-aware: timestamps are taken from the trace in
+    /// the backend's own clock domain (virtual ticks for the simulator,
+    /// wall-clock nanoseconds for the threaded runtime — never re-derived
+    /// from sim ticks), and wall-clock traces are labeled with the backend
+    /// name so the two domains cannot be confused in a trace viewer.
+    ///
     /// # Errors
     ///
-    /// Returns the [`SimError`] of an unrecoverable iteration.
-    pub fn perfetto_json(&self, iteration: u64) -> Result<String, SimError> {
+    /// Returns the [`ExecError`] of an unrecoverable iteration.
+    pub fn perfetto_json(&self, iteration: u64) -> Result<String, ExecError> {
         let trace = self.trace_iteration(iteration)?;
-        let label = format!("{}/{}/iter{}", self.model_name, self.scheduler, iteration);
+        let label = match self.backend.time_domain() {
+            TimeDomain::Virtual => {
+                format!("{}/{}/iter{}", self.model_name, self.scheduler, iteration)
+            }
+            TimeDomain::WallClock => format!(
+                "{}/{}/{}/iter{} [wall-clock]",
+                self.model_name,
+                self.scheduler,
+                self.backend.name(),
+                iteration
+            ),
+        };
         Ok(tictac_obs::perfetto_json(
             self.deployed.graph(),
             &trace,
@@ -376,46 +449,47 @@ impl Session {
 
     /// Runs warm-up plus measured iterations and reports metrics.
     ///
-    /// This is the panicking convenience wrapper around
-    /// [`try_run`](Session::try_run) — use the latter when fault injection
-    /// is configured and unrecoverable failures are expected outcomes.
+    /// This is the zero-config sugar for
+    /// [`run_with`](Session::run_with)`(RunOptions::default())` — use
+    /// [`try_run`](Session::try_run) when fault injection is configured
+    /// and unrecoverable failures are expected outcomes.
     ///
     /// # Panics
     ///
-    /// Panics if an iteration fails with a [`SimError`].
+    /// Panics if an iteration fails with an [`ExecError`].
     pub fn run(&self) -> RunReport {
-        self.run_with_offset(0)
+        self.run_with(RunOptions::default())
     }
 
-    /// Like [`run`](Session::run), with an iteration-index offset so
-    /// repeated runs observe fresh random streams (used for the 1000-run
-    /// experiments of §6.2/6.3).
+    /// Like [`run`](Session::run), with explicit [`RunOptions`].
     ///
     /// # Panics
     ///
-    /// Panics if an iteration fails with a [`SimError`].
-    pub fn run_with_offset(&self, offset: u64) -> RunReport {
-        self.try_run_with_offset(offset)
-            .unwrap_or_else(|e| panic!("{e}"))
+    /// Panics if an iteration fails with an [`ExecError`].
+    pub fn run_with(&self, options: RunOptions) -> RunReport {
+        self.try_run_with(options).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Runs warm-up plus measured iterations, surfacing simulation
+    /// Runs warm-up plus measured iterations, surfacing execution
     /// failures (exhausted retry budgets with no degraded barrier,
-    /// deadlocks) as typed errors instead of panicking.
+    /// deadlocks, threaded-runtime stalls) as typed errors instead of
+    /// panicking.
     ///
     /// # Errors
     ///
-    /// Returns the first [`SimError`] any iteration produces.
-    pub fn try_run(&self) -> Result<RunReport, SimError> {
-        self.try_run_with_offset(0)
+    /// Returns the first [`ExecError`] any iteration produces.
+    pub fn try_run(&self) -> Result<RunReport, ExecError> {
+        self.try_run_with(RunOptions::default())
     }
 
-    /// Like [`try_run`](Session::try_run), with an iteration-index offset.
+    /// Like [`try_run`](Session::try_run), with explicit [`RunOptions`].
     ///
     /// # Errors
     ///
-    /// Returns the first [`SimError`] any iteration produces.
-    pub fn try_run_with_offset(&self, offset: u64) -> Result<RunReport, SimError> {
+    /// Returns the first [`ExecError`] any iteration produces.
+    pub fn try_run_with(&self, options: RunOptions) -> Result<RunReport, ExecError> {
+        let offset = options.offset;
+        let iterations = options.iterations.unwrap_or(self.iterations);
         let graph = self.deployed.graph();
         let worker_ops: Vec<Vec<OpId>> = self
             .deployed
@@ -432,15 +506,9 @@ impl Session {
             .registry
             .histogram("session.makespan_us", &MAKESPAN_BUCKETS_US);
 
-        let mut records = Vec::with_capacity(self.iterations);
-        for i in 0..(self.warmup + self.iterations) as u64 {
-            let trace = try_simulate_observed(
-                graph,
-                &self.schedule,
-                &self.config,
-                offset + i,
-                &self.registry,
-            )?;
+        let mut records = Vec::with_capacity(iterations);
+        for i in 0..(self.warmup + iterations) as u64 {
+            let trace = self.trace_iteration(offset + i)?;
             if (i as usize) < self.warmup {
                 continue;
             }
@@ -529,8 +597,13 @@ mod tests {
         let a = s.run();
         let b = s.run();
         assert_eq!(a, b);
-        let c = s.run_with_offset(1_000);
+        let c = s.run_with(RunOptions::new().offset(1_000));
         assert_ne!(a.iterations, c.iterations);
+        // The offset shifts iteration indices, not the count.
+        assert_eq!(a.iterations.len(), c.iterations.len());
+        let short = s.run_with(RunOptions::new().iterations(2));
+        assert_eq!(short.iterations.len(), 2);
+        assert_eq!(short.iterations, a.iterations[..2]);
     }
 
     #[test]
@@ -576,7 +649,7 @@ mod tests {
             .build()
             .unwrap();
         match doomed.try_run() {
-            Err(SimError::RetriesExhausted { .. }) => {}
+            Err(ExecError::Sim(tictac_sim::SimError::RetriesExhausted { .. })) => {}
             other => panic!("expected retry exhaustion, got {other:?}"),
         }
     }
@@ -650,5 +723,48 @@ mod tests {
     fn scheduler_kinds_display() {
         assert_eq!(SchedulerKind::Tic.to_string(), "tic");
         assert_eq!(SchedulerKind::ALL.len(), 4);
+    }
+
+    fn threaded_session(kind: SchedulerKind) -> Session {
+        Session::builder(tiny_mlp(Mode::Training, 8))
+            .cluster(ClusterSpec::new(2, 1))
+            .config(SimConfig::cloud_gpu())
+            .scheduler(kind)
+            .backend(
+                crate::backend::ThreadedBackend::from_config(&SimConfig::cloud_gpu())
+                    .with_time_scale(0.5),
+            )
+            .warmup(1)
+            .iterations(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn threaded_backend_runs_and_labels_wall_clock_traces() {
+        let s = threaded_session(SchedulerKind::Tac);
+        assert_eq!(s.backend().name(), "threaded");
+        let report = s.run();
+        assert_eq!(report.iterations.len(), 2);
+        assert!(report.mean_throughput() > 0.0);
+        assert!(report.mean_makespan() > SimDuration::ZERO);
+        let json = s.perfetto_json(0).unwrap();
+        assert!(
+            json.contains("[wall-clock]"),
+            "wall-clock traces are labeled"
+        );
+        let stats = tictac_obs::validate_perfetto(&json).unwrap();
+        assert!(stats.slices > 0);
+    }
+
+    #[test]
+    fn backend_choice_never_changes_the_schedule() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(
+                session(kind).schedule(),
+                threaded_session(kind).schedule(),
+                "{kind}: schedules must be identical across backends"
+            );
+        }
     }
 }

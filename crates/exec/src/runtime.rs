@@ -1,0 +1,714 @@
+//! The threaded cluster runtime.
+//!
+//! Topology: one OS thread per device (worker or PS shard) draining a
+//! priority ready-queue of compute ops, and one OS thread per worker–PS
+//! channel draining a rank-keyed transfer queue. Dependency tracking is
+//! lock-free (atomic indegrees); queues are `Mutex` + `Condvar`. All
+//! timestamps are wall-clock nanoseconds since iteration start, recorded
+//! into a [`TraceBuilder`] and returned as an [`ExecutionTrace`].
+//!
+//! Enforcement (§5.1) mirrors the simulator's sender-side mechanism: each
+//! channel keeps a hand-off counter; a ranked send is handed to the
+//! channel only when the counter equals its rank, otherwise it parks in a
+//! rank-keyed blocked map and is released by the hand-off that advances
+//! the counter. Because the chain of releases is observed by the channel
+//! thread in arbitrary interleavings, the channel additionally gates
+//! ranked *starts* on `next_rank_to_fly`, which closes the window where a
+//! later rank is queued before an earlier one has been pushed.
+//!
+//! Unprioritized work — every compute op, and every transfer under the
+//! baseline — pops in a *seeded-shuffle* order rather than FIFO readiness
+//! order. The paper's whole premise (§3) is that DAG frameworks service
+//! ready queues in an arbitrary, per-iteration-random order; a FIFO pop
+//! would hand the baseline a consistent near-layer order and erase the
+//! effect TIC/TAC exist to fix. The shuffle key is a hash of
+//! [`ExecOptions::shuffle_seed`] and the op id, so a given seed is
+//! reproducible and different seeds (one per iteration, see
+//! `ThreadedBackend`) give different arbitrary orders.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tictac_graph::{Graph, OpId, OpKind};
+use tictac_sched::Schedule;
+use tictac_timing::{CostOracle, Platform, SimTime, TimeOracle};
+use tictac_trace::{ExecutionTrace, TraceBuilder};
+
+/// Configuration of one threaded iteration.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Hardware model supplying compute and wire times for the calibrated
+    /// busy-loops.
+    pub platform: Platform,
+    /// Whether sender-side rank enforcement is active (the paper's §5.1
+    /// mechanism). Without it, ranked sends are handed off as they become
+    /// ready and the channel still prefers the lowest queued rank.
+    pub enforcement: bool,
+    /// Multiplier on every modeled duration (compute and wire). `1.0`
+    /// replays model time 1:1 on the wall clock; smaller values shrink
+    /// wall time at the cost of a larger relative scheduling overhead.
+    pub time_scale: f64,
+    /// Fair-share divisor for wire time; `None` derives it from the
+    /// topology exactly as the simulator does (PS fan-out).
+    pub bandwidth_share: Option<f64>,
+    /// Wall-clock budget for the whole iteration; exceeding it aborts the
+    /// run with [`RuntimeError::Stalled`].
+    pub watchdog: Duration,
+    /// Seed for the arbitrary pop order of *unprioritized* queue entries
+    /// (see the module docs). Ranked transfers are unaffected. Same seed,
+    /// same order; vary it per iteration to reproduce the paper's
+    /// "unique order in every run" baseline behavior.
+    pub shuffle_seed: u64,
+}
+
+impl ExecOptions {
+    /// Options for `platform` with enforcement on, 1:1 time scale and a
+    /// 30-second watchdog.
+    pub fn new(platform: Platform) -> Self {
+        Self {
+            platform,
+            enforcement: true,
+            time_scale: 1.0,
+            bandwidth_share: None,
+            watchdog: Duration::from_secs(30),
+            shuffle_seed: 0x71C7AC,
+        }
+    }
+
+    /// Sets the time scale (see [`ExecOptions::time_scale`]).
+    #[must_use]
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Enables or disables sender-side enforcement.
+    #[must_use]
+    pub fn with_enforcement(mut self, on: bool) -> Self {
+        self.enforcement = on;
+        self
+    }
+
+    /// Overrides the fair-share bandwidth divisor.
+    #[must_use]
+    pub fn with_bandwidth_share(mut self, share: f64) -> Self {
+        self.bandwidth_share = Some(share);
+        self
+    }
+
+    /// Sets the stall watchdog budget.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Sets the unprioritized-pop shuffle seed (see
+    /// [`ExecOptions::shuffle_seed`]).
+    #[must_use]
+    pub fn with_shuffle_seed(mut self, seed: u64) -> Self {
+        self.shuffle_seed = seed;
+        self
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash of `(seed, x)` used to
+/// impose an arbitrary-but-reproducible pop order on unprioritized work.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self::new(Platform::cloud_gpu())
+    }
+}
+
+/// Failures of the threaded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The schedule covers a different graph.
+    ScheduleMismatch {
+        /// Ops covered by the schedule.
+        schedule_len: usize,
+        /// Ops in the graph.
+        graph_len: usize,
+    },
+    /// The watchdog expired with work outstanding (a wedged thread or an
+    /// impossible schedule).
+    Stalled {
+        /// Ops that completed before the abort.
+        completed: usize,
+        /// Ops still outstanding.
+        remaining: usize,
+        /// How long the watchdog waited.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::ScheduleMismatch {
+                schedule_len,
+                graph_len,
+            } => write!(
+                f,
+                "schedule covers {schedule_len} ops but the graph has {graph_len}"
+            ),
+            RuntimeError::Stalled {
+                completed,
+                remaining,
+                waited,
+            } => write!(
+                f,
+                "runtime stalled after {waited:?}: {completed} ops done, {remaining} outstanding"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Executes one iteration of `graph` under `schedule` on real threads and
+/// returns its wall-clock [`ExecutionTrace`].
+///
+/// Spawns one thread per device plus one per channel for the duration of
+/// the call; the calling thread blocks (bounded by `opts.watchdog`).
+/// Timestamps are nanoseconds since iteration start, so traces are
+/// directly comparable to simulator traces — ordering-exact, timing-real.
+///
+/// # Errors
+///
+/// [`RuntimeError::ScheduleMismatch`] if `schedule` does not cover
+/// `graph`; [`RuntimeError::Stalled`] if the watchdog expires.
+pub fn run_iteration(
+    graph: &Graph,
+    schedule: &Schedule,
+    opts: &ExecOptions,
+) -> Result<ExecutionTrace, RuntimeError> {
+    if schedule.len() != graph.len() {
+        return Err(RuntimeError::ScheduleMismatch {
+            schedule_len: schedule.len(),
+            graph_len: graph.len(),
+        });
+    }
+    let shared = Shared::new(graph, schedule, opts);
+
+    std::thread::scope(|scope| {
+        for dev in 0..graph.devices().len() {
+            let shared = &shared;
+            std::thread::Builder::new()
+                .name(format!("tictac-dev{dev}"))
+                .spawn_scoped(scope, move || shared.device_loop(dev))
+                .expect("spawn device thread");
+        }
+        for ch in 0..graph.channels().len() {
+            let shared = &shared;
+            std::thread::Builder::new()
+                .name(format!("tictac-ch{ch}"))
+                .spawn_scoped(scope, move || shared.channel_loop(ch))
+                .expect("spawn channel thread");
+        }
+
+        // Release the roots only once every thread can observe them.
+        for op in graph.roots() {
+            shared.dispatch(op);
+        }
+        shared.await_completion()
+    })?;
+
+    let trace = shared
+        .trace
+        .into_inner()
+        .expect("no thread panicked holding the trace")
+        .finish();
+    Ok(trace)
+}
+
+/// Per-device ready queue: a binary heap keyed by `(schedule priority,
+/// tiebreak)`, so prioritized ops run lowest-number-first; unprioritized
+/// ops (key `u64::MAX`) run behind them in seeded-shuffle order — the
+/// arbitrary ready-queue servicing the paper attributes to DAG frameworks.
+#[derive(Debug, Default)]
+struct DeviceQueue {
+    seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+}
+
+/// Per-channel transfer queue plus the sender-side enforcement state.
+#[derive(Debug, Default)]
+struct ChanQueue {
+    /// Queued ranked transfers (recv ops), keyed by enforcement rank.
+    ranked: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Queued unranked transfers, keyed by seeded-shuffle hash: an
+    /// arbitrary, per-seed-stable wire order (the baseline's behavior).
+    unranked: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Sender-side counter: ranked hand-offs completed so far (§5.1).
+    counter: u64,
+    /// Ranked sends parked until the counter reaches their rank.
+    blocked: BTreeMap<u64, usize>,
+    /// Next rank allowed to *start* on the wire; closes the hand-off
+    /// interleaving window (see module docs).
+    next_rank_to_fly: u64,
+}
+
+struct Shared<'g> {
+    graph: &'g Graph,
+    schedule: &'g Schedule,
+    opts: &'g ExecOptions,
+    oracle: CostOracle,
+    started: Instant,
+    bandwidth_share: f64,
+
+    /// Outstanding predecessor count per op.
+    indegree: Vec<AtomicU32>,
+    /// Ops not yet completed.
+    remaining: AtomicUsize,
+    /// Set on completion or watchdog abort; threads drain and exit.
+    shutdown: AtomicBool,
+
+    /// Enforcement rank per op: on the PS-side send of each prioritized
+    /// transfer, and on the recv itself (both for queue keying and for
+    /// sendless hand-built graphs).
+    rank: Vec<Option<u64>>,
+    /// The send op feeding each recv, for transfer-interval attribution.
+    send_of: Vec<Option<OpId>>,
+
+    devices: Vec<(Mutex<DeviceQueue>, Condvar)>,
+    channels: Vec<(Mutex<ChanQueue>, Condvar)>,
+
+    /// Completion signal for the watchdog waiter.
+    done: (Mutex<bool>, Condvar),
+    trace: Mutex<TraceBuilder>,
+}
+
+impl<'g> Shared<'g> {
+    fn new(graph: &'g Graph, schedule: &'g Schedule, opts: &'g ExecOptions) -> Self {
+        let n = graph.len();
+
+        // Enforcement ranks: per-channel priorities normalized to [0, n),
+        // attached to the PS-side send (the sender enforces before
+        // hand-off) and mirrored on the recv for queue keying.
+        let mut rank = vec![None; n];
+        let mut send_of = vec![None; n];
+        for channel in graph.channels() {
+            for (r, recv) in schedule
+                .ordered_recvs(graph, channel.id())
+                .into_iter()
+                .enumerate()
+            {
+                rank[recv.index()] = Some(r as u64);
+                if let Some(send) = graph
+                    .preds(recv)
+                    .iter()
+                    .copied()
+                    .find(|&p| graph.op(p).kind().is_send())
+                {
+                    rank[send.index()] = Some(r as u64);
+                }
+            }
+        }
+        for id in graph.op_ids() {
+            if graph.op(id).is_recv() {
+                send_of[id.index()] = graph
+                    .preds(id)
+                    .iter()
+                    .copied()
+                    .find(|&p| graph.op(p).kind().is_send());
+            }
+        }
+
+        let bandwidth_share = opts.bandwidth_share.unwrap_or_else(|| {
+            // Same derivation as the simulator: PS deployments fan every
+            // server out to all workers; peer topologies keep one stream.
+            if graph.channels().iter().all(tictac_graph::Channel::is_peer) {
+                1.0
+            } else {
+                let workers = graph.workers().count();
+                let servers = graph.parameter_servers().count();
+                workers.max(servers).max(1) as f64
+            }
+        });
+
+        Self {
+            graph,
+            schedule,
+            opts,
+            oracle: CostOracle::new(opts.platform.clone()),
+            started: Instant::now(),
+            bandwidth_share,
+            indegree: (0..n)
+                .map(|i| AtomicU32::new(graph.preds(OpId::from_index(i)).len() as u32))
+                .collect(),
+            remaining: AtomicUsize::new(n),
+            shutdown: AtomicBool::new(false),
+            rank,
+            send_of,
+            devices: (0..graph.devices().len())
+                .map(|_| Default::default())
+                .collect(),
+            channels: (0..graph.channels().len())
+                .map(|_| Default::default())
+                .collect(),
+            done: (Mutex::new(false), Condvar::new()),
+            trace: Mutex::new(TraceBuilder::new(n)),
+        }
+    }
+
+    /// Wall-clock time since iteration start, in the trace's clock domain.
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
+    }
+
+    /// Busy-waits until `deadline`: sleeps through the bulk, yields close
+    /// in, spins the last few microseconds for precision.
+    fn wait_until(&self, deadline: Instant) {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let left = deadline - now;
+            if left > Duration::from_micros(400) {
+                std::thread::sleep(left - Duration::from_micros(200));
+            } else if left > Duration::from_micros(20) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Scaled wall-clock stand-in for a modeled duration.
+    fn scaled(&self, d: tictac_timing::SimDuration) -> Duration {
+        Duration::from_nanos(d.mul_f64(self.opts.time_scale).as_nanos())
+    }
+
+    /// Routes an op whose dependencies are all satisfied.
+    fn dispatch(&self, op: OpId) {
+        match self.graph.op(op).kind() {
+            OpKind::Send { .. } => self.handoff(op),
+            OpKind::Recv { .. } => {
+                let ch = self
+                    .graph
+                    .op(op)
+                    .kind()
+                    .channel()
+                    .expect("recv has a channel")
+                    .index();
+                let (lock, cv) = &self.channels[ch];
+                {
+                    let mut q = lock.lock().expect("channel lock");
+                    match self.rank[op.index()] {
+                        Some(r) => q.ranked.push(Reverse((r, op.index()))),
+                        None => {
+                            let key = mix(self.opts.shuffle_seed, op.index() as u64);
+                            q.unranked.push(Reverse((key, op.index())));
+                        }
+                    }
+                }
+                cv.notify_all();
+            }
+            _ => {
+                let dev = self.graph.op(op).device().index();
+                let priority = self.schedule.priority(op).unwrap_or(u64::MAX);
+                let (lock, cv) = &self.devices[dev];
+                {
+                    let mut q = lock.lock().expect("device lock");
+                    q.seq += 1;
+                    // Prioritized ops tie-break on arrival; unprioritized
+                    // ops pop in seeded-shuffle order (module docs).
+                    let tiebreak = if priority == u64::MAX {
+                        mix(self.opts.shuffle_seed, op.index() as u64)
+                    } else {
+                        q.seq
+                    };
+                    q.heap.push(Reverse((priority, tiebreak, op.index())));
+                }
+                cv.notify_all();
+            }
+        }
+    }
+
+    /// Sender-side enforcement: hands `send` to its channel if the counter
+    /// has reached its rank, else parks it. Hand-off is instantaneous and
+    /// completes the send (its wire interval is recorded later, with the
+    /// recv); completing it may release further parked sends — the whole
+    /// chain is collected under the channel lock, then completed outside.
+    fn handoff(&self, send: OpId) {
+        let ch = self
+            .graph
+            .op(send)
+            .kind()
+            .channel()
+            .expect("send has a channel")
+            .index();
+        let mut chain = Vec::new();
+        {
+            let (lock, _) = &self.channels[ch];
+            let mut q = lock.lock().expect("channel lock");
+            match self.rank[send.index()] {
+                Some(r) if self.opts.enforcement && q.counter != r => {
+                    q.blocked.insert(r, send.index());
+                }
+                ranked => {
+                    chain.push(send);
+                    if self.opts.enforcement && ranked.is_some() {
+                        q.counter += 1;
+                        while let Some(next) = {
+                            let c = q.counter;
+                            q.blocked.remove(&c)
+                        } {
+                            chain.push(OpId::from_index(next));
+                            q.counter += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for s in chain {
+            self.complete(s);
+        }
+    }
+
+    /// Marks `op` complete and dispatches newly-ready successors
+    /// (iteratively — released send chains can be long).
+    fn complete(&self, op: OpId) {
+        let mut work = vec![op];
+        while let Some(op) = work.pop() {
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.finish();
+            }
+            for &succ in self.graph.succs(op) {
+                if self.indegree[succ.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    self.dispatch(succ);
+                }
+            }
+        }
+    }
+
+    /// Flips the shutdown latch and wakes every sleeper.
+    fn finish(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for (_, cv) in &self.devices {
+            cv.notify_all();
+        }
+        for (_, cv) in &self.channels {
+            cv.notify_all();
+        }
+        let (lock, cv) = &self.done;
+        *lock.lock().expect("done lock") = true;
+        cv.notify_all();
+    }
+
+    /// The caller's wait: completion or watchdog expiry.
+    fn await_completion(&self) -> Result<(), RuntimeError> {
+        let start = Instant::now();
+        let (lock, cv) = &self.done;
+        let mut done = lock.lock().expect("done lock");
+        while !*done {
+            let waited = start.elapsed();
+            if waited >= self.opts.watchdog {
+                drop(done);
+                let remaining = self.remaining.load(Ordering::Acquire);
+                self.finish(); // abort: release every thread
+                return Err(RuntimeError::Stalled {
+                    completed: self.graph.len() - remaining,
+                    remaining,
+                    waited,
+                });
+            }
+            let (guard, _) = cv
+                .wait_timeout(done, self.opts.watchdog - waited)
+                .expect("done lock");
+            done = guard;
+        }
+        Ok(())
+    }
+
+    /// Device thread: pop the lowest-priority ready op, busy-loop its
+    /// modeled duration, record it, release successors.
+    fn device_loop(&self, dev: usize) {
+        let (lock, cv) = &self.devices[dev];
+        loop {
+            let op = {
+                let mut q = lock.lock().expect("device lock");
+                loop {
+                    if let Some(Reverse((_, _, op))) = q.heap.pop() {
+                        break OpId::from_index(op);
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = cv.wait(q).expect("device lock");
+                }
+            };
+            let start = self.now();
+            let dur = self.scaled(self.oracle.duration(self.graph, op));
+            self.wait_until(self.started + (self.started.elapsed() + dur));
+            let end = self.now();
+            self.trace
+                .lock()
+                .expect("trace lock")
+                .record(op, start, end);
+            self.complete(op);
+        }
+    }
+
+    /// Channel thread: fly transfers one at a time. Ranked transfers start
+    /// strictly in rank order (`next_rank_to_fly`); unranked transfers
+    /// fill in whenever the next rank has not arrived yet.
+    fn channel_loop(&self, ch: usize) {
+        let (lock, cv) = &self.channels[ch];
+        loop {
+            let recv = {
+                let mut q = lock.lock().expect("channel lock");
+                loop {
+                    let gate_open = q.ranked.peek().is_some_and(|Reverse((r, _))| {
+                        !self.opts.enforcement || *r == q.next_rank_to_fly
+                    });
+                    if gate_open {
+                        let Reverse((_, op)) = q.ranked.pop().expect("peeked entry");
+                        q.next_rank_to_fly += 1;
+                        break OpId::from_index(op);
+                    }
+                    if let Some(Reverse((_, op))) = q.unranked.pop() {
+                        break OpId::from_index(op);
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = cv.wait(q).expect("channel lock");
+                }
+            };
+            let bytes = self.graph.op(recv).cost().bytes;
+            let wire = self.scaled(
+                self.opts
+                    .platform
+                    .transfer_time_shared(bytes, self.bandwidth_share),
+            );
+            let start = self.now();
+            self.wait_until(self.started + (self.started.elapsed() + wire));
+            let end = self.now();
+            {
+                let mut trace = self.trace.lock().expect("trace lock");
+                trace.record(recv, start, end);
+                // The transfer interval is attributed to both endpoints,
+                // as the simulator (and TF's tracer) does.
+                if let Some(send) = self.send_of[recv.index()] {
+                    trace.record(send, start, end);
+                }
+            }
+            self.complete(recv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tictac_cluster::{deploy, ClusterSpec};
+    use tictac_models::{tiny_mlp, Mode};
+    use tictac_sched::{no_ordering, tic};
+
+    fn opts() -> ExecOptions {
+        ExecOptions::new(Platform::cloud_gpu())
+            .with_time_scale(0.5)
+            .with_watchdog(Duration::from_secs(20))
+    }
+
+    #[test]
+    fn baseline_iteration_completes_every_op() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let trace = run_iteration(d.graph(), &no_ordering(d.graph()), &opts()).unwrap();
+        assert_eq!(trace.executed_ops(), d.graph().len());
+        assert!(trace.makespan() > tictac_timing::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn enforced_schedule_fixes_the_recv_completion_order() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let w = d.workers()[0];
+        let s = d.replicate_schedule(&tic(d.graph(), w));
+        let expected: Vec<OpId> = {
+            // Rank order per channel is the enforced completion order.
+            let mut recvs: Vec<(u64, OpId)> = d
+                .graph()
+                .recv_ops_on(w)
+                .into_iter()
+                .map(|r| (s.priority(r).unwrap(), r))
+                .collect();
+            recvs.sort_unstable();
+            recvs.into_iter().map(|(_, r)| r).collect()
+        };
+        // Single channel per worker here, so the worker-wide completion
+        // order equals the channel rank order.
+        let trace = run_iteration(d.graph(), &s, &opts()).unwrap();
+        assert_eq!(trace.recv_completion_order(d.graph(), w), expected);
+    }
+
+    #[test]
+    fn transfers_on_one_channel_serialize() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let trace = run_iteration(d.graph(), &no_ordering(d.graph()), &opts()).unwrap();
+        for channel in d.graph().channels() {
+            let mut intervals: Vec<(u64, u64)> = d
+                .graph()
+                .op_ids()
+                .filter(|&id| {
+                    let op = d.graph().op(id);
+                    op.is_recv() && op.kind().channel() == Some(channel.id())
+                })
+                .map(|id| {
+                    let r = trace.record(id).unwrap();
+                    (r.start.as_nanos(), r.end.as_nanos())
+                })
+                .collect();
+            intervals.sort_unstable();
+            for pair in intervals.windows(2) {
+                assert!(
+                    pair[0].1 <= pair[1].0,
+                    "overlapping transfers on one channel: {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_mismatch_is_a_typed_error() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let bad = Schedule::empty(d.graph().len() + 1);
+        match run_iteration(d.graph(), &bad, &opts()) {
+            Err(RuntimeError::ScheduleMismatch { graph_len, .. }) => {
+                assert_eq!(graph_len, d.graph().len());
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_priority_inversions_under_enforced_tic() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let s = d.replicate_schedule(&tic(d.graph(), d.workers()[0]));
+        let trace = run_iteration(d.graph(), &s, &opts()).unwrap();
+        let report = tictac_obs::priority_inversions(d.graph(), &trace, |op| s.priority(op));
+        assert_eq!(
+            report.count(),
+            0,
+            "enforced ranks must fly in order: {:?}",
+            report.records
+        );
+    }
+}

@@ -14,6 +14,9 @@
 //!   iterative selection with the comparator derived in §4.3 (Equation 6).
 //! * [`Schedule`] — priority assignments over `recv` ops, plus baselines
 //!   ([`no_ordering`], [`random_order`]).
+//! * [`Scheduler`] — a trait over the ordering policies ([`Baseline`],
+//!   [`Random`], [`TicScheduler`], [`TacScheduler`]) so engines and
+//!   sessions can dispatch without matching on policy kinds.
 //! * [`efficiency`] — the scheduling-efficiency metric `E` (Equation 3),
 //!   makespan bounds (Equations 1–2) and the speedup potential `S`
 //!   (Equation 4).
@@ -34,12 +37,14 @@ pub mod efficiency;
 mod partition;
 mod properties;
 mod schedule;
+mod scheduler;
 mod tac;
 mod tic;
 
 pub use partition::PartitionGraph;
 pub use properties::OpProperties;
 pub use schedule::{merge_schedules, no_ordering, random_order, Schedule};
+pub use scheduler::{Baseline, Random, Scheduler, Tac as TacScheduler, Tic as TicScheduler};
 pub use tac::{
     tac, tac_observed, tac_order, tac_order_naive, tac_order_observed, worst_case, TacComparator,
 };

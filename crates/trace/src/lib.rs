@@ -10,6 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod metrics;
+
+pub use metrics::{analyze, straggler_pct, FaultCounters, IterationMetrics};
+
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use tictac_graph::{ChannelId, DeviceId, Graph, OpId};

@@ -1,0 +1,198 @@
+//! Backend-equivalence suite: the threaded runtime must execute the same
+//! deployments, under the same schedules, with the same ordering
+//! guarantees the simulator models — while its timestamps live on the
+//! real wall clock.
+//!
+//! Three families of checks:
+//!
+//! * **DAG-ordering invariants** (proptest): on a threaded trace no op
+//!   starts before its predecessors end. Send predecessors are skipped:
+//!   a send record deliberately shares its paired recv's wire interval
+//!   (the simulator attributes transfers to both endpoints), so the recv
+//!   legitimately "starts" when its send does.
+//! * **Enforcement invariants**: under enforced TAC every zoo model runs
+//!   to completion with zero priority inversions on every channel.
+//! * **Cross-backend agreement**: where the simulator predicts a clear
+//!   TAC-over-baseline win, the threaded runtime agrees within a jitter
+//!   margin, and schedules are byte-identical across backends.
+
+use proptest::prelude::*;
+use tictac::{
+    priority_inversions, ClusterSpec, Mode, Model, RunOptions, SchedulerKind, Session, SimConfig,
+    ThreadedBackend,
+};
+use tictac_models::tiny_mlp;
+
+fn threaded_session(
+    model: tictac::ModelGraph,
+    cluster: ClusterSpec,
+    scheduler: SchedulerKind,
+    iterations: usize,
+) -> Session {
+    Session::builder(model)
+        .cluster(cluster)
+        .config(SimConfig::cloud_gpu())
+        .scheduler(scheduler)
+        .backend(
+            ThreadedBackend::from_config(&SimConfig::cloud_gpu())
+                .with_time_scale(0.5)
+                .with_watchdog(std::time::Duration::from_secs(60)),
+        )
+        .warmup(0)
+        .iterations(iterations)
+        .build()
+        .expect("model deploys")
+}
+
+/// No op may start before a non-send predecessor ends. (Send records
+/// share their recv's wire interval by design, so they are excluded.)
+fn assert_dag_order(session: &Session) {
+    let graph = session.deployed().graph();
+    let trace = session.trace_iteration(0).expect("iteration completes");
+    assert_eq!(trace.executed_ops(), graph.len(), "every op executed");
+    for op in graph.op_ids() {
+        let rec = trace.record(op).expect("op recorded");
+        for &pred in graph.preds(op) {
+            if graph.op(pred).kind().is_send() {
+                continue;
+            }
+            let p = trace.record(pred).expect("pred recorded");
+            assert!(
+                p.end <= rec.start,
+                "{:?} started at {:?} before its input {:?} ended at {:?}",
+                graph.op(op).name(),
+                rec.start,
+                graph.op(pred).name(),
+                p.end,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn threaded_traces_respect_the_dag(
+        batch in 4usize..12,
+        workers in 1usize..4,
+        which in 0usize..4,
+    ) {
+        let scheduler = SchedulerKind::ALL[which];
+        let s = threaded_session(
+            tiny_mlp(Mode::Training, batch),
+            ClusterSpec::new(workers, 1),
+            scheduler,
+            1,
+        );
+        assert_dag_order(&s);
+    }
+}
+
+#[test]
+fn every_zoo_model_completes_with_zero_inversions_under_enforced_tac() {
+    for model in Model::ALL {
+        let s = threaded_session(
+            model.build_with_batch(Mode::Training, 2),
+            ClusterSpec::new(2, 1),
+            SchedulerKind::Tac,
+            1,
+        );
+        let graph = s.deployed().graph();
+        let schedule = s.schedule().clone();
+        let trace = s.trace_iteration(0).expect("iteration completes");
+        assert_eq!(
+            trace.executed_ops(),
+            graph.len(),
+            "{}: threaded run must complete",
+            model.name()
+        );
+        let report = priority_inversions(graph, &trace, |op| schedule.priority(op));
+        assert_eq!(
+            report.count(),
+            0,
+            "{}: enforced TAC must fly transfers in rank order, got {:?}",
+            model.name(),
+            report.records
+        );
+    }
+}
+
+#[test]
+fn schedules_are_byte_identical_across_backends() {
+    for model in Model::ALL {
+        for scheduler in SchedulerKind::ALL {
+            let sim = Session::builder(model.build_with_batch(Mode::Training, 2))
+                .cluster(ClusterSpec::new(2, 1))
+                .config(SimConfig::cloud_gpu())
+                .scheduler(scheduler)
+                .build()
+                .expect("model deploys");
+            let threaded = threaded_session(
+                model.build_with_batch(Mode::Training, 2),
+                ClusterSpec::new(2, 1),
+                scheduler,
+                1,
+            );
+            assert_eq!(
+                sim.schedule(),
+                threaded.schedule(),
+                "{}/{scheduler}: schedule must not depend on the backend",
+                model.name()
+            );
+        }
+    }
+}
+
+/// Where the simulator predicts a decisive TAC win over the baseline
+/// (>= 5% makespan reduction), the threaded runtime must agree on the
+/// direction within a generous wall-clock jitter margin.
+#[test]
+fn decisive_sim_rankings_hold_on_the_wall_clock() {
+    let cluster = ClusterSpec::new(4, 1);
+    let mut decisive = 0usize;
+    for model in [Model::AlexNetV2, Model::ResNet50V1, Model::Vgg16] {
+        let mean = |scheduler: SchedulerKind, threaded: bool| -> f64 {
+            let graph = model.build_with_batch(Mode::Training, model.default_batch());
+            let builder = Session::builder(graph)
+                .cluster(cluster)
+                .config(SimConfig::cloud_gpu())
+                .scheduler(scheduler)
+                .warmup(1)
+                .iterations(3);
+            let builder = if threaded {
+                builder.backend(
+                    ThreadedBackend::from_config(&SimConfig::cloud_gpu())
+                        .with_watchdog(std::time::Duration::from_secs(60)),
+                )
+            } else {
+                builder
+            };
+            let report = builder
+                .build()
+                .expect("model deploys")
+                .run_with(RunOptions::new());
+            report.mean_makespan().as_secs_f64()
+        };
+        let sim_base = mean(SchedulerKind::Baseline, false);
+        let sim_tac = mean(SchedulerKind::Tac, false);
+        if sim_tac > sim_base * 0.95 {
+            continue; // not decisive in the simulator; skip
+        }
+        decisive += 1;
+        let wall_base = mean(SchedulerKind::Baseline, true);
+        let wall_tac = mean(SchedulerKind::Tac, true);
+        assert!(
+            wall_tac < wall_base * 1.02,
+            "{}: sim predicts TAC {:.1}% faster, but wall-clock TAC {:.3}ms vs baseline {:.3}ms",
+            model.name(),
+            (1.0 - sim_tac / sim_base) * 100.0,
+            wall_tac * 1e3,
+            wall_base * 1e3,
+        );
+    }
+    assert!(
+        decisive > 0,
+        "at least one model must show a decisive sim win"
+    );
+}
