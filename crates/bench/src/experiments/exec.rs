@@ -68,8 +68,8 @@ pub fn run(quick: bool) -> String {
         "wall base",
         "wall tic",
         "wall tac",
-        "sim tac",
-        "wall tac",
+        "sim tac vs base",
+        "wall tac vs base",
     ]);
     let mut tac_wins = 0usize;
     let mut rank_agreements = 0usize;

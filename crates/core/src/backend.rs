@@ -174,11 +174,15 @@ impl ThreadedBackend {
     }
 
     /// A threaded backend on the same platform as `config`, so its
-    /// busy-loops replay the durations the simulator models.
+    /// busy-loops replay the durations the simulator models. A
+    /// [`SimConfig::bandwidth_share_override`] carries over too, so both
+    /// backends model identical wire times for one session.
     pub fn from_config(config: &SimConfig) -> Self {
-        Self {
-            opts: ExecOptions::new(config.platform.clone()),
+        let mut opts = ExecOptions::new(config.platform.clone());
+        if let Some(share) = config.bandwidth_share_override {
+            opts = opts.with_bandwidth_share(share);
         }
+        Self { opts }
     }
 
     /// Scales every modeled duration by `scale` (smaller = faster wall
@@ -298,6 +302,15 @@ mod tests {
                 b.name()
             );
         }
+    }
+
+    #[test]
+    fn from_config_carries_the_bandwidth_share_override() {
+        let config = SimConfig::cloud_gpu().with_bandwidth_share(3.5);
+        let thr = ThreadedBackend::from_config(&config);
+        assert_eq!(thr.options().bandwidth_share, Some(3.5));
+        let plain = ThreadedBackend::from_config(&SimConfig::cloud_gpu());
+        assert_eq!(plain.options().bandwidth_share, None);
     }
 
     #[test]

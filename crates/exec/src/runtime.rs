@@ -180,7 +180,10 @@ impl std::error::Error for RuntimeError {}
 /// returns its wall-clock [`ExecutionTrace`].
 ///
 /// Spawns one thread per device plus one per channel for the duration of
-/// the call; the calling thread blocks (bounded by `opts.watchdog`).
+/// the call; the calling thread blocks until completion. A stall is
+/// detected within `opts.watchdog`; the abort then drains every queue
+/// and cuts in-flight busy-waits short, so the call returns within a few
+/// milliseconds of the watchdog firing.
 /// Timestamps are nanoseconds since iteration start, so traces are
 /// directly comparable to simulator traces — ordering-exact, timing-real.
 ///
@@ -369,15 +372,25 @@ impl<'g> Shared<'g> {
 
     /// Busy-waits until `deadline`: sleeps through the bulk, yields close
     /// in, spins the last few microseconds for precision.
-    fn wait_until(&self, deadline: Instant) {
+    ///
+    /// Returns `false` if the shutdown latch flipped before the deadline
+    /// (a watchdog abort — during normal completion no op can be in
+    /// flight when the latch is set, since the latch requires every op to
+    /// have completed). Sleeps are capped so an abort cuts even a long
+    /// modeled duration short within a few milliseconds.
+    fn wait_until(&self, deadline: Instant) -> bool {
+        const SLEEP_CAP: Duration = Duration::from_millis(2);
         loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
             let now = Instant::now();
             if now >= deadline {
-                return;
+                return true;
             }
             let left = deadline - now;
             if left > Duration::from_micros(400) {
-                std::thread::sleep(left - Duration::from_micros(200));
+                std::thread::sleep((left - Duration::from_micros(200)).min(SLEEP_CAP));
             } else if left > Duration::from_micros(20) {
                 std::thread::yield_now();
             } else {
@@ -495,12 +508,23 @@ impl<'g> Shared<'g> {
     }
 
     /// Flips the shutdown latch and wakes every sleeper.
+    ///
+    /// Each notification is issued while holding that queue's mutex: the
+    /// worker loops check `shutdown` and then block on the condvar under
+    /// the same mutex, so taking it here serializes the store against the
+    /// check-then-wait — a worker that read `shutdown == false` either
+    /// still holds the lock (we block until it reaches `wait`, which gets
+    /// the notification) or has already released it inside `wait` (the
+    /// notification wakes it). A lock-free notify could land in the gap
+    /// between check and wait and be lost, sleeping the thread forever.
     fn finish(&self) {
         self.shutdown.store(true, Ordering::Release);
-        for (_, cv) in &self.devices {
+        for (lock, cv) in &self.devices {
+            drop(lock.lock().expect("device lock"));
             cv.notify_all();
         }
-        for (_, cv) in &self.channels {
+        for (lock, cv) in &self.channels {
+            drop(lock.lock().expect("channel lock"));
             cv.notify_all();
         }
         let (lock, cv) = &self.done;
@@ -535,24 +559,30 @@ impl<'g> Shared<'g> {
 
     /// Device thread: pop the lowest-priority ready op, busy-loop its
     /// modeled duration, record it, release successors.
+    ///
+    /// Shutdown is checked *before* popping, so a watchdog abort drops
+    /// queued ops instead of busy-waiting through them (during normal
+    /// completion the latch implies an empty queue, so nothing is lost).
     fn device_loop(&self, dev: usize) {
         let (lock, cv) = &self.devices[dev];
         loop {
             let op = {
                 let mut q = lock.lock().expect("device lock");
                 loop {
-                    if let Some(Reverse((_, _, op))) = q.heap.pop() {
-                        break OpId::from_index(op);
-                    }
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
+                    }
+                    if let Some(Reverse((_, _, op))) = q.heap.pop() {
+                        break OpId::from_index(op);
                     }
                     q = cv.wait(q).expect("device lock");
                 }
             };
             let start = self.now();
             let dur = self.scaled(self.oracle.duration(self.graph, op));
-            self.wait_until(self.started + (self.started.elapsed() + dur));
+            if !self.wait_until(self.started + (self.started.elapsed() + dur)) {
+                return; // aborted mid-op; the trace is discarded anyway
+            }
             let end = self.now();
             self.trace
                 .lock()
@@ -571,6 +601,11 @@ impl<'g> Shared<'g> {
             let recv = {
                 let mut q = lock.lock().expect("channel lock");
                 loop {
+                    // Shutdown first: a watchdog abort drops queued
+                    // transfers instead of flying them (see device_loop).
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
                     let gate_open = q.ranked.peek().is_some_and(|Reverse((r, _))| {
                         !self.opts.enforcement || *r == q.next_rank_to_fly
                     });
@@ -582,9 +617,6 @@ impl<'g> Shared<'g> {
                     if let Some(Reverse((_, op))) = q.unranked.pop() {
                         break OpId::from_index(op);
                     }
-                    if self.shutdown.load(Ordering::Acquire) {
-                        return;
-                    }
                     q = cv.wait(q).expect("channel lock");
                 }
             };
@@ -595,15 +627,21 @@ impl<'g> Shared<'g> {
                     .transfer_time_shared(bytes, self.bandwidth_share),
             );
             let start = self.now();
-            self.wait_until(self.started + (self.started.elapsed() + wire));
+            if !self.wait_until(self.started + (self.started.elapsed() + wire)) {
+                return; // aborted mid-transfer; the trace is discarded anyway
+            }
             let end = self.now();
             {
                 let mut trace = self.trace.lock().expect("trace lock");
                 trace.record(recv, start, end);
                 // The transfer interval is attributed to both endpoints,
-                // as the simulator (and TF's tracer) does.
+                // as the simulator (and TF's tracer) does. A hand-built
+                // graph may legally feed one send into several recvs; the
+                // send keeps the interval of whichever recv flew first.
                 if let Some(send) = self.send_of[recv.index()] {
-                    trace.record(send, start, end);
+                    if !trace.is_recorded(send) {
+                        trace.record(send, start, end);
+                    }
                 }
             }
             self.complete(recv);
@@ -695,6 +733,64 @@ mod tests {
             }
             other => panic!("expected mismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn repeated_tiny_iterations_shut_down_cleanly() {
+        // Regression: finish() must notify under each queue mutex. A
+        // lock-free notify could land between a worker's shutdown check
+        // and its cv.wait, hanging the scoped join forever. Tiny, fast
+        // iterations maximize pressure on that completion window.
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let s = no_ordering(d.graph());
+        for seed in 0..40 {
+            let o = opts().with_time_scale(0.01).with_shuffle_seed(seed);
+            let trace = run_iteration(d.graph(), &s, &o).unwrap();
+            assert_eq!(trace.executed_ops(), d.graph().len());
+        }
+    }
+
+    #[test]
+    fn watchdog_abort_returns_promptly() {
+        // Regression: after the watchdog fires, threads must drop queued
+        // ops and cut in-flight busy-waits short instead of draining the
+        // full modeled makespan (seconds here, at 50x time scale).
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let o = ExecOptions::new(Platform::cloud_gpu())
+            .with_time_scale(50.0)
+            .with_watchdog(Duration::from_millis(10));
+        let started = std::time::Instant::now();
+        match run_iteration(d.graph(), &no_ordering(d.graph()), &o) {
+            Err(RuntimeError::Stalled { remaining, .. }) => assert!(remaining > 0),
+            other => panic!("expected a stall, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "abort took {:?}; threads kept draining after the watchdog",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn send_shared_by_two_recvs_records_once() {
+        // Regression: run_iteration is public API, and a hand-built graph
+        // may feed one send into several recvs; recording the shared send
+        // once per recv used to panic the trace builder.
+        use tictac_graph::{Cost, GraphBuilder, OpKind};
+        let mut b = GraphBuilder::new();
+        let w = b.add_worker("w0");
+        let ps = b.add_parameter_server("ps0");
+        let ch = b.add_channel(w, ps);
+        let p = b.add_param("p", 4096);
+        b.assign_param_to_ps(p, ps);
+        let send = b.add_op("send", ps, OpKind::send(p, ch), Cost::bytes(4096), &[]);
+        b.add_op("recv_a", w, OpKind::recv(p, ch), Cost::bytes(4096), &[send]);
+        b.add_op("recv_b", w, OpKind::recv(p, ch), Cost::bytes(4096), &[send]);
+        let g = b.build().unwrap();
+        let trace = run_iteration(&g, &no_ordering(&g), &opts()).unwrap();
+        assert_eq!(trace.executed_ops(), g.len());
     }
 
     #[test]

@@ -297,6 +297,12 @@ impl TraceBuilder {
         *slot = Some(OpRecord { start, end });
     }
 
+    /// Whether `op` already has a record (recording it again would
+    /// panic).
+    pub fn is_recorded(&self, op: OpId) -> bool {
+        self.records[op.index()].is_some()
+    }
+
     /// Appends a fault-handling event. Callers push in time order (the
     /// simulator processes events chronologically).
     pub fn push_fault(&mut self, at: SimTime, kind: FaultEventKind) {
