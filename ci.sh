@@ -23,8 +23,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== bench smoke =="
 # Quick plan (2 small models, median of 3), written to a scratch path so
-# the committed BENCH_results.json stays untouched; --check fails the
-# gate on malformed output.
+# the committed BENCH_results.json stays untouched. --check fails the
+# gate on malformed output AND on any phase regressing more than 25%
+# (and 0.1 ms) against the checked-in BENCH_baseline.json.
 ./target/release/bench --quick --out target/BENCH_results_smoke.json
 ./target/release/bench --check target/BENCH_results_smoke.json
 

@@ -1,51 +1,114 @@
 //! `bench` — the in-repo wall-clock benchmark harness.
 //!
 //! ```text
-//! bench [--quick] [--out PATH] [--baseline PATH]
-//! bench --check PATH
+//! bench [--quick] [--backend sim|threaded] [--out PATH] [--baseline PATH]
+//! bench --check PATH [--baseline PATH]
 //! ```
 //!
-//! Times the per-model pipeline (build / deploy / tic / tac / tac_naive /
-//! simulate) with warmup + median-of-N, writes the report to
-//! `BENCH_results.json` (or `--out`), and prints a comparison against the
-//! checked-in `BENCH_baseline.json` when one is present. `--check`
-//! validates an existing report and exits nonzero if it is malformed.
+//! Times the per-model pipeline (build / deploy / cached deploy / tic /
+//! tac / tac_naive / simulate) with warmup + median-of-N, writes the
+//! report to `BENCH_results.json` (or `--out`), and prints a comparison
+//! against the checked-in `BENCH_baseline.json` when one is present.
+//!
+//! `--check PATH` validates an existing report and, when a baseline with
+//! a matching backend is available, exits nonzero if any phase of any
+//! model regressed against it — more than 25% (and 0.1 ms) for full
+//! reports, more than 100% (and 0.25 ms) for quick smoke reports, whose
+//! median-of-3 timings jitter too much for the tight gate. This is the
+//! CI regression gate.
 
 use tictac_bench::format::Table;
 use tictac_bench::micro::{
-    render_json, run_plan, validate_report, BenchBackend, BenchPlan, BenchReport,
+    regressions, render_json, run_plan, validate_report, BenchBackend, BenchPlan, BenchReport,
 };
+
+/// The CI gate for full reports: fail a phase that got >25% and >0.1 ms
+/// slower than the baseline.
+const REGRESSION_THRESHOLD: f64 = 0.25;
+const REGRESSION_FLOOR_MS: f64 = 0.1;
+
+/// Quick smoke reports (median of 3, often on loaded CI boxes) jitter far
+/// more than full runs; gate them loosely — a lost fast path shows up as
+/// 3–10×, machine noise as <2×.
+const QUICK_THRESHOLD: f64 = 1.0;
+const QUICK_FLOOR_MS: f64 = 0.25;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench [--quick] [--backend sim|threaded] [--out PATH] [--baseline PATH]\n       bench --check PATH"
+        "usage: bench [--quick] [--backend sim|threaded] [--out PATH] [--baseline PATH]\n       bench --check PATH [--baseline PATH]"
     );
     std::process::exit(2);
 }
 
-fn check(path: &str) -> ! {
-    let src = match std::fs::read_to_string(path) {
-        Ok(src) => src,
+fn load_report(path: &str, what: &str) -> Result<BenchReport, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {what} {path}: {e}"))?;
+    validate_report(&src).map_err(|e| format!("{what} {path} is malformed: {e}"))
+}
+
+/// `bench --check`: validate `path`, then gate it against the baseline.
+fn check(path: &str, baseline_path: &str) -> ! {
+    let report = match load_report(path, "report") {
+        Ok(report) => report,
         Err(e) => {
-            eprintln!("bench --check: cannot read {path}: {e}");
+            eprintln!("bench --check: {e}");
             std::process::exit(1);
         }
     };
-    match validate_report(&src) {
-        Ok(report) => {
-            println!(
-                "{path}: valid {} report ({} models, median of {})",
-                tictac_bench::micro::SCHEMA,
-                report.models.len(),
-                report.samples
-            );
-            std::process::exit(0);
-        }
+    println!(
+        "{path}: valid {} report ({} models, median of {}, {} backend)",
+        tictac_bench::micro::SCHEMA,
+        report.models.len(),
+        report.samples,
+        report.backend,
+    );
+    if !std::path::Path::new(baseline_path).exists() {
+        println!("(no baseline at {baseline_path}; skipping the regression gate)");
+        std::process::exit(0);
+    }
+    let baseline = match load_report(baseline_path, "baseline") {
+        Ok(baseline) => baseline,
         Err(e) => {
-            eprintln!("bench --check: {path} is malformed: {e}");
+            eprintln!("bench --check: {e}");
             std::process::exit(1);
         }
+    };
+    if report.backend != baseline.backend {
+        println!(
+            "baseline backend {:?} differs from report backend {:?}; skipping the regression gate",
+            baseline.backend, report.backend
+        );
+        std::process::exit(0);
     }
+    let (threshold, floor) = if report.quick {
+        (QUICK_THRESHOLD, QUICK_FLOOR_MS)
+    } else {
+        (REGRESSION_THRESHOLD, REGRESSION_FLOOR_MS)
+    };
+    let found = regressions(&report, &baseline, threshold, floor);
+    if found.is_empty() {
+        println!(
+            "no phase regressed more than {:.0}% vs {baseline_path}",
+            threshold * 100.0
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "bench --check: {} regression(s) beyond {:.0}% vs {baseline_path}:",
+        found.len(),
+        threshold * 100.0
+    );
+    for r in &found {
+        eprintln!(
+            "  {:<22} {:<18} {:.3} ms -> {:.3} ms (x{:.2})",
+            r.model,
+            r.phase,
+            r.then,
+            r.now,
+            r.now / r.then.max(1e-9)
+        );
+    }
+    std::process::exit(1);
 }
 
 fn summary(report: &BenchReport) -> String {
@@ -53,6 +116,7 @@ fn summary(report: &BenchReport) -> String {
         "model",
         "build ms",
         "deploy ms",
+        "cached ms",
         "tic ms",
         "tac ms",
         "naive ms",
@@ -65,6 +129,7 @@ fn summary(report: &BenchReport) -> String {
             m.model.clone(),
             format!("{:.3}", p.build_ms),
             format!("{:.3}", p.deploy_ms),
+            format!("{:.4}", p.deploy_cached_ms),
             format!("{:.3}", p.tic_ms),
             format!("{:.3}", p.tac_ms),
             format!("{:.3}", p.tac_naive_ms),
@@ -76,7 +141,15 @@ fn summary(report: &BenchReport) -> String {
 }
 
 fn comparison(report: &BenchReport, baseline: &BenchReport) -> String {
-    let mut t = Table::new(["model", "build", "deploy", "tic", "tac", "naive", "sim"]);
+    if report.backend != baseline.backend {
+        return format!(
+            "baseline backend {:?} differs from this run's {:?}; skipping comparison\n",
+            baseline.backend, report.backend
+        );
+    }
+    let mut t = Table::new([
+        "model", "build", "deploy", "cached", "tic", "tac", "naive", "sim",
+    ]);
     let mut matched = 0;
     for m in &report.models {
         let Some(base) = baseline.models.iter().find(|b| b.model == m.model) else {
@@ -84,16 +157,16 @@ fn comparison(report: &BenchReport, baseline: &BenchReport) -> String {
         };
         matched += 1;
         let ratio = |now: f64, then: f64| format!("x{:.2}", now / then.max(1e-9));
-        let (now, then) = (m.phases.pairs(), base.phases.pairs());
-        t.row([
-            m.model.clone(),
-            ratio(now[0].1, then[0].1),
-            ratio(now[1].1, then[1].1),
-            ratio(now[2].1, then[2].1),
-            ratio(now[3].1, then[3].1),
-            ratio(now[4].1, then[4].1),
-            ratio(now[5].1, then[5].1),
-        ]);
+        let cells: Vec<String> = m
+            .phases
+            .pairs()
+            .into_iter()
+            .zip(base.phases.pairs())
+            .map(|((_, now), (_, then))| ratio(now, then))
+            .collect();
+        let mut row = vec![m.model.clone()];
+        row.extend(cells);
+        t.row(row);
     }
     if matched == 0 {
         return "no models in common with the baseline\n".into();
@@ -109,6 +182,7 @@ fn main() {
     let mut backend = BenchBackend::Sim;
     let mut out = String::from("BENCH_results.json");
     let mut baseline_path = String::from("BENCH_baseline.json");
+    let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -122,13 +196,16 @@ fn main() {
             }
             "--out" => out = args.next().unwrap_or_else(|| usage()),
             "--baseline" => baseline_path = args.next().unwrap_or_else(|| usage()),
-            "--check" => check(&args.next().unwrap_or_else(|| usage())),
+            "--check" => check_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("bench: unknown argument {other:?}");
                 usage();
             }
         }
+    }
+    if let Some(path) = check_path {
+        check(&path, &baseline_path);
     }
 
     let plan = BenchPlan::new(quick).with_backend(backend);

@@ -7,6 +7,7 @@
 //! only in gradient accumulation order at the PS.
 
 use crate::format::Table;
+use crate::runner::parallel_map;
 use tictac_core::training::{loss_curve, TrainingConfig};
 
 /// Trains the Fig. 8 learner for 500 iterations under both policies and
@@ -14,8 +15,13 @@ use tictac_core::training::{loss_curve, TrainingConfig};
 pub fn run(quick: bool) -> String {
     let iterations = if quick { 100 } else { 500 };
     let cfg = TrainingConfig::default();
-    let ordered = loss_curve(cfg, true, iterations);
-    let unordered = loss_curve(cfg, false, iterations);
+    // The two runs are independent full training loops; train them on two
+    // threads.
+    let mut curves = parallel_map(vec![true, false], |&enforce| {
+        loss_curve(cfg, enforce, iterations)
+    });
+    let unordered = curves.pop().expect("two curves");
+    let ordered = curves.pop().expect("two curves");
 
     let mut t = Table::new(["iteration", "loss (TIC ordering)", "loss (no ordering)"]);
     for i in (0..iterations).step_by((iterations / 20).max(1)) {

@@ -3,7 +3,7 @@
 
 use crate::format::Table;
 use crate::runner::{parallel_map, Point};
-use tictac_core::{deploy, ClusterSpec, Mode, Model, SchedulerKind, SimConfig};
+use tictac_core::{ClusterSpec, DeployCache, Mode, Model, SchedulerKind, SimConfig};
 
 /// `(ops_per_worker, model, task, [E_base, E_tic], [strag_base, strag_tic])`.
 type Row = (usize, String, String, [f64; 2], [f64; 2]);
@@ -36,7 +36,9 @@ pub fn run(quick: bool) -> String {
     for &model in &models {
         for mode in [Mode::Inference, Mode::Training] {
             let graph = model.build_with_batch(mode, 2);
-            let deployed = deploy(&graph, &ClusterSpec::new(4, 1)).expect("valid cluster");
+            let deployed = DeployCache::global()
+                .deploy(&graph, &ClusterSpec::new(4, 1))
+                .expect("valid cluster");
             let ops = deployed.ops_per_worker();
             let get = |sched: SchedulerKind| {
                 points

@@ -6,13 +6,14 @@
 //! few enough for collisions).
 
 use crate::format::Table;
-use tictac_core::{count_unique_recv_orders, deploy, ClusterSpec, Mode, Model, SimConfig};
+use crate::runner::parallel_map;
+use tictac_core::{count_unique_recv_orders, ClusterSpec, DeployCache, Mode, Model, SimConfig};
 
 /// Counts unique parameter-arrival orders at one worker over N baseline
 /// iterations.
 pub fn run(quick: bool) -> String {
     let runs = if quick { 50 } else { 1000 };
-    let paper: &[(Model, usize)] = &[
+    let paper: Vec<(Model, usize)> = vec![
         (Model::ResNet50V2, 1000),
         (Model::InceptionV3, 1000),
         (Model::Vgg16, 493),
@@ -24,17 +25,23 @@ pub fn run(quick: bool) -> String {
         "unique orders",
         "paper (1000 runs)",
     ]);
-    for &(model, paper_unique) in paper {
+    // Each model simulates `runs` full iterations; fan the three out.
+    let rows = parallel_map(paper, |&(model, paper_unique)| {
         let graph = model.build_with_batch(Mode::Training, 2);
-        let deployed = deploy(&graph, &ClusterSpec::new(1, 1)).expect("valid cluster");
+        let deployed = DeployCache::global()
+            .deploy(&graph, &ClusterSpec::new(1, 1))
+            .expect("valid cluster");
         let unique = count_unique_recv_orders(&deployed, &SimConfig::cloud_gpu(), runs);
-        t.row([
+        [
             model.name().to_string(),
             graph.params().len().to_string(),
             runs.to_string(),
             unique.to_string(),
             paper_unique.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     format!(
         "Unique parameter-arrival orders under the baseline (S2.2)\n\n{}",

@@ -4,11 +4,16 @@
 use crate::format::Table;
 use std::time::Instant;
 use tictac_core::{
-    deploy, estimate_profile, no_ordering, simulate, tac, tic, ClusterSpec, Mode, Model, SimConfig,
+    estimate_profile, no_ordering, simulate, tac, tic, ClusterSpec, DeployCache, Mode, Model,
+    SimConfig,
 };
 
 /// Times TIC and TAC schedule computation per model (training graphs,
 /// 4 workers, 1 PS).
+///
+/// Deliberately serial: the whole point of each row is an undisturbed
+/// wall-clock measurement, and concurrent rows would contend for cores
+/// and inflate each other's timings.
 pub fn run(quick: bool) -> String {
     let models: Vec<Model> = if quick {
         vec![Model::AlexNetV2, Model::ResNet50V1]
@@ -20,7 +25,9 @@ pub fn run(quick: bool) -> String {
     let mut t = Table::new(["model", "recvs", "ops/worker", "TIC (ms)", "TAC (ms)"]);
     for &model in &models {
         let graph = model.build_with_batch(Mode::Training, 2);
-        let deployed = deploy(&graph, &ClusterSpec::new(4, 1)).expect("valid cluster");
+        let deployed = DeployCache::global()
+            .deploy(&graph, &ClusterSpec::new(4, 1))
+            .expect("valid cluster");
         let g = deployed.graph();
         let w0 = deployed.workers()[0];
 

@@ -41,7 +41,9 @@ pub fn run(quick: bool) -> String {
     // One independent measurement pipeline per model.
     let rows = parallel_map(models, |&model| {
         let graph = model.build(Mode::Inference);
-        let deployed = tictac_core::deploy(&graph, &ClusterSpec::new(4, 1)).expect("valid cluster");
+        let deployed = tictac_core::DeployCache::global()
+            .deploy(&graph, &ClusterSpec::new(4, 1))
+            .expect("valid cluster");
         let g = deployed.graph();
         let w0 = deployed.workers()[0];
 

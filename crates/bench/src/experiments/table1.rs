@@ -2,6 +2,7 @@
 //! reproduction's generators.
 
 use crate::format::Table;
+use crate::runner::parallel_map;
 use tictac_core::{Mode, Model};
 
 /// Regenerates Table 1, printing the paper's numbers next to ours.
@@ -20,12 +21,14 @@ pub fn run(_quick: bool) -> String {
         "ops inf/train(paper)",
         "batch",
     ]);
-    for model in Model::ALL {
+    // Each row builds two full graphs; fan the models out and append the
+    // finished rows in zoo order.
+    let rows = parallel_map(Model::ALL.to_vec(), |&model| {
         let paper = model.paper_row();
         let inf = model.build_with_batch(Mode::Inference, 1);
         let tr = model.build_with_batch(Mode::Training, 1);
         let s = inf.stats();
-        t.row([
+        [
             model.name().to_string(),
             s.params.to_string(),
             paper.params.to_string(),
@@ -34,7 +37,10 @@ pub fn run(_quick: bool) -> String {
             format!("{}/{}", s.ops, tr.stats().ops),
             format!("{}/{}", paper.ops_inference, paper.ops_training),
             paper.batch_size.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     format!(
         "Table 1: model characteristics (ours vs paper)\n\n{}",

@@ -17,7 +17,8 @@ use std::hint::black_box;
 
 use tictac_core::{
     deploy, no_ordering, run_iteration, simulate, tac_order, tac_order_naive, tic, ClusterSpec,
-    CostOracle, ExecOptions, Mode, Model, Platform, SimConfig,
+    CostOracle, DeployCache, ExecOptions, Mode, Model, Platform, Registry, SchedulerKind,
+    SimConfig,
 };
 pub use tictac_obs::{parse_json, quote, Json};
 
@@ -40,6 +41,14 @@ impl BenchBackend {
             "sim" => Some(BenchBackend::Sim),
             "threaded" => Some(BenchBackend::Threaded),
             _ => None,
+        }
+    }
+
+    /// The name stamped into reports (the `--backend` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchBackend::Sim => "sim",
+            BenchBackend::Threaded => "threaded",
         }
     }
 }
@@ -117,6 +126,9 @@ pub struct PhaseTimings {
     pub build_ms: f64,
     /// Deploying it onto the cluster (partition + send/recv insertion).
     pub deploy_ms: f64,
+    /// A warm [`DeployCache`] hit serving the deployment *and* the TAC
+    /// schedule — the per-session setup cost of a cached sweep.
+    pub deploy_cached_ms: f64,
     /// The TIC scheduler.
     pub tic_ms: f64,
     /// The incremental TAC scheduler (Algorithm 3 fast path).
@@ -129,10 +141,11 @@ pub struct PhaseTimings {
 
 impl PhaseTimings {
     /// Phase names in report order, paired with their values.
-    pub fn pairs(&self) -> [(&'static str, f64); 6] {
+    pub fn pairs(&self) -> [(&'static str, f64); 7] {
         [
             ("build_ms", self.build_ms),
             ("deploy_ms", self.deploy_ms),
+            ("deploy_cached_ms", self.deploy_cached_ms),
             ("tic_ms", self.tic_ms),
             ("tac_ms", self.tac_ms),
             ("tac_naive_ms", self.tac_naive_ms),
@@ -161,6 +174,9 @@ pub struct BenchReport {
     pub warmup: usize,
     /// Timed iterations per phase.
     pub samples: usize,
+    /// Engine behind the iteration phase (`"sim"` or `"threaded"`) —
+    /// regression gates only compare like against like.
+    pub backend: String,
     /// Per-model timings.
     pub models: Vec<ModelTiming>,
 }
@@ -186,6 +202,22 @@ pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
     let g = deployed.graph();
     let w0 = deployed.workers()[0];
 
+    // A warm cache serving deploy + TAC schedule together: the marginal
+    // setup cost of every session after a sweep's first.
+    let config = SimConfig::cloud_gpu();
+    let registry = Registry::disabled();
+    let cache = DeployCache::new();
+    cache
+        .schedule(&graph, &cluster, SchedulerKind::Tac, &config, &registry)
+        .expect("zoo model deploys");
+    let deploy_cached_ms = median_ms(plan.warmup, plan.samples, || {
+        black_box(
+            cache
+                .schedule(&graph, &cluster, SchedulerKind::Tac, &config, &registry)
+                .expect("zoo model deploys"),
+        );
+    });
+
     let tic_ms = median_ms(plan.warmup, plan.samples, || {
         black_box(tic(g, w0));
     });
@@ -197,7 +229,6 @@ pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
     });
 
     let schedule = no_ordering(g);
-    let config = SimConfig::cloud_gpu();
     let simulate_ms = match plan.backend {
         BenchBackend::Sim => median_ms(plan.warmup, plan.samples, || {
             black_box(simulate(g, &schedule, &config, 0));
@@ -215,6 +246,7 @@ pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
         phases: PhaseTimings {
             build_ms,
             deploy_ms,
+            deploy_cached_ms,
             tic_ms,
             tac_ms,
             tac_naive_ms,
@@ -236,6 +268,7 @@ pub fn run_plan(plan: &BenchPlan, mut progress: impl FnMut(&ModelTiming)) -> Ben
         quick: plan.quick,
         warmup: plan.warmup,
         samples: plan.samples,
+        backend: plan.backend.name().to_string(),
         models,
     }
 }
@@ -248,6 +281,7 @@ pub fn render_json(report: &BenchReport) -> String {
     s.push_str(&format!("  \"quick\": {},\n", report.quick));
     s.push_str(&format!("  \"warmup\": {},\n", report.warmup));
     s.push_str(&format!("  \"samples\": {},\n", report.samples));
+    s.push_str(&format!("  \"backend\": {},\n", quote(&report.backend)));
     s.push_str("  \"models\": [\n");
     for (i, m) in report.models.iter().enumerate() {
         s.push_str("    {\n");
@@ -296,6 +330,12 @@ pub fn validate_report(src: &str) -> Result<BenchReport, String> {
         .ok_or("missing bool field \"quick\"")?;
     let warmup = field_f64(&doc, "warmup", "report")? as usize;
     let samples = field_f64(&doc, "samples", "report")? as usize;
+    // Reports predating the backend stamp were always simulator runs.
+    let backend = doc
+        .get("backend")
+        .and_then(Json::as_str)
+        .unwrap_or("sim")
+        .to_string();
     let entries = doc
         .get("models")
         .and_then(Json::as_array)
@@ -315,6 +355,7 @@ pub fn validate_report(src: &str) -> Result<BenchReport, String> {
         let phases = PhaseTimings {
             build_ms: field_f64(phases, "build_ms", name)?,
             deploy_ms: field_f64(phases, "deploy_ms", name)?,
+            deploy_cached_ms: field_f64(phases, "deploy_cached_ms", name)?,
             tic_ms: field_f64(phases, "tic_ms", name)?,
             tac_ms: field_f64(phases, "tac_ms", name)?,
             tac_naive_ms: field_f64(phases, "tac_naive_ms", name)?,
@@ -331,8 +372,57 @@ pub fn validate_report(src: &str) -> Result<BenchReport, String> {
         quick,
         warmup,
         samples,
+        backend,
         models,
     })
+}
+
+/// One phase that got slower than the baseline allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Zoo model name.
+    pub model: String,
+    /// Phase field name (e.g. `"deploy_ms"`).
+    pub phase: &'static str,
+    /// This run's median, milliseconds.
+    pub now: f64,
+    /// The baseline's median, milliseconds.
+    pub then: f64,
+}
+
+/// Compares `report` against `baseline` and returns every phase that
+/// regressed beyond `threshold` (e.g. `0.25` = 25% slower).
+///
+/// Absolute growth below `floor_ms` is never flagged — timer jitter
+/// dominates ratios down there. Backends must match: a threaded run's
+/// wall-clock iteration phase is not comparable to the simulator's, so
+/// mismatched reports yield no regressions (the caller should say so).
+pub fn regressions(
+    report: &BenchReport,
+    baseline: &BenchReport,
+    threshold: f64,
+    floor_ms: f64,
+) -> Vec<Regression> {
+    let mut found = Vec::new();
+    if report.backend != baseline.backend {
+        return found;
+    }
+    for m in &report.models {
+        let Some(base) = baseline.models.iter().find(|b| b.model == m.model) else {
+            continue;
+        };
+        for ((phase, now), (_, then)) in m.phases.pairs().into_iter().zip(base.phases.pairs()) {
+            if now > then * (1.0 + threshold) && now - then > floor_ms {
+                found.push(Regression {
+                    model: m.model.clone(),
+                    phase,
+                    now,
+                    then,
+                });
+            }
+        }
+    }
+    found
 }
 
 #[cfg(test)]
@@ -344,11 +434,13 @@ mod tests {
             quick: true,
             warmup: 1,
             samples: 3,
+            backend: "sim".into(),
             models: vec![ModelTiming {
                 model: "alexnet_v2".into(),
                 phases: PhaseTimings {
                     build_ms: 0.5,
                     deploy_ms: 1.25,
+                    deploy_cached_ms: 0.01,
                     tic_ms: 0.125,
                     tac_ms: 2.0,
                     tac_naive_ms: 12.0,
@@ -390,6 +482,29 @@ mod tests {
         ] {
             assert!(validate_report(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn regression_gate_flags_only_real_slowdowns() {
+        let baseline = sample_report();
+        let mut report = sample_report();
+        assert_eq!(regressions(&report, &baseline, 0.25, 0.1), vec![]);
+
+        // 26% slower on a >0.1ms phase: flagged.
+        report.models[0].phases.simulate_ms = 8.5 * 1.26;
+        // 10x slower but only +0.09ms absolute: jitter, not flagged.
+        report.models[0].phases.deploy_cached_ms = 0.1;
+        let found = regressions(&report, &baseline, 0.25, 0.1);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].phase, "simulate_ms");
+        assert_eq!(found[0].model, "alexnet_v2");
+
+        // A looser quick-mode threshold lets the same slowdown pass.
+        assert_eq!(regressions(&report, &baseline, 2.0, 0.25), vec![]);
+
+        // Mismatched backends never compare.
+        report.backend = "threaded".into();
+        assert_eq!(regressions(&report, &baseline, 0.25, 0.1), vec![]);
     }
 
     #[test]

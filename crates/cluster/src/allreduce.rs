@@ -15,7 +15,8 @@
 
 use crate::DeployError;
 use tictac_graph::{
-    ChannelId, Cost, DeviceId, Graph, GraphBuilder, ModelGraph, OpId, OpKind, ParamId,
+    ChannelId, Cost, DeviceId, Graph, GraphBuilder, ModelGraph, NameId, OpId, OpKind, OpName,
+    ParamId, RingStage,
 };
 
 /// A model deployed with ring all-reduce gradient aggregation.
@@ -106,13 +107,21 @@ pub fn deploy_all_reduce(
     let bucket_elems: Vec<u64> = bucket_bytes.iter().map(|b| b / 4).collect();
 
     // Replica compute ops (no parameter recvs: weights are local).
+    // Model-op names are interned once; ring ops below use structured
+    // names, so the whole lowering allocates no per-op name strings.
+    let mop_names: Vec<NameId> = model.ops().iter().map(|o| b.intern(o.name())).collect();
     let mut producer_of: Vec<Vec<Option<OpId>>> = vec![vec![None; params.len()]; workers];
+    let mut deps: Vec<OpId> = Vec::new();
     for (w, &device) in devices.iter().enumerate() {
         let mut op_map: Vec<OpId> = Vec::with_capacity(model.ops().len());
-        for mop in model.ops() {
-            let deps: Vec<OpId> = mop.preds().iter().map(|p| op_map[p.index()]).collect();
-            let id = b.add_op(
-                format!("w{w}/{}", mop.name()),
+        for (mi, mop) in model.ops().iter().enumerate() {
+            deps.clear();
+            deps.extend(mop.preds().iter().map(|p| op_map[p.index()]));
+            let id = b.add_op_named(
+                OpName::WorkerOp {
+                    worker: w as u32,
+                    op: mop_names[mi],
+                },
                 device,
                 OpKind::Compute,
                 Cost::flops(mop.flops()),
@@ -154,29 +163,37 @@ pub fn deploy_all_reduce(
             })
             .collect();
 
+        let ring_name = |worker: usize, step: usize, chunk: usize, stage: RingStage| OpName::Ring {
+            worker: worker as u16,
+            bucket: bi as u16,
+            step: step as u16,
+            chunk: chunk as u16,
+            stage,
+        };
         for s in 0..workers - 1 {
             let mut next = owned.clone();
             for w in 0..workers {
                 let c = modw(w as isize - s as isize);
                 let dst = (w + 1) % workers;
-                let send = b.add_op(
-                    format!("w{w}/b{bi}/rs{s}/send/chunk{c}"),
+                let send = b.add_op_named(
+                    ring_name(w, s, c, RingStage::RsSend),
                     devices[w],
                     OpKind::send(tag, ring[w]),
                     Cost::bytes(chunk_bytes),
                     &owned[w][c],
                 );
-                let recv = b.add_op(
-                    format!("w{dst}/b{bi}/rs{s}/recv/chunk{c}"),
+                let recv = b.add_op_named(
+                    ring_name(dst, s, c, RingStage::RsRecv),
                     devices[dst],
                     OpKind::recv(tag, ring[w]),
                     Cost::bytes(chunk_bytes),
                     &[send],
                 );
-                let mut deps = owned[dst][c].clone();
+                deps.clear();
+                deps.extend_from_slice(&owned[dst][c]);
                 deps.push(recv);
-                let reduce = b.add_op(
-                    format!("w{dst}/b{bi}/rs{s}/reduce/chunk{c}"),
+                let reduce = b.add_op_named(
+                    ring_name(dst, s, c, RingStage::RsReduce),
                     devices[dst],
                     OpKind::Compute,
                     Cost::flops(chunk_elems as f64),
@@ -192,15 +209,15 @@ pub fn deploy_all_reduce(
             for w in 0..workers {
                 let c = modw(w as isize + 1 - s as isize);
                 let dst = (w + 1) % workers;
-                let send = b.add_op(
-                    format!("w{w}/b{bi}/ag{s}/send/chunk{c}"),
+                let send = b.add_op_named(
+                    ring_name(w, s, c, RingStage::AgSend),
                     devices[w],
                     OpKind::send(tag, ring[w]),
                     Cost::bytes(chunk_bytes),
                     &owned[w][c],
                 );
-                let recv = b.add_op(
-                    format!("w{dst}/b{bi}/ag{s}/recv/chunk{c}"),
+                let recv = b.add_op_named(
+                    ring_name(dst, s, c, RingStage::AgRecv),
                     devices[dst],
                     OpKind::recv(tag, ring[w]),
                     Cost::bytes(chunk_bytes),
@@ -220,9 +237,13 @@ pub fn deploy_all_reduce(
 
     // Local SGD apply per worker, once all sub-chunks are available.
     let total_elems: u64 = bucket_elems.iter().sum();
+    let apply = b.intern("apply_updates");
     for (w, &device) in devices.iter().enumerate() {
-        b.add_op(
-            format!("w{w}/apply_updates"),
+        b.add_op_named(
+            OpName::WorkerOp {
+                worker: w as u32,
+                op: apply,
+            },
             device,
             OpKind::Compute,
             Cost::flops(2.0 * total_elems as f64),

@@ -40,12 +40,13 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use tictac_graph::{
-    ChannelId, Cost, DeviceId, Graph, GraphBuilder, GraphError, ModelGraph, OpId, OpKind, ParamId,
+    ChannelId, Cost, DeviceId, Graph, GraphBuilder, GraphError, ModelGraph, NameId, OpId, OpKind,
+    OpName, ParamId,
 };
 use tictac_sched::Schedule;
 
 /// Shape of the deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ClusterSpec {
     /// Number of workers (model replicas).
     pub workers: usize,
@@ -223,11 +224,13 @@ impl DeployedModel {
 
     /// The PS shard hosting the most parameter bytes — the server whose
     /// stall or straggling hurts the iteration most.
+    ///
+    /// Ties break deterministically to the lowest shard index.
     pub fn hottest_shard(&self) -> usize {
         self.shard_bytes()
             .iter()
             .enumerate()
-            .max_by_key(|&(_, &b)| b)
+            .max_by_key(|&(s, &b)| (b, std::cmp::Reverse(s)))
             .map(|(s, _)| s)
             .unwrap_or(0)
     }
@@ -266,15 +269,31 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
         .map(|&w| ps.iter().map(|&s| b.add_channel(w, s)).collect())
         .collect();
 
-    // Parameters and shards.
+    // Parameters and shards. Parameter and model-op names are interned
+    // once up front; every op below carries a compact structured `OpName`
+    // instead of a freshly formatted `String` — this loop used to be the
+    // allocation hot spot of the whole deployment.
     let shard_of = spec.sharding.assign(model, spec.parameter_servers);
     let params: Vec<ParamId> = model
         .params()
         .iter()
         .map(|p| b.add_param(p.name(), p.bytes()))
         .collect();
+    let param_names: Vec<NameId> = model.params().iter().map(|p| b.intern(p.name())).collect();
+    let mop_names: Vec<NameId> = model.ops().iter().map(|o| b.intern(o.name())).collect();
     for (p, &shard) in params.iter().zip(&shard_of) {
         b.assign_param_to_ps(*p, ps[shard]);
+    }
+
+    // Gradient producers per parameter, computed once for all workers
+    // (this was previously an O(params × ops) rescan per worker).
+    let mut grad_producers: Vec<Vec<usize>> = vec![Vec::new(); model.params().len()];
+    if model.is_training() {
+        for (id, mop) in model.ops_enumerated() {
+            for g in mop.produces_grads() {
+                grad_producers[g.index()].push(id.index());
+            }
+        }
     }
 
     // PS-side read ops (one per parameter, shared by all workers).
@@ -284,8 +303,11 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
         .zip(&shard_of)
         .enumerate()
         .map(|(i, (spec_p, &shard))| {
-            b.add_op(
-                format!("ps{shard}/read/{}", spec_p.name()),
+            b.add_op_named(
+                OpName::PsRead {
+                    shard: shard as u32,
+                    param: param_names[i],
+                },
                 ps[shard],
                 OpKind::Read { param: params[i] },
                 Cost::flops(spec_p.elems() as f64),
@@ -298,6 +320,8 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
     let mut recv_ops: Vec<Vec<OpId>> = Vec::with_capacity(spec.workers);
     // grad recvs at PS: grad_recvs[p] across workers.
     let mut grad_recvs: Vec<Vec<OpId>> = vec![Vec::new(); model.params().len()];
+    // Dependency scratch, reused across every op of every replica.
+    let mut deps: Vec<OpId> = Vec::new();
 
     for (w, &worker) in workers.iter().enumerate() {
         // Parameter transfers PS -> worker.
@@ -305,15 +329,22 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
         for (i, spec_p) in model.params().iter().enumerate() {
             let shard = shard_of[i];
             let ch = channels[w][shard];
-            let send = b.add_op(
-                format!("ps{shard}/send/{}/w{w}", spec_p.name()),
+            let send = b.add_op_named(
+                OpName::PsSend {
+                    shard: shard as u32,
+                    param: param_names[i],
+                    worker: w as u32,
+                },
                 ps[shard],
                 OpKind::send(params[i], ch),
                 Cost::bytes(spec_p.bytes()),
                 &[read_ops[i]],
             );
-            let recv = b.add_op(
-                format!("w{w}/recv/{}", spec_p.name()),
+            let recv = b.add_op_named(
+                OpName::WorkerRecv {
+                    worker: w as u32,
+                    param: param_names[i],
+                },
                 worker,
                 OpKind::recv(params[i], ch),
                 Cost::bytes(spec_p.bytes()),
@@ -324,11 +355,15 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
 
         // Replica compute ops.
         let mut op_map: Vec<OpId> = Vec::with_capacity(model.ops().len());
-        for mop in model.ops() {
-            let mut deps: Vec<OpId> = mop.preds().iter().map(|p| op_map[p.index()]).collect();
+        for (mi, mop) in model.ops().iter().enumerate() {
+            deps.clear();
+            deps.extend(mop.preds().iter().map(|p| op_map[p.index()]));
             deps.extend(mop.reads_params().iter().map(|p| w_recvs[p.index()]));
-            let id = b.add_op(
-                format!("w{w}/{}", mop.name()),
+            let id = b.add_op_named(
+                OpName::WorkerOp {
+                    worker: w as u32,
+                    op: mop_names[mi],
+                },
                 worker,
                 OpKind::Compute,
                 Cost::flops(mop.flops()),
@@ -340,25 +375,29 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
         // Gradient path: worker send -> PS recv, per parameter.
         if model.is_training() {
             for (i, spec_p) in model.params().iter().enumerate() {
-                let producers: Vec<OpId> = model
-                    .ops_enumerated()
-                    .filter(|(_, mop)| mop.produces_grads().contains(&params[i]))
-                    .map(|(id, _)| op_map[id.index()])
-                    .collect();
-                if producers.is_empty() {
+                if grad_producers[i].is_empty() {
                     continue;
                 }
+                deps.clear();
+                deps.extend(grad_producers[i].iter().map(|&mi| op_map[mi]));
                 let shard = shard_of[i];
                 let ch = channels[w][shard];
-                let send = b.add_op(
-                    format!("w{w}/send_grad/{}", spec_p.name()),
+                let send = b.add_op_named(
+                    OpName::WorkerSendGrad {
+                        worker: w as u32,
+                        param: param_names[i],
+                    },
                     worker,
                     OpKind::send(params[i], ch),
                     Cost::bytes(spec_p.bytes()),
-                    &producers,
+                    &deps,
                 );
-                let recv = b.add_op(
-                    format!("ps{shard}/recv_grad/{}/w{w}", spec_p.name()),
+                let recv = b.add_op_named(
+                    OpName::PsRecvGrad {
+                        shard: shard as u32,
+                        param: param_names[i],
+                        worker: w as u32,
+                    },
                     ps[shard],
                     OpKind::recv(params[i], ch),
                     Cost::bytes(spec_p.bytes()),
@@ -377,15 +416,21 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
                 continue;
             }
             let shard = shard_of[i];
-            let agg = b.add_op(
-                format!("ps{shard}/aggregate/{}", spec_p.name()),
+            let agg = b.add_op_named(
+                OpName::PsAggregate {
+                    shard: shard as u32,
+                    param: param_names[i],
+                },
                 ps[shard],
                 OpKind::Aggregate { param: params[i] },
                 Cost::flops((spec_p.elems() * spec.workers as u64) as f64),
                 &grad_recvs[i],
             );
-            b.add_op(
-                format!("ps{shard}/update/{}", spec_p.name()),
+            b.add_op_named(
+                OpName::PsUpdate {
+                    shard: shard as u32,
+                    param: param_names[i],
+                },
                 ps[shard],
                 OpKind::Update { param: params[i] },
                 Cost::flops(2.0 * spec_p.elems() as f64),
@@ -542,6 +587,28 @@ mod tests {
         assert_eq!(bytes.iter().sum::<u64>(), total);
         let hottest = d.hottest_shard();
         assert_eq!(bytes[hottest], bytes.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn hottest_shard_ties_break_to_the_lowest_index() {
+        // Two equal-size parameters across two shards: both shards host
+        // the same byte count, so the tie must resolve to shard 0.
+        let mut b = tictac_graph::ModelGraphBuilder::new("tie", 1);
+        let w1 = b.add_param("a/w", vec![256]);
+        let w2 = b.add_param("b/w", vec![256]);
+        let f = b.add_op(
+            "f",
+            tictac_graph::ModelOpKind::Forward,
+            1.0,
+            &[],
+            &[w1, w2],
+            &[],
+        );
+        b.add_op("loss", tictac_graph::ModelOpKind::Loss, 1.0, &[f], &[], &[]);
+        let d = deploy(&b.build(), &ClusterSpec::new(1, 2)).unwrap();
+        let bytes = d.shard_bytes();
+        assert_eq!(bytes[0], bytes[1], "setup: shards must tie");
+        assert_eq!(d.hottest_shard(), 0);
     }
 
     #[test]

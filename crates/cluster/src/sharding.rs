@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use tictac_graph::ModelGraph;
 
 /// How parameters are assigned to parameter-server shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Sharding {
     /// Greedy size-balanced assignment (longest-processing-time first):
     /// parameters are placed, largest first, on the currently lightest

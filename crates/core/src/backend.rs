@@ -19,8 +19,10 @@
 
 use std::fmt;
 
+use std::sync::{Arc, Mutex};
+
 use tictac_cluster::DeployedModel;
-use tictac_exec::{run_iteration, ExecOptions, RuntimeError};
+use tictac_exec::{run_iteration_with_plan, ExecOptions, ExecPlan, RuntimeError};
 use tictac_obs::Registry;
 use tictac_sched::Schedule;
 use tictac_sim::{try_simulate_observed, SimConfig, SimError};
@@ -159,9 +161,25 @@ impl ExecutionBackend for SimBackend {
 /// physical. Schedules (including TAC's profiled one) are identical
 /// across backends, so sim and threaded runs of one session are directly
 /// comparable.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ThreadedBackend {
     opts: ExecOptions,
+    /// Single-entry [`ExecPlan`] cache keyed by [`ExecPlan::key`]: a
+    /// session runs many iterations of one `(graph, schedule)` pair, so
+    /// the schedule-derived setup (per-channel rank sort, send pairing,
+    /// platform clone) is done once instead of once per iteration.
+    plan: Mutex<Option<(u64, Arc<ExecPlan>)>>,
+}
+
+impl Clone for ThreadedBackend {
+    /// Clones the options; the plan cache starts empty (it repopulates on
+    /// the clone's first iteration).
+    fn clone(&self) -> Self {
+        Self {
+            opts: self.opts.clone(),
+            plan: Mutex::new(None),
+        }
+    }
 }
 
 impl ThreadedBackend {
@@ -170,6 +188,7 @@ impl ThreadedBackend {
     pub fn new() -> Self {
         Self {
             opts: ExecOptions::default(),
+            plan: Mutex::new(None),
         }
     }
 
@@ -182,7 +201,10 @@ impl ThreadedBackend {
         if let Some(share) = config.bandwidth_share_override {
             opts = opts.with_bandwidth_share(share);
         }
-        Self { opts }
+        Self {
+            opts,
+            plan: Mutex::new(None),
+        }
     }
 
     /// Scales every modeled duration by `scale` (smaller = faster wall
@@ -253,7 +275,27 @@ impl ExecutionBackend for ThreadedBackend {
         let opts = self.opts.clone().with_shuffle_seed(
             self.opts.shuffle_seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
-        let trace = run_iteration(deployed.graph(), schedule, &opts).map_err(ExecError::Runtime)?;
+        // Reuse the schedule-derived plan across iterations; rebuild only
+        // when a different (graph, schedule) pair arrives. The shuffle
+        // seed folded above does not enter the plan.
+        let key = ExecPlan::key(deployed.graph(), schedule);
+        let plan = {
+            let mut cached = self.plan.lock().unwrap_or_else(|e| e.into_inner());
+            match cached.as_ref() {
+                Some((k, plan)) if *k == key => Arc::clone(plan),
+                _ => {
+                    let plan = Arc::new(
+                        ExecPlan::new(deployed.graph(), schedule, &self.opts)
+                            .map_err(ExecError::Runtime)?,
+                    );
+                    registry.counter("exec.plan.builds").inc();
+                    *cached = Some((key, Arc::clone(&plan)));
+                    plan
+                }
+            }
+        };
+        let trace = run_iteration_with_plan(deployed.graph(), schedule, &opts, &plan)
+            .map_err(ExecError::Runtime)?;
         registry.counter("exec.iterations").inc();
         registry
             .histogram("exec.wall_us", &WALL_BUCKETS_US)
@@ -311,6 +353,29 @@ mod tests {
         assert_eq!(thr.options().bandwidth_share, Some(3.5));
         let plain = ThreadedBackend::from_config(&SimConfig::cloud_gpu());
         assert_eq!(plain.options().bandwidth_share, None);
+    }
+
+    #[test]
+    fn threaded_backend_builds_one_plan_for_many_iterations() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let s = no_ordering(d.graph());
+        let reg = Registry::enabled();
+        let thr = ThreadedBackend::from_config(&SimConfig::cloud_gpu()).with_time_scale(0.1);
+        for i in 0..3 {
+            thr.execute(&d, &s, i, &reg).unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("exec.iterations"), Some(3));
+        assert_eq!(
+            snap.counter("exec.plan.builds"),
+            Some(1),
+            "iterations of one schedule must share one plan"
+        );
+        // A clone starts with a cold cache and rebuilds once.
+        let cloned = thr.clone();
+        cloned.execute(&d, &s, 0, &reg).unwrap();
+        assert_eq!(reg.snapshot().counter("exec.plan.builds"), Some(2));
     }
 
     #[test]

@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod cache;
 mod experiments;
 pub mod optimal;
 mod session;
 pub mod training;
 
 pub use backend::{ExecError, ExecutionBackend, SimBackend, ThreadedBackend, TimeDomain};
+pub use cache::{CacheStats, DeployCache};
 pub use experiments::{count_unique_recv_orders, speedup_pct};
 pub use optimal::{makespan_of_order, optimal_order, OptimalSearch};
 pub use session::{IterationRecord, RunOptions, RunReport, SchedulerKind, Session, SessionBuilder};
@@ -50,10 +52,13 @@ pub use tictac_cluster::{
     deploy, deploy_all_reduce, AllReduceDeployment, ClusterSpec, DeployError, DeployedModel,
     Sharding,
 };
-pub use tictac_exec::{run_iteration, ExecOptions, RuntimeError};
+pub use tictac_exec::{
+    run_iteration, run_iteration_with_plan, ExecOptions, ExecPlan, RuntimeError,
+};
 pub use tictac_graph::{
     Channel, ChannelId, Cost, Device, DeviceId, DeviceKind, Graph, GraphBuilder, GraphError,
-    ModelGraph, ModelGraphBuilder, ModelOpId, ModelOpKind, OpId, OpKind, ParamId, Resource,
+    ModelGraph, ModelGraphBuilder, ModelOpId, ModelOpKind, NameId, NameTable, OpId, OpKind, OpName,
+    ParamId, Resource, RingStage,
 };
 pub use tictac_metrics::{ols, percentile, Cdf, Histogram, OlsFit, Streaming, Summary};
 pub use tictac_models::{tiny_mlp, Mode, Model};

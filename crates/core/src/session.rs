@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
-use tictac_cluster::{deploy, ClusterSpec, DeployError, DeployedModel};
+use tictac_cluster::{ClusterSpec, DeployError, DeployedModel};
 use tictac_graph::{ModelGraph, OpId};
 use tictac_obs::Registry;
 use tictac_sched::{
@@ -118,15 +118,23 @@ impl SessionBuilder {
         self
     }
 
-    /// Deploys the model and computes the schedule.
+    /// Deploys the model and computes the schedule, consulting the
+    /// process-wide [`DeployCache`](crate::DeployCache): sessions sharing
+    /// a `(model, cluster, scheduler, config)` configuration share one
+    /// deployed graph and one schedule vector behind `Arc`s.
     ///
     /// # Errors
     ///
     /// Returns a [`DeployError`] if the cluster spec or model is invalid.
     pub fn build(self) -> Result<Session, DeployError> {
-        let deployed = deploy(&self.model, &self.cluster)?;
         let started = Instant::now();
-        let schedule = compute_schedule(&deployed, self.scheduler, &self.config, &self.registry);
+        let (deployed, schedule) = crate::DeployCache::global().schedule(
+            &self.model,
+            &self.cluster,
+            self.scheduler,
+            &self.config,
+            &self.registry,
+        )?;
         let schedule_compute_time = started.elapsed();
         let backend = self
             .backend
@@ -173,7 +181,7 @@ fn profile_oracle(deployed: &DeployedModel, config: &SimConfig) -> MeasuredProfi
     estimate_profile(&traces)
 }
 
-fn compute_schedule(
+pub(crate) fn compute_schedule(
     deployed: &DeployedModel,
     scheduler: SchedulerKind,
     config: &SimConfig,
@@ -304,11 +312,11 @@ impl RunReport {
 pub struct Session {
     model_name: String,
     batch: usize,
-    deployed: DeployedModel,
+    deployed: std::sync::Arc<DeployedModel>,
     scheduler: SchedulerKind,
     warmup: usize,
     iterations: usize,
-    schedule: Schedule,
+    schedule: std::sync::Arc<Schedule>,
     schedule_compute_time: std::time::Duration,
     registry: Registry,
     backend: Box<dyn ExecutionBackend>,

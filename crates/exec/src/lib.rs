@@ -33,4 +33,4 @@
 
 mod runtime;
 
-pub use runtime::{run_iteration, ExecOptions, RuntimeError};
+pub use runtime::{run_iteration, run_iteration_with_plan, ExecOptions, ExecPlan, RuntimeError};

@@ -176,6 +176,132 @@ impl std::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// Precomputed, schedule-derived execution state: enforcement ranks per
+/// channel, the send feeding each recv, the fair-share bandwidth divisor
+/// and the cost oracle.
+///
+/// Deriving this is the only super-constant setup work of an iteration
+/// (sorting each channel's recvs by rank, two graph sweeps, a platform
+/// clone), and it is a pure function of `(graph, schedule, opts)` — so a
+/// session running many iterations of one schedule should build the plan
+/// once and pass it to [`run_iteration_with_plan`]. `ThreadedBackend`
+/// does exactly that, keyed by [`ExecPlan::key`].
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    /// Enforcement rank per op: on the PS-side send of each prioritized
+    /// transfer, and on the recv itself (both for queue keying and for
+    /// sendless hand-built graphs).
+    rank: Vec<Option<u64>>,
+    /// The send op feeding each recv, for transfer-interval attribution.
+    send_of: Vec<Option<OpId>>,
+    /// Fair-share divisor for wire time (PS fan-out, or the override).
+    bandwidth_share: f64,
+    /// Duration oracle on the plan's platform.
+    oracle: CostOracle,
+}
+
+impl ExecPlan {
+    /// Derives the plan for one `(graph, schedule, opts)` configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ScheduleMismatch`] if `schedule` does not cover
+    /// `graph`.
+    pub fn new(
+        graph: &Graph,
+        schedule: &Schedule,
+        opts: &ExecOptions,
+    ) -> Result<Self, RuntimeError> {
+        if schedule.len() != graph.len() {
+            return Err(RuntimeError::ScheduleMismatch {
+                schedule_len: schedule.len(),
+                graph_len: graph.len(),
+            });
+        }
+        let n = graph.len();
+
+        // Enforcement ranks: per-channel priorities normalized to [0, n),
+        // attached to the PS-side send (the sender enforces before
+        // hand-off) and mirrored on the recv for queue keying.
+        let mut rank = vec![None; n];
+        let mut send_of = vec![None; n];
+        for channel in graph.channels() {
+            for (r, recv) in schedule
+                .ordered_recvs(graph, channel.id())
+                .into_iter()
+                .enumerate()
+            {
+                rank[recv.index()] = Some(r as u64);
+                if let Some(send) = graph
+                    .preds(recv)
+                    .iter()
+                    .copied()
+                    .find(|&p| graph.op(p).kind().is_send())
+                {
+                    rank[send.index()] = Some(r as u64);
+                }
+            }
+        }
+        for id in graph.op_ids() {
+            if graph.op(id).is_recv() {
+                send_of[id.index()] = graph
+                    .preds(id)
+                    .iter()
+                    .copied()
+                    .find(|&p| graph.op(p).kind().is_send());
+            }
+        }
+
+        let bandwidth_share = opts.bandwidth_share.unwrap_or_else(|| {
+            // Same derivation as the simulator: PS deployments fan every
+            // server out to all workers; peer topologies keep one stream.
+            if graph.channels().iter().all(tictac_graph::Channel::is_peer) {
+                1.0
+            } else {
+                let workers = graph.workers().count();
+                let servers = graph.parameter_servers().count();
+                workers.max(servers).max(1) as f64
+            }
+        });
+
+        Ok(Self {
+            rank,
+            send_of,
+            bandwidth_share,
+            oracle: CostOracle::new(opts.platform.clone()),
+        })
+    }
+
+    /// A content fingerprint of the plan-relevant inputs (graph shape and
+    /// every schedule priority): two calls agree exactly when a cached
+    /// plan derived from one is valid for the other. FNV-1a, cheap enough
+    /// to compute per iteration — unlike re-deriving the plan, it
+    /// allocates nothing and sorts nothing.
+    pub fn key(graph: &Graph, schedule: &Schedule) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        fold(graph.len() as u64);
+        fold(graph.devices().len() as u64);
+        fold(graph.channels().len() as u64);
+        for op in graph.op_ids() {
+            match schedule.priority(op) {
+                Some(r) => {
+                    fold(1);
+                    fold(r);
+                }
+                None => fold(0),
+            }
+        }
+        h
+    }
+}
+
 /// Executes one iteration of `graph` under `schedule` on real threads and
 /// returns its wall-clock [`ExecutionTrace`].
 ///
@@ -187,6 +313,10 @@ impl std::error::Error for RuntimeError {}
 /// Timestamps are nanoseconds since iteration start, so traces are
 /// directly comparable to simulator traces — ordering-exact, timing-real.
 ///
+/// Derives a fresh [`ExecPlan`] each call; loops running one schedule
+/// many times should build the plan once and use
+/// [`run_iteration_with_plan`].
+///
 /// # Errors
 ///
 /// [`RuntimeError::ScheduleMismatch`] if `schedule` does not cover
@@ -196,13 +326,36 @@ pub fn run_iteration(
     schedule: &Schedule,
     opts: &ExecOptions,
 ) -> Result<ExecutionTrace, RuntimeError> {
-    if schedule.len() != graph.len() {
+    let plan = ExecPlan::new(graph, schedule, opts)?;
+    run_iteration_with_plan(graph, schedule, opts, &plan)
+}
+
+/// [`run_iteration`] with a prebuilt [`ExecPlan`], skipping the
+/// per-iteration schedule derivation.
+///
+/// `plan` must have been built by [`ExecPlan::new`] from this same
+/// `(graph, schedule)` pair and from options agreeing with `opts` on
+/// `platform` and `bandwidth_share` (the fields a plan bakes in; the
+/// shuffle seed, time scale, watchdog and enforcement flag may differ
+/// freely) — [`ExecPlan::key`] decides graph/schedule reusability.
+///
+/// # Errors
+///
+/// [`RuntimeError::ScheduleMismatch`] if `schedule` (or the plan) does
+/// not cover `graph`; [`RuntimeError::Stalled`] if the watchdog expires.
+pub fn run_iteration_with_plan(
+    graph: &Graph,
+    schedule: &Schedule,
+    opts: &ExecOptions,
+    plan: &ExecPlan,
+) -> Result<ExecutionTrace, RuntimeError> {
+    if schedule.len() != graph.len() || plan.rank.len() != graph.len() {
         return Err(RuntimeError::ScheduleMismatch {
-            schedule_len: schedule.len(),
+            schedule_len: schedule.len().min(plan.rank.len()),
             graph_len: graph.len(),
         });
     }
-    let shared = Shared::new(graph, schedule, opts);
+    let shared = Shared::new(graph, schedule, opts, plan);
 
     std::thread::scope(|scope| {
         for dev in 0..graph.devices().len() {
@@ -266,9 +419,10 @@ struct Shared<'g> {
     graph: &'g Graph,
     schedule: &'g Schedule,
     opts: &'g ExecOptions,
-    oracle: CostOracle,
+    /// Schedule-derived state (ranks, send pairing, bandwidth share,
+    /// oracle) — precomputed once per schedule, not per iteration.
+    plan: &'g ExecPlan,
     started: Instant,
-    bandwidth_share: f64,
 
     /// Outstanding predecessor count per op.
     indegree: Vec<AtomicU32>,
@@ -276,13 +430,6 @@ struct Shared<'g> {
     remaining: AtomicUsize,
     /// Set on completion or watchdog abort; threads drain and exit.
     shutdown: AtomicBool,
-
-    /// Enforcement rank per op: on the PS-side send of each prioritized
-    /// transfer, and on the recv itself (both for queue keying and for
-    /// sendless hand-built graphs).
-    rank: Vec<Option<u64>>,
-    /// The send op feeding each recv, for transfer-interval attribution.
-    send_of: Vec<Option<OpId>>,
 
     devices: Vec<(Mutex<DeviceQueue>, Condvar)>,
     channels: Vec<(Mutex<ChanQueue>, Condvar)>,
@@ -293,67 +440,24 @@ struct Shared<'g> {
 }
 
 impl<'g> Shared<'g> {
-    fn new(graph: &'g Graph, schedule: &'g Schedule, opts: &'g ExecOptions) -> Self {
+    fn new(
+        graph: &'g Graph,
+        schedule: &'g Schedule,
+        opts: &'g ExecOptions,
+        plan: &'g ExecPlan,
+    ) -> Self {
         let n = graph.len();
-
-        // Enforcement ranks: per-channel priorities normalized to [0, n),
-        // attached to the PS-side send (the sender enforces before
-        // hand-off) and mirrored on the recv for queue keying.
-        let mut rank = vec![None; n];
-        let mut send_of = vec![None; n];
-        for channel in graph.channels() {
-            for (r, recv) in schedule
-                .ordered_recvs(graph, channel.id())
-                .into_iter()
-                .enumerate()
-            {
-                rank[recv.index()] = Some(r as u64);
-                if let Some(send) = graph
-                    .preds(recv)
-                    .iter()
-                    .copied()
-                    .find(|&p| graph.op(p).kind().is_send())
-                {
-                    rank[send.index()] = Some(r as u64);
-                }
-            }
-        }
-        for id in graph.op_ids() {
-            if graph.op(id).is_recv() {
-                send_of[id.index()] = graph
-                    .preds(id)
-                    .iter()
-                    .copied()
-                    .find(|&p| graph.op(p).kind().is_send());
-            }
-        }
-
-        let bandwidth_share = opts.bandwidth_share.unwrap_or_else(|| {
-            // Same derivation as the simulator: PS deployments fan every
-            // server out to all workers; peer topologies keep one stream.
-            if graph.channels().iter().all(tictac_graph::Channel::is_peer) {
-                1.0
-            } else {
-                let workers = graph.workers().count();
-                let servers = graph.parameter_servers().count();
-                workers.max(servers).max(1) as f64
-            }
-        });
-
         Self {
             graph,
             schedule,
             opts,
-            oracle: CostOracle::new(opts.platform.clone()),
+            plan,
             started: Instant::now(),
-            bandwidth_share,
             indegree: (0..n)
                 .map(|i| AtomicU32::new(graph.preds(OpId::from_index(i)).len() as u32))
                 .collect(),
             remaining: AtomicUsize::new(n),
             shutdown: AtomicBool::new(false),
-            rank,
-            send_of,
             devices: (0..graph.devices().len())
                 .map(|_| Default::default())
                 .collect(),
@@ -419,7 +523,7 @@ impl<'g> Shared<'g> {
                 let (lock, cv) = &self.channels[ch];
                 {
                     let mut q = lock.lock().expect("channel lock");
-                    match self.rank[op.index()] {
+                    match self.plan.rank[op.index()] {
                         Some(r) => q.ranked.push(Reverse((r, op.index()))),
                         None => {
                             let key = mix(self.opts.shuffle_seed, op.index() as u64);
@@ -467,7 +571,7 @@ impl<'g> Shared<'g> {
         {
             let (lock, _) = &self.channels[ch];
             let mut q = lock.lock().expect("channel lock");
-            match self.rank[send.index()] {
+            match self.plan.rank[send.index()] {
                 Some(r) if self.opts.enforcement && q.counter != r => {
                     q.blocked.insert(r, send.index());
                 }
@@ -579,7 +683,7 @@ impl<'g> Shared<'g> {
                 }
             };
             let start = self.now();
-            let dur = self.scaled(self.oracle.duration(self.graph, op));
+            let dur = self.scaled(self.plan.oracle.duration(self.graph, op));
             if !self.wait_until(self.started + (self.started.elapsed() + dur)) {
                 return; // aborted mid-op; the trace is discarded anyway
             }
@@ -624,7 +728,7 @@ impl<'g> Shared<'g> {
             let wire = self.scaled(
                 self.opts
                     .platform
-                    .transfer_time_shared(bytes, self.bandwidth_share),
+                    .transfer_time_shared(bytes, self.plan.bandwidth_share),
             );
             let start = self.now();
             if !self.wait_until(self.started + (self.started.elapsed() + wire)) {
@@ -638,7 +742,7 @@ impl<'g> Shared<'g> {
                 // as the simulator (and TF's tracer) does. A hand-built
                 // graph may legally feed one send into several recvs; the
                 // send keeps the interval of whichever recv flew first.
-                if let Some(send) = self.send_of[recv.index()] {
+                if let Some(send) = self.plan.send_of[recv.index()] {
                     if !trace.is_recorded(send) {
                         trace.record(send, start, end);
                     }

@@ -4,6 +4,7 @@ use crate::device::{Channel, Device, DeviceKind};
 use crate::error::GraphError;
 use crate::graph::{Graph, ParamInfo};
 use crate::ids::{ChannelId, DeviceId, OpId, ParamId};
+use crate::name::{NameId, NameTable, OpName};
 use crate::op::{Cost, Op, OpKind};
 use std::collections::HashSet;
 
@@ -26,13 +27,32 @@ use std::collections::HashSet;
 /// assert_eq!(graph.len(), 2);
 /// # Ok::<(), tictac_graph::GraphError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GraphBuilder {
     ops: Vec<Op>,
-    preds: Vec<Vec<OpId>>,
+    /// Flat predecessor arena in compressed sparse row form:
+    /// op `i`'s deps are `pred_edges[pred_offsets[i]..pred_offsets[i+1]]`.
+    /// One arena grows across the whole build instead of one `Vec` per op.
+    pred_edges: Vec<OpId>,
+    pred_offsets: Vec<u32>,
     devices: Vec<Device>,
     channels: Vec<Channel>,
     params: Vec<ParamInfo>,
+    names: NameTable,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self {
+            ops: Vec::new(),
+            pred_edges: Vec::new(),
+            pred_offsets: vec![0],
+            devices: Vec::new(),
+            channels: Vec::new(),
+            params: Vec::new(),
+            names: NameTable::new(),
+        }
+    }
 }
 
 impl GraphBuilder {
@@ -43,9 +63,14 @@ impl GraphBuilder {
 
     /// Creates a builder with op capacity pre-allocated.
     pub fn with_capacity(ops: usize) -> Self {
+        let mut pred_offsets = Vec::with_capacity(ops + 1);
+        pred_offsets.push(0);
         Self {
             ops: Vec::with_capacity(ops),
-            preds: Vec::with_capacity(ops),
+            // Most deployment ops carry 1–2 deps; 2× op count is a good
+            // first reservation either way.
+            pred_edges: Vec::with_capacity(ops * 2),
+            pred_offsets,
             ..Self::default()
         }
     }
@@ -106,13 +131,39 @@ impl GraphBuilder {
         self.params[param.index()].ps = Some(ps);
     }
 
-    /// Adds an op and returns its id.
+    /// Interns a string for use in structured [`OpName`]s.
+    pub fn intern(&mut self, s: &str) -> NameId {
+        self.names.intern(s)
+    }
+
+    /// Adds an op with an arbitrary string name and returns its id.
+    ///
+    /// The string is interned as [`OpName::Raw`]; deployment-style hot
+    /// paths should prefer [`add_op_named`](Self::add_op_named), which
+    /// avoids touching strings entirely.
     ///
     /// `deps` are control/data dependencies: the op becomes ready only when
     /// all of them have finished.
     pub fn add_op(
         &mut self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
+        device: DeviceId,
+        kind: OpKind,
+        cost: Cost,
+        deps: &[OpId],
+    ) -> OpId {
+        let name = OpName::Raw(self.names.intern(name.as_ref()));
+        self.add_op_named(name, device, kind, cost, deps)
+    }
+
+    /// Adds an op with a structured, allocation-free name and returns its
+    /// id.
+    ///
+    /// Interned components must come from [`intern`](Self::intern) on this
+    /// builder.
+    pub fn add_op_named(
+        &mut self,
+        name: OpName,
         device: DeviceId,
         kind: OpKind,
         cost: Cost,
@@ -120,28 +171,49 @@ impl GraphBuilder {
     ) -> OpId {
         let id = OpId::from_index(self.ops.len());
         self.ops.push(Op {
-            name: name.into(),
+            name,
             kind,
             device,
             cost,
         });
-        let mut p = deps.to_vec();
-        p.sort_unstable();
-        p.dedup();
-        self.preds.push(p);
+        // Append, then sort + dedup the newly added range in place — no
+        // per-op allocation.
+        let start = self.pred_edges.len();
+        self.pred_edges.extend_from_slice(deps);
+        self.pred_edges[start..].sort_unstable();
+        let mut w = start;
+        for r in start..self.pred_edges.len() {
+            if w == start || self.pred_edges[w - 1] != self.pred_edges[r] {
+                self.pred_edges[w] = self.pred_edges[r];
+                w += 1;
+            }
+        }
+        self.pred_edges.truncate(w);
+        self.pred_offsets.push(self.pred_edges.len() as u32);
         id
     }
 
     /// Adds an extra dependency edge `from -> to` after both ops exist.
     ///
+    /// O(edges) when `to` is not the most recently added op (the edge
+    /// arena is packed); fine for the occasional extra edge, not for bulk
+    /// construction — pass deps to [`add_op`](Self::add_op) instead.
+    ///
     /// # Panics
     ///
     /// Panics if `to` was not created by this builder.
     pub fn add_dep(&mut self, from: OpId, to: OpId) {
-        let preds = &mut self.preds[to.index()];
-        if !preds.contains(&from) {
-            preds.push(from);
-            preds.sort_unstable();
+        let (start, end) = (
+            self.pred_offsets[to.index()] as usize,
+            self.pred_offsets[to.index() + 1] as usize,
+        );
+        if self.pred_edges[start..end].contains(&from) {
+            return;
+        }
+        self.pred_edges.insert(end, from);
+        self.pred_edges[start..=end].sort_unstable();
+        for off in &mut self.pred_offsets[to.index() + 1..] {
+            *off += 1;
         }
     }
 
@@ -181,7 +253,11 @@ impl GraphBuilder {
             }
         }
 
-        // Validate op references and name uniqueness.
+        // Validate op references and name uniqueness. Names are compared
+        // structurally (the interner dedups raw strings, so two identical
+        // string names collide here exactly as before); a raw name that
+        // *renders* like a structured one is not flagged — deployment only
+        // emits structured names and hand-built graphs only raw ones.
         let mut names = HashSet::with_capacity(self.ops.len());
         for (i, op) in self.ops.iter().enumerate() {
             let id = OpId::from_index(i);
@@ -205,32 +281,57 @@ impl GraphBuilder {
                     return Err(GraphError::UnknownParam(p));
                 }
             }
-            for &pr in &self.preds[i] {
+            let (s, e) = (
+                self.pred_offsets[i] as usize,
+                self.pred_offsets[i + 1] as usize,
+            );
+            for &pr in &self.pred_edges[s..e] {
                 if pr.index() >= self.ops.len() {
                     return Err(GraphError::UnknownOp(pr));
                 }
             }
-            if !names.insert(op.name.as_str()) {
-                return Err(GraphError::DuplicateOpName(op.name.clone()));
+            if !names.insert(op.name) {
+                return Err(GraphError::DuplicateOpName(op.name.render(&self.names)));
             }
         }
 
-        // Derive successor lists.
-        let mut succs: Vec<Vec<OpId>> = vec![Vec::new(); self.ops.len()];
-        for (i, preds) in self.preds.iter().enumerate() {
-            for &p in preds {
-                succs[p.index()].push(OpId::from_index(i));
+        // Derive the successor CSR by counting sort: succ lists come out
+        // sorted by successor id, as the per-op pushes used to produce.
+        let n = self.ops.len();
+        let mut succ_offsets = vec![0u32; n + 1];
+        for &p in &self.pred_edges {
+            succ_offsets[p.index() + 1] += 1;
+        }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+        }
+        let mut cursor: Vec<u32> = succ_offsets[..n].to_vec();
+        let mut succ_edges = vec![OpId::from_index(0); self.pred_edges.len()];
+        for i in 0..n {
+            let (s, e) = (
+                self.pred_offsets[i] as usize,
+                self.pred_offsets[i + 1] as usize,
+            );
+            for &p in &self.pred_edges[s..e] {
+                let c = &mut cursor[p.index()];
+                succ_edges[*c as usize] = OpId::from_index(i);
+                *c += 1;
             }
         }
 
         let graph = Graph {
             ops: self.ops,
-            preds: self.preds,
-            succs,
+            pred_edges: self.pred_edges,
+            pred_offsets: self.pred_offsets,
+            succ_edges,
+            succ_offsets,
             devices: self.devices,
             channels: self.channels,
             params: self.params,
+            names: self.names,
+            rendered: std::sync::OnceLock::new(),
             name_index: std::sync::OnceLock::new(),
+            structured_index: std::sync::OnceLock::new(),
         };
 
         // Acyclicity.

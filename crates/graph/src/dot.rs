@@ -31,7 +31,7 @@ pub fn to_dot(graph: &Graph) -> String {
                 out,
                 "    n{} [label=\"{}\", style=filled, fillcolor={}];",
                 id.index(),
-                op.name(),
+                graph.op_name(id),
                 color
             );
         }

@@ -2,6 +2,7 @@
 
 use crate::device::{Channel, Device, Resource};
 use crate::ids::{ChannelId, DeviceId, OpId, ParamId};
+use crate::name::{NameTable, OpName};
 use crate::op::{Op, OpKind};
 use serde::{Deserialize, Serialize};
 
@@ -33,20 +34,35 @@ impl ParamInfo {
 /// An immutable, validated, partitioned computational DAG.
 ///
 /// Construct with [`GraphBuilder`](crate::GraphBuilder). Ops are stored in an
-/// arena indexed by [`OpId`]; dependency edges are stored as predecessor and
-/// successor adjacency lists.
+/// arena indexed by [`OpId`]; dependency edges are stored in compressed
+/// sparse row form — one flat edge arena plus an offset table per
+/// direction — so building and cloning a graph costs a handful of
+/// allocations, not two per op.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Graph {
     pub(crate) ops: Vec<Op>,
-    pub(crate) preds: Vec<Vec<OpId>>,
-    pub(crate) succs: Vec<Vec<OpId>>,
+    /// Predecessors of op `i`: `pred_edges[pred_offsets[i]..pred_offsets[i+1]]`.
+    pub(crate) pred_edges: Vec<OpId>,
+    pub(crate) pred_offsets: Vec<u32>,
+    /// Successors of op `i`: `succ_edges[succ_offsets[i]..succ_offsets[i+1]]`.
+    pub(crate) succ_edges: Vec<OpId>,
+    pub(crate) succ_offsets: Vec<u32>,
     pub(crate) devices: Vec<Device>,
     pub(crate) channels: Vec<Channel>,
     pub(crate) params: Vec<ParamInfo>,
+    /// Interned strings referenced by the ops' [`OpName`]s.
+    pub(crate) names: NameTable,
+    /// Lazily-rendered display names, one per op (see [`Graph::op_name`]).
+    #[serde(skip)]
+    pub(crate) rendered: std::sync::OnceLock<Vec<String>>,
     /// Lazily-built name → id index backing [`Graph::find_op`]. Skipped by
     /// serde (and reset by `Default` on deserialize); rebuilt on first use.
     #[serde(skip)]
     pub(crate) name_index: std::sync::OnceLock<std::collections::HashMap<String, OpId>>,
+    /// Lazily-built structured-name → id index backing
+    /// [`Graph::find_op_structured`].
+    #[serde(skip)]
+    pub(crate) structured_index: std::sync::OnceLock<std::collections::HashMap<OpName, OpId>>,
 }
 
 impl Graph {
@@ -84,17 +100,19 @@ impl Graph {
 
     /// Direct predecessors (dependencies) of `id`.
     pub fn preds(&self, id: OpId) -> &[OpId] {
-        &self.preds[id.index()]
+        let i = id.index();
+        &self.pred_edges[self.pred_offsets[i] as usize..self.pred_offsets[i + 1] as usize]
     }
 
     /// Direct successors (dependents) of `id`.
     pub fn succs(&self, id: OpId) -> &[OpId] {
-        &self.succs[id.index()]
+        let i = id.index();
+        &self.succ_edges[self.succ_offsets[i] as usize..self.succ_offsets[i + 1] as usize]
     }
 
     /// Total number of dependency edges.
     pub fn edge_count(&self) -> usize {
-        self.preds.iter().map(Vec::len).sum()
+        self.pred_edges.len()
     }
 
     /// Ops with no predecessors.
@@ -208,7 +226,35 @@ impl Graph {
             .collect()
     }
 
-    /// Looks up an op by name.
+    /// The interned-string table behind the ops' [`OpName`]s.
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// Rendered display names for every op, in id order.
+    ///
+    /// Built lazily on first use: deployment stores only compact
+    /// [`OpName`]s, so graphs that are simulated or scheduled but never
+    /// printed pay nothing for their names.
+    pub fn rendered_names(&self) -> &[String] {
+        self.rendered.get_or_init(|| {
+            self.ops
+                .iter()
+                .map(|op| op.name.render(&self.names))
+                .collect()
+        })
+    }
+
+    /// The rendered display name of an op (e.g. `"ps0/send/fc/weights/w1"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn op_name(&self, id: OpId) -> &str {
+        &self.rendered_names()[id.index()]
+    }
+
+    /// Looks up an op by rendered name.
     ///
     /// O(1) after the first call: the index over all op names is built
     /// lazily and cached. Duplicate names resolve to the earliest op, like
@@ -217,12 +263,30 @@ impl Graph {
         self.name_index
             .get_or_init(|| {
                 let mut index = std::collections::HashMap::with_capacity(self.ops.len());
-                for (id, op) in self.ops() {
-                    index.entry(op.name().to_string()).or_insert(id);
+                for (i, rendered) in self.rendered_names().iter().enumerate() {
+                    index.entry(rendered.clone()).or_insert(OpId::from_index(i));
                 }
                 index
             })
             .get(name)
+            .copied()
+    }
+
+    /// Looks up an op by structured name, without rendering any strings.
+    ///
+    /// Interned components ([`NameId`](crate::NameId)s) must come from this
+    /// graph's own [`NameTable`] (see [`Graph::names`]). Duplicate names
+    /// resolve to the earliest op, like [`Graph::find_op`].
+    pub fn find_op_structured(&self, name: OpName) -> Option<OpId> {
+        self.structured_index
+            .get_or_init(|| {
+                let mut index = std::collections::HashMap::with_capacity(self.ops.len());
+                for (id, op) in self.ops() {
+                    index.entry(op.name).or_insert(id);
+                }
+                index
+            })
+            .get(&name)
             .copied()
     }
 

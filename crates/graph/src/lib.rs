@@ -55,6 +55,7 @@ mod error;
 mod graph;
 mod ids;
 mod model;
+mod name;
 mod op;
 pub mod topo;
 
@@ -67,4 +68,5 @@ pub use ids::{ChannelId, DeviceId, ModelOpId, OpId, ParamId};
 pub use model::{
     ModelGraph, ModelGraphBuilder, ModelOp, ModelOpKind, ModelStats, ParamSpec, TensorShape,
 };
+pub use name::{NameId, NameTable, OpName, RingStage};
 pub use op::{Cost, Op, OpKind};

@@ -245,6 +245,52 @@ impl ModelGraph {
         }
     }
 
+    /// A stable structural fingerprint of the model (FNV-1a over every
+    /// field that affects deployment).
+    ///
+    /// Two models with the same fingerprint lower to identical deployed
+    /// graphs for any given cluster spec; `tictac-core`'s `DeployCache`
+    /// uses this as its model key. Stable within a process run — not a
+    /// cross-version serialization format.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&(self.batch_size as u64).to_le_bytes());
+        eat(&(self.params.len() as u64).to_le_bytes());
+        for p in &self.params {
+            eat(p.name.as_bytes());
+            eat(&[0, p.dtype_bytes]);
+            for &d in p.shape.dims() {
+                eat(&(d as u64).to_le_bytes());
+            }
+        }
+        eat(&(self.ops.len() as u64).to_le_bytes());
+        for op in &self.ops {
+            eat(op.name.as_bytes());
+            eat(&[0, op.kind as u8]);
+            eat(&op.flops.to_bits().to_le_bytes());
+            for d in &op.preds {
+                eat(&(d.index() as u64).to_le_bytes());
+            }
+            for p in &op.reads_params {
+                eat(&(p.index() as u64).to_le_bytes());
+            }
+            eat(&[1]);
+            for p in &op.produces_grads {
+                eat(&(p.index() as u64).to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Returns a copy with every op's flops scaled by `factor`.
     ///
     /// Used for the batch-size scaling experiment (Fig. 10): compute cost is
@@ -436,6 +482,18 @@ mod tests {
         let mut b = ModelGraphBuilder::new("bad", 1);
         let bogus = ModelOpId::from_index(7);
         b.add_op("x", ModelOpKind::Forward, 1.0, &[bogus], &[], &[]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let m = tiny_training_model();
+        assert_eq!(m.fingerprint(), tiny_training_model().fingerprint());
+        // Any deployment-relevant change moves the fingerprint.
+        assert_ne!(m.fingerprint(), m.scale_compute(2.0).fingerprint());
+        let mut renamed = ModelGraphBuilder::new("tiny2", 8);
+        let w = renamed.add_param("l1/w", vec![16, 32]);
+        renamed.add_op("l1", ModelOpKind::Forward, 100.0, &[], &[w], &[]);
+        assert_ne!(m.fingerprint(), renamed.build().fingerprint());
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Compact structured op names.
+//!
+//! Deployment used to mint one heap `String` per op
+//! (`format!("ps{shard}/send/{param}/w{w}")`, …) — on inception/resnet-class
+//! models that is tens of thousands of allocations on the deploy hot path,
+//! and `BENCH_results.json` showed deployment as the slowest phase after the
+//! scheduler fast paths landed. An [`OpName`] is a 16-byte `Copy` value
+//! instead: a role tag plus small integer fields, with model-level strings
+//! (parameter and layer names) deduplicated through a [`NameTable`]
+//! interner. Rendering to the legacy string happens lazily — and
+//! **byte-identically**, so the golden trace fingerprints and the pinned
+//! Perfetto snapshot do not move — only when something actually asks for a
+//! display name ([`Graph::op_name`](crate::Graph::op_name)).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Index of an interned string in a [`NameTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The raw table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A deduplicating string interner.
+///
+/// Every distinct string is stored once; [`OpName`]s refer to it by
+/// [`NameId`]. Interning the same string twice returns the same id, which
+/// is what lets [`GraphBuilder`](crate::GraphBuilder) keep detecting
+/// duplicate raw op names by comparing `OpName`s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NameTable {
+    strings: Vec<String>,
+    index: HashMap<String, NameId>,
+}
+
+impl NameTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id (existing id if already present).
+    pub fn intern(&mut self, s: &str) -> NameId {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = NameId(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    /// The string behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this table.
+    pub fn get(&self, id: NameId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn lookup(&self, s: &str) -> Option<NameId> {
+        self.index.get(s).copied()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// Phase of a ring all-reduce step (`tictac-cluster`'s collective
+/// lowering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RingStage {
+    /// Reduce-scatter send.
+    RsSend,
+    /// Reduce-scatter receive.
+    RsRecv,
+    /// Reduce-scatter local fold.
+    RsReduce,
+    /// All-gather send.
+    AgSend,
+    /// All-gather receive.
+    AgRecv,
+}
+
+/// A compact structured op name.
+///
+/// The `Ps*`/`Worker*` variants cover every op the MR+PS lowering emits
+/// (paper §2.2); [`OpName::Ring`] covers the all-reduce lowering; and
+/// [`OpName::Raw`] holds arbitrary interned strings for hand-built graphs.
+/// [`OpName::render`] reproduces the historical `format!` strings byte for
+/// byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpName {
+    /// An arbitrary interned name (hand-built graphs, tests).
+    Raw(NameId),
+    /// `ps{shard}/read/{param}`
+    PsRead {
+        /// PS shard index.
+        shard: u32,
+        /// Interned parameter name.
+        param: NameId,
+    },
+    /// `ps{shard}/send/{param}/w{worker}`
+    PsSend {
+        /// PS shard index.
+        shard: u32,
+        /// Interned parameter name.
+        param: NameId,
+        /// Destination worker index.
+        worker: u32,
+    },
+    /// `w{worker}/recv/{param}`
+    WorkerRecv {
+        /// Worker index.
+        worker: u32,
+        /// Interned parameter name.
+        param: NameId,
+    },
+    /// `w{worker}/{op}` — a replica compute op.
+    WorkerOp {
+        /// Worker index.
+        worker: u32,
+        /// Interned model-op name.
+        op: NameId,
+    },
+    /// `w{worker}/send_grad/{param}`
+    WorkerSendGrad {
+        /// Worker index.
+        worker: u32,
+        /// Interned parameter name.
+        param: NameId,
+    },
+    /// `ps{shard}/recv_grad/{param}/w{worker}`
+    PsRecvGrad {
+        /// PS shard index.
+        shard: u32,
+        /// Interned parameter name.
+        param: NameId,
+        /// Source worker index.
+        worker: u32,
+    },
+    /// `ps{shard}/aggregate/{param}`
+    PsAggregate {
+        /// PS shard index.
+        shard: u32,
+        /// Interned parameter name.
+        param: NameId,
+    },
+    /// `ps{shard}/update/{param}`
+    PsUpdate {
+        /// PS shard index.
+        shard: u32,
+        /// Interned parameter name.
+        param: NameId,
+    },
+    /// `w{worker}/b{bucket}/<rs|ag>{step}/<send|recv|reduce>/chunk{chunk}`
+    Ring {
+        /// Worker index (destination worker for recv/reduce stages).
+        worker: u16,
+        /// Gradient bucket index.
+        bucket: u16,
+        /// Ring step within the phase.
+        step: u16,
+        /// Sub-chunk index.
+        chunk: u16,
+        /// Which phase/role of the ring step this op is.
+        stage: RingStage,
+    },
+}
+
+impl OpName {
+    /// Renders the legacy string form into `out` (byte-identical to the
+    /// historical `format!` calls).
+    pub fn render_into(&self, table: &NameTable, out: &mut String) {
+        match *self {
+            OpName::Raw(id) => out.push_str(table.get(id)),
+            OpName::PsRead { shard, param } => {
+                let _ = write!(out, "ps{shard}/read/{}", table.get(param));
+            }
+            OpName::PsSend {
+                shard,
+                param,
+                worker,
+            } => {
+                let _ = write!(out, "ps{shard}/send/{}/w{worker}", table.get(param));
+            }
+            OpName::WorkerRecv { worker, param } => {
+                let _ = write!(out, "w{worker}/recv/{}", table.get(param));
+            }
+            OpName::WorkerOp { worker, op } => {
+                let _ = write!(out, "w{worker}/{}", table.get(op));
+            }
+            OpName::WorkerSendGrad { worker, param } => {
+                let _ = write!(out, "w{worker}/send_grad/{}", table.get(param));
+            }
+            OpName::PsRecvGrad {
+                shard,
+                param,
+                worker,
+            } => {
+                let _ = write!(out, "ps{shard}/recv_grad/{}/w{worker}", table.get(param));
+            }
+            OpName::PsAggregate { shard, param } => {
+                let _ = write!(out, "ps{shard}/aggregate/{}", table.get(param));
+            }
+            OpName::PsUpdate { shard, param } => {
+                let _ = write!(out, "ps{shard}/update/{}", table.get(param));
+            }
+            OpName::Ring {
+                worker,
+                bucket,
+                step,
+                chunk,
+                stage,
+            } => {
+                let (phase, role) = match stage {
+                    RingStage::RsSend => ("rs", "send"),
+                    RingStage::RsRecv => ("rs", "recv"),
+                    RingStage::RsReduce => ("rs", "reduce"),
+                    RingStage::AgSend => ("ag", "send"),
+                    RingStage::AgRecv => ("ag", "recv"),
+                };
+                let _ = write!(out, "w{worker}/b{bucket}/{phase}{step}/{role}/chunk{chunk}");
+            }
+        }
+    }
+
+    /// Renders the legacy string form.
+    pub fn render(&self, table: &NameTable) -> String {
+        let mut out = String::new();
+        self.render_into(table, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_dedups_and_round_trips() {
+        let mut t = NameTable::new();
+        let a = t.intern("conv1/weights");
+        let b = t.intern("conv1/bias");
+        let a2 = t.intern("conv1/weights");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.get(a), "conv1/weights");
+        assert_eq!(t.lookup("conv1/bias"), Some(b));
+        assert_eq!(t.lookup("missing"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn renders_match_the_legacy_format_strings() {
+        let mut t = NameTable::new();
+        let p = t.intern("fc/weights");
+        let o = t.intern("conv2d_1a");
+        let cases = [
+            (OpName::Raw(p), "fc/weights".to_string()),
+            (
+                OpName::PsRead { shard: 2, param: p },
+                format!("ps{}/read/{}", 2, "fc/weights"),
+            ),
+            (
+                OpName::PsSend {
+                    shard: 0,
+                    param: p,
+                    worker: 3,
+                },
+                format!("ps{}/send/{}/w{}", 0, "fc/weights", 3),
+            ),
+            (
+                OpName::WorkerRecv {
+                    worker: 1,
+                    param: p,
+                },
+                format!("w{}/recv/{}", 1, "fc/weights"),
+            ),
+            (
+                OpName::WorkerOp { worker: 7, op: o },
+                format!("w{}/{}", 7, "conv2d_1a"),
+            ),
+            (
+                OpName::WorkerSendGrad {
+                    worker: 0,
+                    param: p,
+                },
+                format!("w{}/send_grad/{}", 0, "fc/weights"),
+            ),
+            (
+                OpName::PsRecvGrad {
+                    shard: 1,
+                    param: p,
+                    worker: 2,
+                },
+                format!("ps{}/recv_grad/{}/w{}", 1, "fc/weights", 2),
+            ),
+            (
+                OpName::PsAggregate { shard: 4, param: p },
+                format!("ps{}/aggregate/{}", 4, "fc/weights"),
+            ),
+            (
+                OpName::PsUpdate { shard: 4, param: p },
+                format!("ps{}/update/{}", 4, "fc/weights"),
+            ),
+        ];
+        for (name, expected) in cases {
+            assert_eq!(name.render(&t), expected);
+        }
+    }
+
+    #[test]
+    fn ring_renders_every_stage() {
+        let t = NameTable::new();
+        let ring = |stage| OpName::Ring {
+            worker: 3,
+            bucket: 1,
+            step: 2,
+            chunk: 0,
+            stage,
+        };
+        assert_eq!(ring(RingStage::RsSend).render(&t), "w3/b1/rs2/send/chunk0");
+        assert_eq!(ring(RingStage::RsRecv).render(&t), "w3/b1/rs2/recv/chunk0");
+        assert_eq!(
+            ring(RingStage::RsReduce).render(&t),
+            "w3/b1/rs2/reduce/chunk0"
+        );
+        assert_eq!(ring(RingStage::AgSend).render(&t), "w3/b1/ag2/send/chunk0");
+        assert_eq!(ring(RingStage::AgRecv).render(&t), "w3/b1/ag2/recv/chunk0");
+    }
+
+    #[test]
+    fn op_name_is_small() {
+        assert!(std::mem::size_of::<OpName>() <= 16);
+    }
+}

@@ -1,6 +1,7 @@
 //! Operations: the vertices of the partitioned computational graph.
 
 use crate::ids::{ChannelId, ParamId};
+use crate::name::OpName;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -153,18 +154,24 @@ impl Cost {
 }
 
 /// A vertex of the partitioned graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Ops carry a compact [`OpName`] rather than a `String`; the rendered
+/// display name lives in the owning graph
+/// ([`Graph::op_name`](crate::Graph::op_name)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Op {
-    pub(crate) name: String,
+    pub(crate) name: OpName,
     pub(crate) kind: OpKind,
     pub(crate) device: crate::ids::DeviceId,
     pub(crate) cost: Cost,
 }
 
 impl Op {
-    /// The op's unique (within its graph) name.
-    pub fn name(&self) -> &str {
-        &self.name
+    /// The op's structured name. Render it through the owning graph's
+    /// [`NameTable`](crate::NameTable), or use
+    /// [`Graph::op_name`](crate::Graph::op_name) for the cached string.
+    pub fn op_name(&self) -> OpName {
+        self.name
     }
 
     /// The op's kind.
@@ -185,12 +192,6 @@ impl Op {
     /// Whether this op is a `recv`.
     pub fn is_recv(&self) -> bool {
         self.kind.is_recv()
-    }
-}
-
-impl fmt::Display for Op {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]", self.name, self.kind)
     }
 }
 

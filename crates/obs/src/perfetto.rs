@@ -123,7 +123,7 @@ pub fn perfetto_json(graph: &Graph, trace: &ExecutionTrace, label: &str) -> Stri
         push(
             format!(
                 "{{\"ph\":\"X\",\"name\":{},\"cat\":\"{cat}\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}",
-                quote(op.name()),
+                quote(graph.op_name(id)),
                 us(rec.start),
                 us(SimTime::from_nanos(rec.duration().as_nanos())),
             ),

@@ -18,7 +18,7 @@ fn tic_covers_every_recv_on_every_model() {
             assert!(
                 schedule.priority(recv).is_some(),
                 "{model}: {} unprioritized",
-                g.op(recv).name()
+                g.op_name(recv)
             );
         }
         // And nothing outside worker 0 is prioritized.
@@ -61,7 +61,7 @@ fn tac_schedules_stem_parameters_first() {
         let deployed = deploy(&graph, &ClusterSpec::new(1, 1)).expect("valid cluster");
         let g = deployed.graph();
         let order = tac_order(g, deployed.workers()[0], &oracle);
-        let first = g.op(order[0]).name();
+        let first = g.op_name(order[0]);
         assert!(
             first.ends_with(stem),
             "{model}: first transfer {first}, expected *{stem}"

@@ -206,7 +206,7 @@ impl ExecutionTrace {
                 let _ = writeln!(
                     out,
                     "{}\t{}\t{}",
-                    graph.op(OpId::from_index(i)).name(),
+                    graph.op_name(OpId::from_index(i)),
                     r.start.as_nanos(),
                     r.end.as_nanos()
                 );
@@ -252,7 +252,7 @@ impl ExecutionTrace {
             let _ = write!(
                 out,
                 "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
-                escape(op.name()),
+                escape(graph.op_name(id)),
                 cat,
                 r.start.as_nanos() / 1_000,
                 ((r.end - r.start).as_nanos() / 1_000).max(1),

@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<4} {:<42} {:>10} {:>10} {:>10}",
             rank,
-            g.op(recv).name(),
+            g.op_name(recv),
             props.recv_time(&partition, bit).to_string(),
             props.p(bit).to_string(),
             props

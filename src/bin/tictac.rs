@@ -149,7 +149,7 @@ fn schedule(args: &[String], flags: &HashMap<String, String>) {
         order.len()
     );
     for (rank, op) in order.iter().take(top).enumerate() {
-        println!("{rank:>4}  {}", g.op(*op).name());
+        println!("{rank:>4}  {}", g.op_name(*op));
     }
 }
 

@@ -60,9 +60,9 @@ fn assert_dag_order(session: &Session) {
             assert!(
                 p.end <= rec.start,
                 "{:?} started at {:?} before its input {:?} ended at {:?}",
-                graph.op(op).name(),
+                graph.op_name(op),
                 rec.start,
-                graph.op(pred).name(),
+                graph.op_name(pred),
                 p.end,
             );
         }

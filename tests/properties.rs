@@ -196,9 +196,9 @@ proptest! {
                 prop_assert!(
                     pred_end <= start,
                     "{} starts at {:?} before pred {} ends at {:?}",
-                    g.graph.op(id).name(),
+                    g.graph.op_name(id),
                     start,
-                    g.graph.op(p).name(),
+                    g.graph.op_name(p),
                     pred_end
                 );
             }
