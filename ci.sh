@@ -46,6 +46,17 @@ echo "== threaded backend smoke =="
 TICTAC_THREADS=2 ./target/release/repro --exp exec --quick --out target/ci-results
 grep -q "priority inversions under enforced TAC (threaded): 0" target/ci-results/exec.txt
 
+echo "== chaos smoke =="
+# Seeded fault injection on the threaded backend (DESIGN.md §11): the
+# quick chaos sweep must recover from the reference fault spec with zero
+# priority inversions under enforced TAC, inside a hard timeout so a
+# wedged supervisor fails the gate instead of hanging it. The exported
+# fault-event trace is the CI artifact for post-mortems.
+TICTAC_THREADS=2 timeout 600 ./target/release/repro --exp faults --backend threaded --quick --out target/ci-results
+grep -q "priority inversions under enforced TAC with faults (threaded): 0" target/ci-results/chaos.txt
+./target/release/repro --export-chaos-trace target/chaos_trace_smoke.json
+./target/release/repro --validate-trace target/chaos_trace_smoke.json
+
 echo "== trace export =="
 # Export one TAC AlexNet iteration and re-validate it from disk; the
 # validator requires at least one slice in every device/channel lane.

@@ -8,7 +8,10 @@
 //! repro --exp fig12 --quick       # trimmed run counts for smoke tests
 //! repro --list                    # list experiment names
 //! repro --out results/            # also write one report file per experiment
+//! repro --backend threaded        # wall-clock variant of an experiment
+//!                                 # (e.g. --exp faults lands chaos.txt)
 //! repro --export-trace out.json   # write a Perfetto trace of one iteration
+//! repro --export-chaos-trace out.json # same, with injected faults
 //! repro --validate-trace out.json # parse + sanity-check an exported trace
 //! ```
 
@@ -17,6 +20,7 @@ use std::path::PathBuf;
 use tictac_bench::experiments;
 use tictac_core::{
     validate_perfetto, ClusterSpec, Mode, Model, Registry, SchedulerKind, Session, SimConfig,
+    ThreadedBackend,
 };
 
 /// Exports one TAC-scheduled AlexNet iteration (2 workers, 1 PS, seed 0)
@@ -39,6 +43,50 @@ fn export_trace(path: &PathBuf) {
         stats.slices,
         stats.instants,
         stats.flow_starts + stats.flow_ends,
+    );
+}
+
+/// Exports one TAC-scheduled AlexNet iteration run on the *threaded*
+/// backend under the chaos reference fault spec (fixed seed), so the
+/// fault instants — drops, retransmits, blackout/crash windows — land in
+/// the wall-clock Perfetto lanes. CI uploads this as its chaos artifact.
+fn export_chaos_trace(path: &PathBuf) {
+    let clean = Session::builder(Model::AlexNetV2.build_with_batch(Mode::Training, 2))
+        .cluster(ClusterSpec::new(2, 1))
+        .config(SimConfig::cloud_gpu())
+        .scheduler(SchedulerKind::Tac)
+        .warmup(0)
+        .iterations(1)
+        .build()
+        .expect("zoo model deploys")
+        .run()
+        .mean_makespan();
+    let config = SimConfig::cloud_gpu()
+        .with_seed(experiments::CHAOS_SEED)
+        .with_faults(experiments::reference_spec(clean));
+    let session = Session::builder(Model::AlexNetV2.build_with_batch(Mode::Training, 2))
+        .cluster(ClusterSpec::new(2, 1))
+        .config(config.clone())
+        .scheduler(SchedulerKind::Tac)
+        .backend(
+            ThreadedBackend::from_config(&config)
+                .expect("chaos config is threaded-supported")
+                .with_watchdog(std::time::Duration::from_secs(120)),
+        )
+        .observe(Registry::enabled())
+        .build()
+        .expect("zoo model deploys");
+    let json = session.perfetto_json(0).expect("faulty iteration recovers");
+    std::fs::write(path, &json).expect("write trace file");
+    let stats = validate_perfetto(&json).expect("exporter emits valid trace JSON");
+    eprintln!(
+        "wrote {} ({} events: {} slices, {} instants, {} fault instants: {:?})",
+        path.display(),
+        stats.events,
+        stats.slices,
+        stats.instants,
+        stats.fault_names.len(),
+        stats.fault_names,
     );
 }
 
@@ -88,6 +136,7 @@ fn main() {
     let mut exp: Vec<String> = Vec::new();
     let mut quick = false;
     let mut out_dir: Option<PathBuf> = None;
+    let mut threaded = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -97,6 +146,16 @@ fn main() {
                 exp.extend(value.split(',').map(str::to_string));
             }
             "--quick" => quick = true,
+            "--backend" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--backend needs `sim` or `threaded`"));
+                threaded = match value.as_str() {
+                    "sim" => false,
+                    "threaded" => true,
+                    other => usage(&format!("unknown backend `{other}` (sim|threaded)")),
+                };
+            }
             "--out" => {
                 let value = args.next().unwrap_or_else(|| usage("--out needs a value"));
                 out_dir = Some(PathBuf::from(value));
@@ -106,6 +165,13 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("--export-trace needs a file path"));
                 export_trace(&PathBuf::from(value));
+                return;
+            }
+            "--export-chaos-trace" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--export-chaos-trace needs a file path"));
+                export_chaos_trace(&PathBuf::from(value));
                 return;
             }
             "--validate-trace" => {
@@ -142,22 +208,40 @@ fn main() {
     }
 
     for name in selected {
-        let Some(runner) = experiments::find(name) else {
-            usage(&format!("unknown experiment `{name}` (see --list)"));
+        // `--backend threaded` swaps in an experiment's wall-clock
+        // variant; the report then lands under the variant's own name
+        // (e.g. `faults` → `chaos.txt`).
+        let (label, runner) = if threaded {
+            let Some((label, runner)) = experiments::find_threaded(name) else {
+                usage(&format!(
+                    "experiment `{name}` has no threaded-backend variant (have: {})",
+                    experiments::THREADED_VARIANTS
+                        .iter()
+                        .map(|(n, _, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            };
+            (label, runner)
+        } else {
+            let Some(runner) = experiments::find(name) else {
+                usage(&format!("unknown experiment `{name}` (see --list)"));
+            };
+            (name, runner)
         };
         eprintln!(
-            "== running {name}{} ==",
+            "== running {label}{} ==",
             if quick { " (quick)" } else { "" }
         );
         let started = std::time::Instant::now();
         let report = runner(quick);
         eprintln!(
-            "== {name} done in {:.1}s ==",
+            "== {label} done in {:.1}s ==",
             started.elapsed().as_secs_f64()
         );
         println!("{report}");
         if let Some(dir) = &out_dir {
-            let path = dir.join(format!("{name}.txt"));
+            let path = dir.join(format!("{label}.txt"));
             let mut f = std::fs::File::create(&path).expect("create report file");
             f.write_all(report.as_bytes()).expect("write report");
             eprintln!("wrote {}", path.display());
@@ -170,8 +254,9 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro --exp <name|all>[,name...] [--quick] [--out DIR] [--list]\n\
+        "usage: repro --exp <name|all>[,name...] [--quick] [--backend sim|threaded] [--out DIR] [--list]\n\
          \x20      repro --export-trace FILE.json   (Perfetto trace of one TAC AlexNet iteration)\n\
+         \x20      repro --export-chaos-trace FILE.json (same, threaded backend with injected faults)\n\
          \x20      repro --validate-trace FILE.json (parse + sanity-check an exported trace)\n\
          experiments: {}",
         experiments::ALL

@@ -42,7 +42,9 @@ fn session(
         .iterations(iterations);
     let builder = if threaded {
         builder.backend(
-            ThreadedBackend::from_config(config).with_watchdog(std::time::Duration::from_secs(120)),
+            ThreadedBackend::from_config(config)
+                .expect("bench configs are threaded-supported")
+                .with_watchdog(std::time::Duration::from_secs(120)),
         )
     } else {
         builder

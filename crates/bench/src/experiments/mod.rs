@@ -2,6 +2,7 @@
 
 mod ablations;
 mod allreduce;
+mod chaos;
 mod exec;
 mod faults;
 mod fig07;
@@ -18,6 +19,8 @@ mod spread;
 mod table1;
 
 use tictac_core::{Mode, Model};
+
+pub use chaos::{reference_spec, CHAOS_SEED};
 
 /// An experiment entry point: takes a `quick` flag that trims run counts
 /// for smoke testing and returns the rendered report.
@@ -41,13 +44,29 @@ pub const ALL: &[(&str, Runner)] = &[
     ("ablation-enforcement", ablations::enforcement),
     ("ablation-sharding", ablations::sharding),
     ("faults", faults::run),
+    ("chaos", chaos::run),
     ("observe", observe::run),
     ("exec", exec::run),
 ];
 
+/// Experiments with a wall-clock (threaded-backend) variant, selected by
+/// `repro --backend threaded`: `(sim_name, wall_name, runner)`. The
+/// variant is a distinct experiment — `faults` moves the whole fault
+/// model onto real OS threads and becomes the `chaos` report.
+pub const THREADED_VARIANTS: &[(&str, &str, Runner)] = &[("faults", "chaos", chaos::run)];
+
 /// Looks up an experiment runner by name.
 pub fn find(name: &str) -> Option<Runner> {
     ALL.iter().find(|(n, _)| *n == name).map(|(_, f)| *f)
+}
+
+/// Looks up the threaded-backend variant of an experiment, returning the
+/// report name it lands under and its runner.
+pub fn find_threaded(name: &str) -> Option<(&'static str, Runner)> {
+    THREADED_VARIANTS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, out, f)| (*out, *f))
 }
 
 /// The nine models shown in Figures 7, 9 and 10 of the paper (all of
@@ -101,7 +120,14 @@ mod tests {
             assert!(find(name).is_some(), "{name} missing");
         }
         assert!(find("nope").is_none());
-        assert_eq!(ALL.len(), 18);
+        assert_eq!(ALL.len(), 19);
+    }
+
+    #[test]
+    fn threaded_variants_resolve() {
+        let (out, _) = find_threaded("faults").expect("faults has a wall-clock variant");
+        assert_eq!(out, "chaos");
+        assert!(find_threaded("fig7").is_none());
     }
 
     #[test]

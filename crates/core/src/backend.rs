@@ -22,11 +22,13 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use tictac_cluster::DeployedModel;
-use tictac_exec::{run_iteration_with_plan, ExecOptions, ExecPlan, RuntimeError};
+use tictac_exec::{
+    run_iteration_injected, run_iteration_with_plan, ExecOptions, ExecPlan, FaultPlan, RuntimeError,
+};
 use tictac_obs::Registry;
 use tictac_sched::Schedule;
-use tictac_sim::{try_simulate_observed, SimConfig, SimError};
-use tictac_trace::ExecutionTrace;
+use tictac_sim::{try_simulate_observed, FaultSpec, SimConfig, SimError};
+use tictac_trace::{ExecutionTrace, FaultCounters};
 
 /// The clock domain a backend's trace timestamps live in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,14 +158,23 @@ impl ExecutionBackend for SimBackend {
 /// The multi-threaded runtime backend: OS threads, prioritized channel
 /// queues with sender-side enforcement, wall-clock timestamps.
 ///
-/// Faults, noise and reorder errors configured on the session's
-/// [`SimConfig`] do not apply here — a threaded run's variance is
-/// physical. Schedules (including TAC's profiled one) are identical
-/// across backends, so sim and threaded runs of one session are directly
-/// comparable.
+/// Seeded faults configured on the session's [`SimConfig`] *do* apply
+/// here: the same [`FaultPlan`] the simulator samples for `(seed,
+/// iteration)` is injected on the wall clock (timer-driven retransmits,
+/// real thread kills and respawns). Modeled noise and reorder errors do
+/// not — a threaded run's variance is physical — and
+/// [`ThreadedBackend::from_config`] rejects settings it cannot honor
+/// rather than silently dropping them. Schedules (including TAC's
+/// profiled one) are identical across backends, so sim and threaded runs
+/// of one session are directly comparable.
 #[derive(Debug)]
 pub struct ThreadedBackend {
     opts: ExecOptions,
+    /// Fault model sampled per iteration ([`FaultSpec::none`] = quiet).
+    faults: FaultSpec,
+    /// Base seed of the per-iteration fault plans (the simulator's
+    /// `SimConfig::seed`, so both backends draw identical plans).
+    fault_seed: u64,
     /// Single-entry [`ExecPlan`] cache keyed by [`ExecPlan::key`]: a
     /// session runs many iterations of one `(graph, schedule)` pair, so
     /// the schedule-derived setup (per-channel rank sort, send pairing,
@@ -177,6 +188,8 @@ impl Clone for ThreadedBackend {
     fn clone(&self) -> Self {
         Self {
             opts: self.opts.clone(),
+            faults: self.faults.clone(),
+            fault_seed: self.fault_seed,
             plan: Mutex::new(None),
         }
     }
@@ -184,27 +197,84 @@ impl Clone for ThreadedBackend {
 
 impl ThreadedBackend {
     /// A threaded backend with default options (cloud-GPU platform,
-    /// enforcement on, 1:1 time scale, 30 s watchdog).
+    /// enforcement on, 1:1 time scale, 30 s watchdog, no faults).
     pub fn new() -> Self {
         Self {
             opts: ExecOptions::default(),
+            faults: FaultSpec::none(),
+            fault_seed: tictac_sim::DEFAULT_SEED,
             plan: Mutex::new(None),
         }
     }
 
-    /// A threaded backend on the same platform as `config`, so its
-    /// busy-loops replay the durations the simulator models. A
-    /// [`SimConfig::bandwidth_share_override`] carries over too, so both
-    /// backends model identical wire times for one session.
-    pub fn from_config(config: &SimConfig) -> Self {
-        let mut opts = ExecOptions::new(config.platform.clone());
+    /// A threaded backend honoring `config`: same platform (so the
+    /// busy-loops replay the durations the simulator models), same
+    /// bandwidth-share override, same enforcement flag, and the same
+    /// fault spec + seed (so both backends sample identical
+    /// [`FaultPlan`]s per iteration).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnsupportedConfig`] for knobs the wall clock
+    /// cannot honor, instead of silently ignoring them:
+    ///
+    /// * `reorder_error > 0.01` — the runtime does not inject artificial
+    ///   reorders; rates up to the paper's measured gRPC level (§5.1) are
+    ///   adequately represented by physical hand-off jitter, larger ones
+    ///   are not.
+    /// * heavy [`NoiseModel`]s (`sigma > 0.1` or worker-slowdown
+    ///   probability above 5%) — modeled noise cannot be replayed by
+    ///   calibrated busy-loops; the presets' mild noise is subsumed by
+    ///   physical jitter.
+    ///
+    /// [`NoiseModel`]: tictac_timing::NoiseModel
+    pub fn from_config(config: &SimConfig) -> Result<Self, RuntimeError> {
+        if config.reorder_error > 0.01 {
+            return Err(RuntimeError::UnsupportedConfig {
+                knob: "reorder_error",
+                reason: format!(
+                    "injected reorder rate {} exceeds what physical hand-off jitter \
+                     reproduces (max 0.01)",
+                    config.reorder_error
+                ),
+            });
+        }
+        if config.noise.sigma() > 0.1 || config.noise.slowdown_prob() > 0.05 {
+            return Err(RuntimeError::UnsupportedConfig {
+                knob: "noise",
+                reason: format!(
+                    "modeled noise (sigma {}, slowdown prob {}) is too heavy to be \
+                     replayed by wall-clock busy-loops",
+                    config.noise.sigma(),
+                    config.noise.slowdown_prob()
+                ),
+            });
+        }
+        let mut opts =
+            ExecOptions::new(config.platform.clone()).with_enforcement(config.enforcement);
         if let Some(share) = config.bandwidth_share_override {
             opts = opts.with_bandwidth_share(share);
         }
-        Self {
+        Ok(Self {
             opts,
+            faults: config.faults.clone(),
+            fault_seed: config.seed,
             plan: Mutex::new(None),
-        }
+        })
+    }
+
+    /// Overrides the fault-injection model.
+    #[must_use]
+    pub fn with_fault_spec(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the base seed of per-iteration fault plans.
+    #[must_use]
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
     }
 
     /// Scales every modeled duration by `scale` (smaller = faster wall
@@ -294,8 +364,29 @@ impl ExecutionBackend for ThreadedBackend {
                 }
             }
         };
-        let trace = run_iteration_with_plan(deployed.graph(), schedule, &opts, &plan)
-            .map_err(ExecError::Runtime)?;
+        let trace = if self.faults.is_quiet() {
+            run_iteration_with_plan(deployed.graph(), schedule, &opts, &plan)
+                .map_err(ExecError::Runtime)?
+        } else {
+            // Same (spec, graph, seed, iteration) key as the simulator:
+            // identical seeds inject the identical fault set.
+            let fault_plan =
+                FaultPlan::sample(&self.faults, deployed.graph(), self.fault_seed, iteration);
+            let trace =
+                run_iteration_injected(deployed.graph(), schedule, &opts, &plan, &fault_plan)
+                    .map_err(ExecError::Runtime)?;
+            let c = FaultCounters::from_trace(&trace);
+            registry.counter("exec.faults.drops").add(c.drops);
+            registry
+                .counter("exec.faults.retransmits")
+                .add(c.retransmits);
+            registry.counter("exec.faults.crashes").add(c.crashes);
+            registry.counter("exec.faults.blackouts").add(c.blackouts);
+            registry
+                .counter("exec.faults.deferred_ops")
+                .add(c.deferred_ops);
+            trace
+        };
         registry.counter("exec.iterations").inc();
         registry
             .histogram("exec.wall_us", &WALL_BUCKETS_US)
@@ -331,8 +422,11 @@ mod tests {
         let reg = Registry::disabled();
 
         let sim: Box<dyn ExecutionBackend> = Box::new(SimBackend::new(SimConfig::cloud_gpu()));
-        let thr: Box<dyn ExecutionBackend> =
-            Box::new(ThreadedBackend::from_config(&SimConfig::cloud_gpu()).with_time_scale(0.5));
+        let thr: Box<dyn ExecutionBackend> = Box::new(
+            ThreadedBackend::from_config(&SimConfig::cloud_gpu())
+                .expect("preset config is supported")
+                .with_time_scale(0.5),
+        );
         assert_eq!(sim.time_domain(), TimeDomain::Virtual);
         assert_eq!(thr.time_domain(), TimeDomain::WallClock);
         for b in [&sim, &thr] {
@@ -349,9 +443,10 @@ mod tests {
     #[test]
     fn from_config_carries_the_bandwidth_share_override() {
         let config = SimConfig::cloud_gpu().with_bandwidth_share(3.5);
-        let thr = ThreadedBackend::from_config(&config);
+        let thr = ThreadedBackend::from_config(&config).expect("preset config is supported");
         assert_eq!(thr.options().bandwidth_share, Some(3.5));
-        let plain = ThreadedBackend::from_config(&SimConfig::cloud_gpu());
+        let plain = ThreadedBackend::from_config(&SimConfig::cloud_gpu())
+            .expect("preset config is supported");
         assert_eq!(plain.options().bandwidth_share, None);
     }
 
@@ -361,7 +456,9 @@ mod tests {
         let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
         let s = no_ordering(d.graph());
         let reg = Registry::enabled();
-        let thr = ThreadedBackend::from_config(&SimConfig::cloud_gpu()).with_time_scale(0.1);
+        let thr = ThreadedBackend::from_config(&SimConfig::cloud_gpu())
+            .expect("preset config is supported")
+            .with_time_scale(0.1);
         for i in 0..3 {
             thr.execute(&d, &s, i, &reg).unwrap();
         }

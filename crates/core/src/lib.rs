@@ -53,7 +53,8 @@ pub use tictac_cluster::{
     Sharding,
 };
 pub use tictac_exec::{
-    run_iteration, run_iteration_with_plan, ExecOptions, ExecPlan, RuntimeError,
+    run_iteration, run_iteration_injected, run_iteration_with_plan, ExecOptions, ExecPlan,
+    RuntimeError,
 };
 pub use tictac_graph::{
     Channel, ChannelId, Cost, Device, DeviceId, DeviceKind, Graph, GraphBuilder, GraphError,
@@ -75,8 +76,8 @@ pub use tictac_sched::{
 };
 pub use tictac_sim::{
     analyze, simulate, simulate_with_plan, simulate_with_plan_observed, try_simulate,
-    try_simulate_observed, Blackout, Crash, FaultCounters, FaultPlan, FaultSpec, IterationMetrics,
-    SimConfig, SimError, Stall,
+    try_simulate_observed, Blackout, Crash, FaultClock, FaultCounters, FaultPlan, FaultSpec,
+    IterationMetrics, SimConfig, SimError, Stall,
 };
 pub use tictac_timing::{
     CostOracle, GeneralOracle, MeasuredProfile, NoiseModel, Platform, RetryPolicy, SimDuration,

@@ -740,6 +740,7 @@ mod tests {
             .scheduler(kind)
             .backend(
                 crate::backend::ThreadedBackend::from_config(&SimConfig::cloud_gpu())
+                    .expect("preset config is supported")
                     .with_time_scale(0.5),
             )
             .warmup(1)

@@ -20,8 +20,14 @@
 //! the unscheduled baseline) pop in a seeded per-iteration-shuffled
 //! order, physically reproducing the arbitrary ready-queue servicing the
 //! paper attributes to DAG frameworks (§3) — the behavior TIC/TAC exist
-//! to fix. What is deliberately *not* reproduced from the simulator:
-//! injected faults, modeled noise and reorder errors. A threaded run's
+//! to fix.
+//!
+//! Seeded faults are reproduced on the wall clock via
+//! [`run_iteration_injected`]: the same [`FaultPlan`] the simulator
+//! samples is delivered by a supervisor thread as real timer-driven
+//! retransmits, channel blackouts, worker crash/respawn cycles, PS
+//! stalls and straggler slowdowns. What is deliberately *not*
+//! reproduced: modeled noise and reorder errors — a threaded run's
 //! variance is physical (scheduler jitter, cache effects), which is the
 //! point of having this backend.
 //!
@@ -33,4 +39,8 @@
 
 mod runtime;
 
-pub use runtime::{run_iteration, run_iteration_with_plan, ExecOptions, ExecPlan, RuntimeError};
+pub use runtime::{
+    run_iteration, run_iteration_injected, run_iteration_with_plan, ExecOptions, ExecPlan,
+    RuntimeError,
+};
+pub use tictac_faults::{FaultClock, FaultPlan};

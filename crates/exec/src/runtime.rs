@@ -25,17 +25,29 @@
 //! [`ExecOptions::shuffle_seed`] and the op id, so a given seed is
 //! reproducible and different seeds (one per iteration, see
 //! `ThreadedBackend`) give different arbitrary orders.
+//!
+//! Seeded faults ([`run_iteration_injected`]) bring the simulator's
+//! fault model to the wall clock: the same [`FaultPlan`] both backends
+//! sample is delivered here by a supervisor walking a wall-clock agenda
+//! (instants mapped through [`FaultClock::wall_clock`]), with keyed
+//! per-attempt drop decisions shared with the simulator — identical
+//! seeds inject the identical fault set on either backend.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use tictac_graph::{Graph, OpId, OpKind};
+use tictac_faults::{FaultClock, FaultPlan};
+use tictac_graph::{ChannelId, DeviceId, Graph, OpId, OpKind};
 use tictac_sched::Schedule;
 use tictac_timing::{CostOracle, Platform, SimTime, TimeOracle};
-use tictac_trace::{ExecutionTrace, TraceBuilder};
+use tictac_trace::{ExecutionTrace, FaultEvent, FaultEventKind, TraceBuilder};
+
+/// Cap on op names reported by [`RuntimeError::Stalled`]; past it a
+/// single `+ N more` entry summarizes the rest.
+const STALL_REPORT_CAP: usize = 12;
 
 /// Configuration of one threaded iteration.
 #[derive(Debug, Clone)]
@@ -149,6 +161,28 @@ pub enum RuntimeError {
         remaining: usize,
         /// How long the watchdog waited.
         waited: Duration,
+        /// Names of the outstanding ops, capped at [`STALL_REPORT_CAP`]
+        /// (a trailing `+ N more` entry summarizes any excess).
+        outstanding: Vec<String>,
+        /// Queued-transfer depth per channel at the abort (ranked +
+        /// unranked + enforcement-blocked entries).
+        channel_depths: Vec<usize>,
+    },
+    /// A transfer exhausted its retry budget with no degraded barrier
+    /// configured to absorb the loss.
+    RetriesExhausted {
+        /// The recv op of the abandoned transfer.
+        op: OpId,
+        /// Attempts made (the initial send plus every retransmit).
+        attempts: u32,
+    },
+    /// A `SimConfig` knob was set that the threaded backend cannot honor;
+    /// refusing it loudly beats silently dropping it.
+    UnsupportedConfig {
+        /// The offending configuration field.
+        knob: &'static str,
+        /// Why the backend cannot honor it.
+        reason: String,
     },
 }
 
@@ -166,10 +200,25 @@ impl std::fmt::Display for RuntimeError {
                 completed,
                 remaining,
                 waited,
-            } => write!(
+                outstanding,
+                channel_depths,
+            } => {
+                write!(
+                    f,
+                    "runtime stalled after {waited:?}: {completed} ops done, {remaining} outstanding"
+                )?;
+                if !outstanding.is_empty() {
+                    write!(f, " [{}]", outstanding.join(", "))?;
+                }
+                write!(f, "; channel queue depths {channel_depths:?}")
+            }
+            RuntimeError::RetriesExhausted { op, attempts } => write!(
                 f,
-                "runtime stalled after {waited:?}: {completed} ops done, {remaining} outstanding"
+                "transfer {op:?} was lost on all {attempts} attempts and no degraded barrier is configured"
             ),
+            RuntimeError::UnsupportedConfig { knob, reason } => {
+                write!(f, "threaded backend cannot honor `{knob}`: {reason}")
+            }
         }
     }
 }
@@ -349,13 +398,52 @@ pub fn run_iteration_with_plan(
     opts: &ExecOptions,
     plan: &ExecPlan,
 ) -> Result<ExecutionTrace, RuntimeError> {
+    run_iteration_injected(graph, schedule, opts, plan, &FaultPlan::quiet())
+}
+
+/// [`run_iteration_with_plan`] with seeded fault injection: the concrete
+/// faults of `faults` are brought to the wall clock.
+///
+/// A supervisor thread walks the plan's fault agenda (instants mapped
+/// through [`FaultClock::wall_clock`] at `opts.time_scale`): transfer
+/// drops wedge the channel until the [`RetryPolicy`] timeout fires and
+/// then retransmit; blackouts park the channel thread for the window;
+/// worker crashes kill the device thread mid-iteration (lost compute is
+/// requeued) and respawn it at the recovery instant; PS stalls park the
+/// shard and pause in-flight updates; stragglers scale the calibrated
+/// busy-loops. If the plan carries a degraded barrier, an iteration that
+/// cannot finish closes with the missing ops deferred (mirroring the
+/// simulator's degraded-mode barrier) instead of erroring.
+///
+/// A quiet plan ([`FaultPlan::quiet`]) makes this exactly
+/// [`run_iteration_with_plan`].
+///
+/// # Errors
+///
+/// [`RuntimeError::ScheduleMismatch`] as above;
+/// [`RuntimeError::RetriesExhausted`] if a transfer burns its whole retry
+/// budget with no barrier configured; [`RuntimeError::Stalled`] if the
+/// watchdog expires (with the outstanding ops and channel depths named).
+///
+/// [`RetryPolicy`]: tictac_timing::RetryPolicy
+pub fn run_iteration_injected(
+    graph: &Graph,
+    schedule: &Schedule,
+    opts: &ExecOptions,
+    plan: &ExecPlan,
+    faults: &FaultPlan,
+) -> Result<ExecutionTrace, RuntimeError> {
     if schedule.len() != graph.len() || plan.rank.len() != graph.len() {
         return Err(RuntimeError::ScheduleMismatch {
             schedule_len: schedule.len().min(plan.rank.len()),
             graph_len: graph.len(),
         });
     }
-    let shared = Shared::new(graph, schedule, opts, plan);
+    let shared = Shared::new(graph, schedule, opts, plan, faults);
+    for &(device, _) in &faults.stragglers {
+        shared.log_fault(SimTime::ZERO, FaultEventKind::StragglerApplied { device });
+    }
+    let agenda = shared.build_agenda();
 
     std::thread::scope(|scope| {
         for dev in 0..graph.devices().len() {
@@ -377,15 +465,28 @@ pub fn run_iteration_with_plan(
         for op in graph.roots() {
             shared.dispatch(op);
         }
-        shared.await_completion()
+        shared.supervise(scope, agenda)
     })?;
 
-    let trace = shared
+    if let Some(err) = shared.error.lock().expect("error lock").take() {
+        return Err(err);
+    }
+
+    let mut builder = shared
         .trace
         .into_inner()
-        .expect("no thread panicked holding the trace")
-        .finish();
-    Ok(trace)
+        .expect("no thread panicked holding the trace");
+    let mut log = shared
+        .fault_log
+        .into_inner()
+        .expect("no thread panicked holding the fault log");
+    // Concurrent threads appended out of order; the trace contract is
+    // time-sorted events (stable, so same-instant events keep log order).
+    log.sort_by_key(|e| e.at);
+    for e in log {
+        builder.push_fault(e.at, e.kind);
+    }
+    Ok(builder.finish())
 }
 
 /// Per-device ready queue: a binary heap keyed by `(schedule priority,
@@ -396,6 +497,55 @@ pub fn run_iteration_with_plan(
 struct DeviceQueue {
     seq: u64,
     heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Crash mailbox: a pending kill (value = recovery instant, wall ns).
+    /// The device thread takes it, marks itself `dead` and exits; the
+    /// supervisor respawns the loop at the recovery instant.
+    crash: Option<u64>,
+    /// Set by the dying thread; consumed by the supervisor's respawn.
+    dead: bool,
+}
+
+/// One due item of the supervisor's fault agenda (wall-clock ordered).
+enum FaultDue {
+    BlackoutStart { ch: usize },
+    BlackoutEnd { ch: usize },
+    CrashStart { dev: usize, until: u64 },
+    CrashEnd { dev: usize },
+    StallStart { dev: usize },
+    StallEnd { dev: usize },
+    Barrier,
+}
+
+/// How a fault-aware busy-wait ended.
+enum WaitOutcome {
+    /// The deadline passed.
+    Elapsed,
+    /// The shutdown latch flipped (completion or abort).
+    Shutdown,
+    /// The interrupt flag flipped (a crash kill for this device).
+    Interrupted,
+}
+
+/// The end instant of the availability window covering `now`, if any.
+fn down_until(windows: &[(u64, u64)], now: u64) -> Option<u64> {
+    windows
+        .iter()
+        .find(|&&(s, e)| s <= now && now < e)
+        .map(|&(_, e)| e)
+}
+
+/// End instant of an op starting at `t0` with busy time `d`, paused by
+/// every overlapping stall window (the simulator's pause semantics: the
+/// op finishes late by the overlap). `windows` is sorted by start, so a
+/// pause that pushes the end into a later window extends again.
+fn stall_adjusted_end(windows: &[(u64, u64)], t0: u64, d: u64) -> u64 {
+    let mut end = t0.saturating_add(d);
+    for &(s, e) in windows {
+        if s < end && e > t0 {
+            end = end.saturating_add(e - s.max(t0));
+        }
+    }
+    end
 }
 
 /// Per-channel transfer queue plus the sender-side enforcement state.
@@ -434,9 +584,38 @@ struct Shared<'g> {
     devices: Vec<(Mutex<DeviceQueue>, Condvar)>,
     channels: Vec<(Mutex<ChanQueue>, Condvar)>,
 
-    /// Completion signal for the watchdog waiter.
+    /// Completion signal for the supervisor.
     done: (Mutex<bool>, Condvar),
     trace: Mutex<TraceBuilder>,
+
+    /// The iteration's concrete fault set ([`FaultPlan::quiet`] when no
+    /// injection is active).
+    faults: &'g FaultPlan,
+    /// Maps plan instants onto the wall clock at `opts.time_scale`.
+    clock: FaultClock,
+    /// False for a quiet plan: every fault check short-circuits.
+    faulty: bool,
+    /// Per-op completion flags (for the degraded-barrier scan and stall
+    /// diagnostics; `remaining` only counts).
+    completed: Vec<AtomicBool>,
+    /// Per-recv transfer attempt counter (keyed drop decisions).
+    attempts: Vec<AtomicU32>,
+    /// Per-device straggler slowdown factor (1.0 = none).
+    slowdown: Vec<f64>,
+    /// Per-device PS-stall windows, wall ns since start, sorted.
+    stall_windows: Vec<Vec<(u64, u64)>>,
+    /// Per-channel dark windows (blackouts, plus the owning worker's
+    /// crash downtimes), wall ns since start, sorted.
+    chan_windows: Vec<Vec<(u64, u64)>>,
+    /// Per-device crash interrupt: cuts the busy-loop of an op short.
+    crash_pending: Vec<AtomicBool>,
+    /// Set when the degraded barrier closed the iteration.
+    degraded: AtomicBool,
+    /// First fatal runtime error (a thread latches it and shuts down).
+    error: Mutex<Option<RuntimeError>>,
+    /// Fault events accumulated across threads, merged into the trace at
+    /// the end of the iteration.
+    fault_log: Mutex<Vec<FaultEvent>>,
 }
 
 impl<'g> Shared<'g> {
@@ -445,8 +624,46 @@ impl<'g> Shared<'g> {
         schedule: &'g Schedule,
         opts: &'g ExecOptions,
         plan: &'g ExecPlan,
+        faults: &'g FaultPlan,
     ) -> Self {
         let n = graph.len();
+        let ndev = graph.devices().len();
+        let clock = FaultClock::wall_clock(opts.time_scale);
+
+        let mut slowdown = vec![1.0f64; ndev];
+        for &(device, factor) in &faults.stragglers {
+            slowdown[device.index()] = factor;
+        }
+        let mut stall_windows: Vec<Vec<(u64, u64)>> = vec![Vec::new(); ndev];
+        for s in &faults.stalls {
+            stall_windows[s.device.index()].push((
+                clock.instant(s.at).as_nanos(),
+                clock.instant(s.until).as_nanos(),
+            ));
+        }
+        let mut chan_windows: Vec<Vec<(u64, u64)>> = vec![Vec::new(); graph.channels().len()];
+        for b in &faults.blackouts {
+            chan_windows[b.channel.index()].push((
+                clock.instant(b.at).as_nanos(),
+                clock.instant(b.until).as_nanos(),
+            ));
+        }
+        for c in &faults.crashes {
+            // A crashed worker's channels go dark for the whole downtime,
+            // exactly as the simulator darkens them.
+            for (ch, channel) in graph.channels().iter().enumerate() {
+                if channel.worker() == c.device {
+                    chan_windows[ch].push((
+                        clock.instant(c.at).as_nanos(),
+                        clock.instant(c.until).as_nanos(),
+                    ));
+                }
+            }
+        }
+        for w in stall_windows.iter_mut().chain(chan_windows.iter_mut()) {
+            w.sort_unstable();
+        }
+
         Self {
             graph,
             schedule,
@@ -458,15 +675,33 @@ impl<'g> Shared<'g> {
                 .collect(),
             remaining: AtomicUsize::new(n),
             shutdown: AtomicBool::new(false),
-            devices: (0..graph.devices().len())
-                .map(|_| Default::default())
-                .collect(),
+            devices: (0..ndev).map(|_| Default::default()).collect(),
             channels: (0..graph.channels().len())
                 .map(|_| Default::default())
                 .collect(),
             done: (Mutex::new(false), Condvar::new()),
             trace: Mutex::new(TraceBuilder::new(n)),
+            faults,
+            clock,
+            faulty: !faults.is_quiet(),
+            completed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            slowdown,
+            stall_windows,
+            chan_windows,
+            crash_pending: (0..ndev).map(|_| AtomicBool::new(false)).collect(),
+            degraded: AtomicBool::new(false),
+            error: Mutex::new(None),
+            fault_log: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Appends a timestamped fault event to the iteration's log.
+    fn log_fault(&self, at: SimTime, kind: FaultEventKind) {
+        self.fault_log
+            .lock()
+            .expect("fault log lock")
+            .push(FaultEvent { at, kind });
     }
 
     /// Wall-clock time since iteration start, in the trace's clock domain.
@@ -483,14 +718,29 @@ impl<'g> Shared<'g> {
     /// have completed). Sleeps are capped so an abort cuts even a long
     /// modeled duration short within a few milliseconds.
     fn wait_until(&self, deadline: Instant) -> bool {
+        matches!(
+            self.wait_interruptible(deadline, None),
+            WaitOutcome::Elapsed
+        )
+    }
+
+    /// [`Shared::wait_until`] that can additionally be cut short by an
+    /// interrupt flag (a crash kill aimed at the waiting device). The
+    /// sleep cap bounds both abort and kill delivery latency.
+    fn wait_interruptible(&self, deadline: Instant, interrupt: Option<&AtomicBool>) -> WaitOutcome {
         const SLEEP_CAP: Duration = Duration::from_millis(2);
         loop {
             if self.shutdown.load(Ordering::Acquire) {
-                return false;
+                return WaitOutcome::Shutdown;
+            }
+            if let Some(flag) = interrupt {
+                if flag.load(Ordering::Acquire) {
+                    return WaitOutcome::Interrupted;
+                }
             }
             let now = Instant::now();
             if now >= deadline {
-                return true;
+                return WaitOutcome::Elapsed;
             }
             let left = deadline - now;
             if left > Duration::from_micros(400) {
@@ -600,6 +850,7 @@ impl<'g> Shared<'g> {
     fn complete(&self, op: OpId) {
         let mut work = vec![op];
         while let Some(op) = work.pop() {
+            self.completed[op.index()].store(true, Ordering::Release);
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 self.finish();
             }
@@ -636,29 +887,340 @@ impl<'g> Shared<'g> {
         cv.notify_all();
     }
 
-    /// The caller's wait: completion or watchdog expiry.
-    fn await_completion(&self) -> Result<(), RuntimeError> {
-        let start = Instant::now();
+    /// The iteration's fault agenda: every plan instant mapped onto the
+    /// wall clock, sorted. Fault events are logged at their *scheduled*
+    /// instants, so the event stream is a deterministic function of the
+    /// plan even when the supervisor delivers an item a bit late.
+    fn build_agenda(&self) -> VecDeque<(u64, FaultDue)> {
+        let mut items: Vec<(u64, FaultDue)> = Vec::new();
+        for b in &self.faults.blackouts {
+            let ch = b.channel.index();
+            items.push((
+                self.clock.instant(b.at).as_nanos(),
+                FaultDue::BlackoutStart { ch },
+            ));
+            items.push((
+                self.clock.instant(b.until).as_nanos(),
+                FaultDue::BlackoutEnd { ch },
+            ));
+        }
+        for c in &self.faults.crashes {
+            let dev = c.device.index();
+            let until = self.clock.instant(c.until).as_nanos();
+            items.push((
+                self.clock.instant(c.at).as_nanos(),
+                FaultDue::CrashStart { dev, until },
+            ));
+            items.push((until, FaultDue::CrashEnd { dev }));
+        }
+        for s in &self.faults.stalls {
+            let dev = s.device.index();
+            items.push((
+                self.clock.instant(s.at).as_nanos(),
+                FaultDue::StallStart { dev },
+            ));
+            items.push((
+                self.clock.instant(s.until).as_nanos(),
+                FaultDue::StallEnd { dev },
+            ));
+        }
+        if let Some(t) = self.faults.barrier_timeout {
+            items.push((self.clock.duration(t).as_nanos(), FaultDue::Barrier));
+        }
+        items.sort_by_key(|&(at, _)| at);
+        items.into()
+    }
+
+    /// The grown-up watchdog: waits for completion while delivering the
+    /// fault agenda, aborting with diagnostics (or degrading, when a
+    /// barrier is configured and a quorum of work survived) on expiry.
+    fn supervise<'scope, 'env>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        mut agenda: VecDeque<(u64, FaultDue)>,
+    ) -> Result<(), RuntimeError> {
+        let watchdog_deadline = self.started + self.opts.watchdog;
         let (lock, cv) = &self.done;
-        let mut done = lock.lock().expect("done lock");
-        while !*done {
-            let waited = start.elapsed();
-            if waited >= self.opts.watchdog {
+        loop {
+            // Deliver due agenda items before taking the done lock
+            // (applying a fault takes queue locks).
+            let now_ns = self.started.elapsed().as_nanos() as u64;
+            while agenda.front().is_some_and(|&(at, _)| at <= now_ns) {
+                let (at, due) = agenda.pop_front().expect("checked non-empty");
+                if self.remaining.load(Ordering::Acquire) == 0 {
+                    // Iteration already complete: late faults are moot,
+                    // mirroring the simulator's remaining-work gate.
+                    agenda.clear();
+                    break;
+                }
+                if matches!(due, FaultDue::Barrier) {
+                    self.degrade(SimTime::from_nanos(at));
+                    return Ok(());
+                }
+                self.apply_fault(scope, SimTime::from_nanos(at), due);
+            }
+            let done = lock.lock().expect("done lock");
+            if *done {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= watchdog_deadline {
                 drop(done);
-                let remaining = self.remaining.load(Ordering::Acquire);
-                self.finish(); // abort: release every thread
-                return Err(RuntimeError::Stalled {
-                    completed: self.graph.len() - remaining,
-                    remaining,
-                    waited,
+                return self.abort_stalled();
+            }
+            let next_due = agenda
+                .front()
+                .map(|&(at, _)| self.started + Duration::from_nanos(at));
+            let deadline = next_due.map_or(watchdog_deadline, |d| d.min(watchdog_deadline));
+            let timeout = deadline
+                .saturating_duration_since(now)
+                .max(Duration::from_micros(100));
+            let _ = cv.wait_timeout(done, timeout).expect("done lock");
+        }
+    }
+
+    /// Delivers one due fault to the runtime.
+    fn apply_fault<'scope, 'env>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        at: SimTime,
+        due: FaultDue,
+    ) {
+        match due {
+            FaultDue::BlackoutStart { ch } => {
+                // The window itself is enforced by the channel thread's
+                // dark-window check; unlike the simulator, an attempt
+                // already on the wire finishes (DESIGN.md §11).
+                self.log_fault(
+                    at,
+                    FaultEventKind::BlackoutStart {
+                        channel: ChannelId::from_index(ch),
+                    },
+                );
+            }
+            FaultDue::BlackoutEnd { ch } => {
+                self.log_fault(
+                    at,
+                    FaultEventKind::BlackoutEnd {
+                        channel: ChannelId::from_index(ch),
+                    },
+                );
+            }
+            FaultDue::CrashStart { dev, until } => {
+                self.log_fault(
+                    at,
+                    FaultEventKind::WorkerCrashed {
+                        device: DeviceId::from_index(dev),
+                    },
+                );
+                let (lock, cv) = &self.devices[dev];
+                {
+                    // Mailbox first (under the queue lock), interrupt flag
+                    // second: a busy thread observing the interrupt is
+                    // then guaranteed to find the mailbox when it aborts.
+                    let mut q = lock.lock().expect("device lock");
+                    q.crash = Some(until);
+                }
+                self.crash_pending[dev].store(true, Ordering::Release);
+                cv.notify_all();
+            }
+            FaultDue::CrashEnd { dev } => {
+                self.log_fault(
+                    at,
+                    FaultEventKind::WorkerRecovered {
+                        device: DeviceId::from_index(dev),
+                    },
+                );
+                let (lock, _) = &self.devices[dev];
+                let respawn = {
+                    let mut q = lock.lock().expect("device lock");
+                    self.crash_pending[dev].store(false, Ordering::Release);
+                    if q.dead {
+                        q.dead = false;
+                        true
+                    } else {
+                        // The kill was never delivered (the thread stayed
+                        // busy through the whole window): retract it so
+                        // the device does not die after "recovering".
+                        q.crash = None;
+                        false
+                    }
+                };
+                if respawn && !self.shutdown.load(Ordering::Acquire) {
+                    std::thread::Builder::new()
+                        .name(format!("tictac-dev{dev}-r"))
+                        .spawn_scoped(scope, move || self.device_loop(dev))
+                        .expect("respawn device thread");
+                }
+            }
+            FaultDue::StallStart { dev } => {
+                self.log_fault(
+                    at,
+                    FaultEventKind::PsStallStart {
+                        device: DeviceId::from_index(dev),
+                    },
+                );
+            }
+            FaultDue::StallEnd { dev } => {
+                self.log_fault(
+                    at,
+                    FaultEventKind::PsStallEnd {
+                        device: DeviceId::from_index(dev),
+                    },
+                );
+            }
+            FaultDue::Barrier => unreachable!("the barrier is handled by supervise"),
+        }
+    }
+
+    /// Watchdog expiry: degrade if a configured barrier can absorb the
+    /// loss and any work survived, else abort with diagnostics.
+    fn abort_stalled(&self) -> Result<(), RuntimeError> {
+        let remaining = self.remaining.load(Ordering::Acquire);
+        if self.faults.barrier_timeout.is_some() && remaining < self.graph.len() {
+            self.degrade(self.now());
+            return Ok(());
+        }
+        let err = self.stall_error();
+        self.finish(); // abort: release every thread
+        Err(err)
+    }
+
+    /// Assembles [`RuntimeError::Stalled`] diagnostics: which ops are
+    /// outstanding (by name, capped) and how deep each channel queue is.
+    fn stall_error(&self) -> RuntimeError {
+        let waited = self.started.elapsed();
+        let remaining = self.remaining.load(Ordering::Acquire);
+        let mut outstanding = Vec::new();
+        let mut incomplete = 0usize;
+        for (i, flag) in self.completed.iter().enumerate() {
+            if !flag.load(Ordering::Acquire) {
+                incomplete += 1;
+                if outstanding.len() < STALL_REPORT_CAP {
+                    outstanding.push(self.graph.op_name(OpId::from_index(i)).to_string());
+                }
+            }
+        }
+        if incomplete > STALL_REPORT_CAP {
+            outstanding.push(format!("+ {} more", incomplete - STALL_REPORT_CAP));
+        }
+        let channel_depths = self
+            .channels
+            .iter()
+            .map(|(lock, _)| {
+                let q = lock.lock().expect("channel lock");
+                q.ranked.len() + q.unranked.len() + q.blocked.len()
+            })
+            .collect();
+        RuntimeError::Stalled {
+            completed: self.graph.len() - remaining,
+            remaining,
+            waited,
+            outstanding,
+            channel_depths,
+        }
+    }
+
+    /// Closes a degraded iteration at `at`: shuts every thread down,
+    /// logs the incomplete ops as deferred plus the barrier event, and
+    /// raises the trace's makespan to the barrier instant — the
+    /// wall-clock analogue of the simulator's degraded-mode barrier
+    /// (and of `Trainer::step_degraded`'s deferred gradients).
+    fn degrade(&self, at: SimTime) {
+        self.degraded.store(true, Ordering::Release);
+        self.finish();
+        // Let in-flight busy-waits observe the latch and retire (their
+        // records, if any, land before the scan); the sleep cap bounds
+        // this settle window.
+        std::thread::sleep(Duration::from_millis(3));
+        let deferred: Vec<OpId> = self
+            .completed
+            .iter()
+            .enumerate()
+            .filter(|(_, flag)| !flag.load(Ordering::Acquire))
+            .map(|(i, _)| OpId::from_index(i))
+            .collect();
+        if deferred.is_empty() {
+            return; // everything made it in before the barrier fired
+        }
+        {
+            let mut log = self.fault_log.lock().expect("fault log lock");
+            for &op in &deferred {
+                log.push(FaultEvent {
+                    at,
+                    kind: FaultEventKind::DeferredOp { op },
                 });
             }
-            let (guard, _) = cv
-                .wait_timeout(done, self.opts.watchdog - waited)
-                .expect("done lock");
-            done = guard;
+            log.push(FaultEvent {
+                at,
+                kind: FaultEventKind::BarrierDegraded {
+                    remaining: deferred.len() as u32,
+                },
+            });
         }
-        Ok(())
+        self.trace.lock().expect("trace lock").raise_makespan(at);
+    }
+
+    /// Attempt `attempt` of `recv` was lost on the wire: the channel
+    /// wedges on the dead stream until the loss-detection timeout fires,
+    /// then retransmits (within budget), abandons the transfer to the
+    /// degraded barrier, or latches [`RuntimeError::RetriesExhausted`].
+    /// Returns `false` when the channel thread must exit.
+    fn lose_attempt(&self, ch: usize, recv: OpId, attempt: u32) -> bool {
+        let dropped_at = self.now();
+        self.log_fault(
+            dropped_at,
+            FaultEventKind::TransferDropped { op: recv, attempt },
+        );
+        let timeout = self
+            .clock
+            .wall_duration(self.faults.retry.timeout_for(attempt));
+        let deadline = self.started + Duration::from_nanos(dropped_at.as_nanos()) + timeout;
+        if !self.wait_until(deadline) {
+            return false;
+        }
+        let detected = self.now();
+        self.log_fault(
+            detected,
+            FaultEventKind::TransferTimeout { op: recv, attempt },
+        );
+        let next = attempt + 1;
+        self.attempts[recv.index()].store(next, Ordering::Release);
+        if self.faults.retry.attempt_allowed(next) {
+            self.log_fault(
+                detected,
+                FaultEventKind::Retransmit {
+                    op: recv,
+                    attempt: next,
+                },
+            );
+            let (lock, _) = &self.channels[ch];
+            let mut q = lock.lock().expect("channel lock");
+            match self.plan.rank[recv.index()] {
+                Some(r) => q.ranked.push(Reverse((r, recv.index()))),
+                None => {
+                    let key = mix(self.opts.shuffle_seed, recv.index() as u64);
+                    q.unranked.push(Reverse((key, recv.index())));
+                }
+            }
+            // No notify needed: we are this channel's own thread and loop
+            // straight back to the pop.
+            true
+        } else if self.faults.barrier_timeout.is_some() {
+            // Abandoned: the degraded barrier defers its downstream work.
+            true
+        } else {
+            let mut err = self.error.lock().expect("error lock");
+            if err.is_none() {
+                *err = Some(RuntimeError::RetriesExhausted {
+                    op: recv,
+                    attempts: next,
+                });
+            }
+            drop(err);
+            self.finish();
+            false
+        }
     }
 
     /// Device thread: pop the lowest-priority ready op, busy-loop its
@@ -669,12 +1231,33 @@ impl<'g> Shared<'g> {
     /// completion the latch implies an empty queue, so nothing is lost).
     fn device_loop(&self, dev: usize) {
         let (lock, cv) = &self.devices[dev];
+        let stall_windows: &[(u64, u64)] = &self.stall_windows[dev];
         loop {
             let op = {
                 let mut q = lock.lock().expect("device lock");
                 loop {
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
+                    }
+                    if q.crash.take().is_some() {
+                        // Killed while idle; the supervisor respawns this
+                        // loop at the recovery instant.
+                        q.dead = true;
+                        return;
+                    }
+                    if !stall_windows.is_empty() {
+                        let now = self.started.elapsed().as_nanos() as u64;
+                        if let Some(end) = down_until(stall_windows, now) {
+                            // A PS stall covers this instant: the shard's
+                            // update thread is wedged; park until it
+                            // resumes.
+                            drop(q);
+                            if !self.wait_until(self.started + Duration::from_nanos(end)) {
+                                return;
+                            }
+                            q = lock.lock().expect("device lock");
+                            continue;
+                        }
                     }
                     if let Some(Reverse((_, _, op))) = q.heap.pop() {
                         break OpId::from_index(op);
@@ -683,9 +1266,45 @@ impl<'g> Shared<'g> {
                 }
             };
             let start = self.now();
-            let dur = self.scaled(self.plan.oracle.duration(self.graph, op));
-            if !self.wait_until(self.started + (self.started.elapsed() + dur)) {
-                return; // aborted mid-op; the trace is discarded anyway
+            let mut modeled = self.plan.oracle.duration(self.graph, op);
+            let factor = self.slowdown[dev];
+            if factor != 1.0 {
+                // Persistent straggler: the whole iteration's compute
+                // slows by the plan's factor.
+                modeled = modeled.mul_f64(factor);
+            }
+            let dur = self.scaled(modeled);
+            // PS stalls crossing the op pause it (simulator semantics):
+            // it finishes late by the overlap with every stall window.
+            let end_ns = stall_adjusted_end(stall_windows, start.as_nanos(), dur.as_nanos() as u64);
+            let interrupt = if self.faulty {
+                Some(&self.crash_pending[dev])
+            } else {
+                None
+            };
+            match self.wait_interruptible(self.started + Duration::from_nanos(end_ns), interrupt) {
+                WaitOutcome::Shutdown => return, // aborted mid-op
+                WaitOutcome::Interrupted => {
+                    // Crashed mid-op: the in-flight compute is lost.
+                    // Requeue it (the respawned loop re-runs it after
+                    // recovery), then die — unless the kill was retracted
+                    // before delivery, in which case stay alive.
+                    let mut q = lock.lock().expect("device lock");
+                    q.seq += 1;
+                    let priority = self.schedule.priority(op).unwrap_or(u64::MAX);
+                    let tiebreak = if priority == u64::MAX {
+                        mix(self.opts.shuffle_seed, op.index() as u64)
+                    } else {
+                        q.seq
+                    };
+                    q.heap.push(Reverse((priority, tiebreak, op.index())));
+                    if q.crash.take().is_some() {
+                        q.dead = true;
+                        return;
+                    }
+                    continue;
+                }
+                WaitOutcome::Elapsed => {}
             }
             let end = self.now();
             self.trace
@@ -701,6 +1320,7 @@ impl<'g> Shared<'g> {
     /// fill in whenever the next rank has not arrived yet.
     fn channel_loop(&self, ch: usize) {
         let (lock, cv) = &self.channels[ch];
+        let windows: &[(u64, u64)] = &self.chan_windows[ch];
         loop {
             let recv = {
                 let mut q = lock.lock().expect("channel lock");
@@ -710,12 +1330,34 @@ impl<'g> Shared<'g> {
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
                     }
+                    if !windows.is_empty() {
+                        let now = self.started.elapsed().as_nanos() as u64;
+                        if let Some(end) = down_until(windows, now) {
+                            // The channel is dark (blackout, or its
+                            // worker is down): park until the window
+                            // closes. Unlike the simulator, an attempt
+                            // already on the wire finishes (DESIGN.md
+                            // §11).
+                            drop(q);
+                            if !self.wait_until(self.started + Duration::from_nanos(end)) {
+                                return;
+                            }
+                            q = lock.lock().expect("channel lock");
+                            continue;
+                        }
+                    }
+                    // `<=` (not `==`): a retransmitted rank re-flies even
+                    // though the counter already advanced past it. On the
+                    // quiet path each rank is queued exactly once, so
+                    // only equality occurs and the gate is unchanged.
                     let gate_open = q.ranked.peek().is_some_and(|Reverse((r, _))| {
-                        !self.opts.enforcement || *r == q.next_rank_to_fly
+                        !self.opts.enforcement || *r <= q.next_rank_to_fly
                     });
                     if gate_open {
-                        let Reverse((_, op)) = q.ranked.pop().expect("peeked entry");
-                        q.next_rank_to_fly += 1;
+                        let Reverse((r, op)) = q.ranked.pop().expect("peeked entry");
+                        if r == q.next_rank_to_fly {
+                            q.next_rank_to_fly += 1;
+                        }
                         break OpId::from_index(op);
                     }
                     if let Some(Reverse((_, op))) = q.unranked.pop() {
@@ -724,6 +1366,15 @@ impl<'g> Shared<'g> {
                     q = cv.wait(q).expect("channel lock");
                 }
             };
+            if self.faulty {
+                let attempt = self.attempts[recv.index()].load(Ordering::Acquire);
+                if self.faults.drops_attempt(recv, attempt) {
+                    if self.lose_attempt(ch, recv, attempt) {
+                        continue;
+                    }
+                    return;
+                }
+            }
             let bytes = self.graph.op(recv).cost().bytes;
             let wire = self.scaled(
                 self.opts
@@ -895,6 +1546,192 @@ mod tests {
         let g = b.build().unwrap();
         let trace = run_iteration(&g, &no_ordering(&g), &opts()).unwrap();
         assert_eq!(trace.executed_ops(), g.len());
+    }
+
+    fn injected(
+        d: &tictac_cluster::DeployedModel,
+        opts: &ExecOptions,
+        faults: &FaultPlan,
+    ) -> Result<ExecutionTrace, RuntimeError> {
+        let s = no_ordering(d.graph());
+        let plan = ExecPlan::new(d.graph(), &s, opts).unwrap();
+        run_iteration_injected(d.graph(), &s, opts, &plan, faults)
+    }
+
+    #[test]
+    fn stalled_names_outstanding_ops_and_channel_depths() {
+        // Satellite: Stalled must say *what* was outstanding, not just
+        // how much.
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let o = ExecOptions::new(Platform::cloud_gpu())
+            .with_time_scale(50.0)
+            .with_watchdog(Duration::from_millis(10));
+        match run_iteration(d.graph(), &no_ordering(d.graph()), &o) {
+            Err(RuntimeError::Stalled {
+                remaining,
+                outstanding,
+                channel_depths,
+                ..
+            }) => {
+                assert!(remaining > 0);
+                assert!(
+                    !outstanding.is_empty() && outstanding.len() <= STALL_REPORT_CAP + 1,
+                    "bad outstanding report: {outstanding:?}"
+                );
+                assert!(outstanding.iter().all(|n| !n.is_empty()));
+                assert_eq!(channel_depths.len(), d.graph().channels().len());
+            }
+            other => panic!("expected a stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_transfers_retransmit_and_complete() {
+        use tictac_timing::{RetryPolicy, SimDuration};
+        use tictac_trace::FaultCounters;
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let mut faults = FaultPlan::quiet();
+        faults.drop_prob = 0.5;
+        faults.retry = RetryPolicy::fixed(SimDuration::from_micros(400), 40);
+        let o = opts().with_time_scale(0.05);
+        let trace = injected(&d, &o, &faults).unwrap();
+        assert_eq!(trace.executed_ops(), d.graph().len());
+        let c = FaultCounters::from_trace(&trace);
+        assert!(c.drops > 0, "p=0.5 over many transfers must drop some");
+        assert_eq!(c.timeouts, c.drops);
+        assert_eq!(c.retransmits, c.drops, "deep budget: every loss re-flies");
+    }
+
+    #[test]
+    fn retries_exhausted_is_a_typed_error() {
+        use tictac_timing::{RetryPolicy, SimDuration};
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let mut faults = FaultPlan::quiet();
+        faults.drop_prob = 1.0;
+        faults.retry = RetryPolicy::fixed(SimDuration::from_micros(200), 2);
+        let o = opts().with_time_scale(0.05);
+        match injected(&d, &o, &faults) {
+            Err(RuntimeError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_barrier_defers_instead_of_erroring() {
+        use tictac_timing::{RetryPolicy, SimDuration};
+        use tictac_trace::FaultCounters;
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let mut faults = FaultPlan::quiet();
+        faults.drop_prob = 1.0;
+        faults.retry = RetryPolicy::fixed(SimDuration::from_micros(200), 1);
+        faults.barrier_timeout = Some(SimDuration::from_millis(40));
+        let o = opts().with_time_scale(0.05);
+        let trace = injected(&d, &o, &faults).unwrap();
+        assert!(trace.executed_ops() < d.graph().len());
+        let c = FaultCounters::from_trace(&trace);
+        assert_eq!(c.degraded_barriers, 1);
+        // Sends complete unrecorded at hand-off, so executed_ops can
+        // undercount completions; deferred + executed never exceeds len.
+        assert!(c.deferred_ops > 0);
+        assert!(trace.executed_ops() + c.deferred_ops as usize <= d.graph().len());
+    }
+
+    #[test]
+    fn crashed_worker_is_respawned_and_finishes() {
+        use tictac_faults::Crash;
+        use tictac_timing::SimDuration;
+        use tictac_trace::FaultCounters;
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let mut faults = FaultPlan::quiet();
+        faults.crashes.push(Crash {
+            device: d.workers()[0],
+            at: SimTime::ZERO + SimDuration::from_micros(80),
+            until: SimTime::ZERO + SimDuration::from_micros(900),
+        });
+        let o = opts().with_time_scale(0.05);
+        let trace = injected(&d, &o, &faults).unwrap();
+        assert_eq!(trace.executed_ops(), d.graph().len());
+        let c = FaultCounters::from_trace(&trace);
+        assert_eq!(c.crashes, 1);
+    }
+
+    #[test]
+    fn blackout_parks_the_channel_and_finishes() {
+        use tictac_faults::Blackout;
+        use tictac_timing::SimDuration;
+        use tictac_trace::FaultCounters;
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let mut faults = FaultPlan::quiet();
+        faults.blackouts.push(Blackout {
+            channel: d.graph().channels()[0].id(),
+            at: SimTime::ZERO + SimDuration::from_micros(50),
+            until: SimTime::ZERO + SimDuration::from_micros(700),
+        });
+        let o = opts().with_time_scale(0.05);
+        let trace = injected(&d, &o, &faults).unwrap();
+        assert_eq!(trace.executed_ops(), d.graph().len());
+        assert_eq!(FaultCounters::from_trace(&trace).blackouts, 1);
+    }
+
+    #[test]
+    fn ps_stall_pauses_the_shard_and_finishes() {
+        use tictac_faults::Stall;
+        use tictac_timing::SimDuration;
+        use tictac_trace::FaultCounters;
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let ps = d.graph().parameter_servers().next().unwrap();
+        let mut faults = FaultPlan::quiet();
+        faults.stalls.push(Stall {
+            device: ps,
+            at: SimTime::ZERO + SimDuration::from_micros(60),
+            until: SimTime::ZERO + SimDuration::from_micros(500),
+        });
+        let o = opts().with_time_scale(0.05);
+        let trace = injected(&d, &o, &faults).unwrap();
+        assert_eq!(trace.executed_ops(), d.graph().len());
+        assert_eq!(FaultCounters::from_trace(&trace).ps_stalls, 1);
+    }
+
+    #[test]
+    fn straggler_slows_the_worker_and_is_logged() {
+        use tictac_trace::FaultCounters;
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &ClusterSpec::new(2, 1)).unwrap();
+        let w = d.workers()[0];
+        let mut faults = FaultPlan::quiet();
+        faults.stragglers.push((w, 8.0));
+        let o = opts().with_time_scale(0.2);
+        let quiet = injected(&d, &o, &FaultPlan::quiet()).unwrap();
+        let slowed = injected(&d, &o, &faults).unwrap();
+        assert_eq!(slowed.executed_ops(), d.graph().len());
+        assert_eq!(FaultCounters::from_trace(&slowed).stragglers, 1);
+        // Jitter-robust check: the slowed worker's *largest* compute op
+        // stretches by roughly the straggler factor (makespans are too
+        // noisy at this scale).
+        let biggest = d
+            .graph()
+            .op_ids()
+            .filter(|&id| {
+                let op = d.graph().op(id);
+                op.device() == w && !op.is_recv() && !op.kind().is_send()
+            })
+            .max_by_key(|&id| quiet.record(id).map(|r| r.end - r.start))
+            .unwrap();
+        let q = quiet.record(biggest).unwrap();
+        let s = slowed.record(biggest).unwrap();
+        assert!(
+            (s.end - s.start) > (q.end - q.start).mul_f64(3.0),
+            "8x straggler barely stretched {biggest:?}: {:?} vs {:?}",
+            s.end - s.start,
+            q.end - q.start
+        );
     }
 
     #[test]

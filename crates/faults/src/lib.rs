@@ -1,30 +1,119 @@
-//! Seeded fault injection: probabilistic specifications and the concrete
-//! per-iteration plans sampled from them.
+//! Backend-agnostic seeded fault injection: probabilistic specifications,
+//! the concrete per-iteration plans sampled from them, and the clock that
+//! maps plan instants onto an execution backend's time domain.
 //!
 //! A [`FaultSpec`] describes *rates* — how likely each fault class is per
 //! iteration — and the recovery policy ([`RetryPolicy`], degraded-barrier
 //! timeout). A [`FaultPlan`] is one reproducible draw from that
 //! specification for a particular `(seed, iteration)`: the exact channels
 //! blacked out, workers crashed, stragglers slowed and shards stalled,
-//! plus a dedicated RNG stream for per-attempt transfer drops. Sampling is
-//! independent of the engine's noise stream, so enabling faults perturbs
-//! the injected failures only, never the underlying runtime variance, and
-//! a quiet spec leaves the simulation byte-identical to a fault-free run.
+//! plus a keyed hash stream deciding per-attempt transfer drops. Sampling
+//! is independent of any engine's noise stream, so enabling faults
+//! perturbs the injected failures only, never the underlying runtime
+//! variance, and a quiet spec leaves execution byte-identical to a
+//! fault-free run.
+//!
+//! Nothing here knows how faults are *applied*: the discrete-event
+//! simulator schedules them as virtual-time events, while the threaded
+//! runtime arms real timers and kills real threads. Both sample the same
+//! plan from the same `(spec, graph, seed, iteration)` key, and both map
+//! its instants through a [`FaultClock`] — which is why identical seeds
+//! yield the identical fault set on either backend.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tictac_graph::{ChannelId, DeviceId, Graph};
+use tictac_graph::{ChannelId, DeviceId, Graph, OpId};
 use tictac_timing::{RetryPolicy, SimDuration, SimTime};
 
-/// Stream tag separating fault sampling from the engine's noise RNG.
+/// Stream tag separating fault sampling from any engine's noise RNG.
 const FAULT_STREAM: u64 = 0xFA17_5EED_0DD5_ED17;
+
+/// SplitMix64 finalizer: the keyed hash behind per-attempt drop decisions.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps the model-time instants of a [`FaultPlan`] onto an execution
+/// backend's clock domain.
+///
+/// Plans are sampled in *model time* (the virtual nanoseconds the
+/// simulator ticks in). The simulator consumes them through
+/// [`FaultClock::virtual_time`], an exact identity; the threaded runtime
+/// consumes them through [`FaultClock::wall_clock`] with its
+/// `time_scale`, so a blackout sampled at model time 40 µs starts 40 µs ×
+/// scale after iteration start on the wall. One plan, two clocks — the
+/// fault *set* is identical on both backends by construction, and only
+/// the domain its instants are expressed in differs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultClock {
+    scale: f64,
+}
+
+impl FaultClock {
+    /// The simulator's clock: plan instants are already in this domain,
+    /// so the mapping is an exact identity (bit-for-bit; fault-free and
+    /// faulty sim traces stay byte-reproducible).
+    pub fn virtual_time() -> Self {
+        Self { scale: 1.0 }
+    }
+
+    /// A wall-clock mapping scaling every instant and duration by
+    /// `time_scale` (the threaded runtime's modeled-duration multiplier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is not strictly positive and finite.
+    pub fn wall_clock(time_scale: f64) -> Self {
+        assert!(
+            time_scale > 0.0 && time_scale.is_finite(),
+            "time_scale must be positive and finite"
+        );
+        Self { scale: time_scale }
+    }
+
+    /// The scale factor applied to plan instants.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Maps a plan instant into this clock's domain.
+    pub fn instant(&self, at: SimTime) -> SimTime {
+        if self.scale == 1.0 {
+            at // exact: the identity branch keeps sim traces byte-stable
+        } else {
+            SimTime::from_nanos((at.as_nanos() as f64 * self.scale).round() as u64)
+        }
+    }
+
+    /// Maps a plan duration into this clock's domain.
+    pub fn duration(&self, d: SimDuration) -> SimDuration {
+        if self.scale == 1.0 {
+            d
+        } else {
+            d.mul_f64(self.scale)
+        }
+    }
+
+    /// [`FaultClock::instant`] as a wall-clock offset from iteration start.
+    pub fn wall_instant(&self, at: SimTime) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.instant(at).as_nanos())
+    }
+
+    /// [`FaultClock::duration`] as a wall-clock duration.
+    pub fn wall_duration(&self, d: SimDuration) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.duration(d).as_nanos())
+    }
+}
 
 /// Probabilistic fault model of one deployment.
 ///
 /// All probabilities are per *iteration* (per channel, worker or
 /// parameter server as appropriate). The quiet default —
-/// [`FaultSpec::none`] — injects nothing and leaves the simulator's
+/// [`FaultSpec::none`] — injects nothing and leaves a backend's
 /// behaviour exactly as if the fault subsystem did not exist.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultSpec {
@@ -53,16 +142,14 @@ pub struct FaultSpec {
     /// Length of a parameter-server stall.
     pub ps_stall: SimDuration,
     /// Fault onsets (blackouts, crashes, stalls) are sampled uniformly in
-    /// `[0, onset_window)` of virtual time.
+    /// `[0, onset_window)` of model time.
     pub onset_window: SimDuration,
     /// Loss detection and retransmit policy for dropped transfers.
     pub retry: RetryPolicy,
     /// Degraded-mode sync barrier: when set, the iteration completes at
-    /// this virtual time even if ops are outstanding; the stragglers'
+    /// this model time even if ops are outstanding; the stragglers'
     /// updates are deferred to the next iteration. When `None`, an
-    /// exhausted retry budget is a hard [`SimError`].
-    ///
-    /// [`SimError`]: crate::SimError
+    /// exhausted retry budget is a hard error.
     pub barrier_timeout: Option<SimDuration>,
 }
 
@@ -216,10 +303,8 @@ pub struct Stall {
 /// The concrete faults of one iteration, sampled from a [`FaultSpec`].
 ///
 /// Plans compare with `==`, so tests can assert that identical
-/// `(seed, iteration)` pairs produce identical plans — and, through
-/// [`simulate_with_plan`], byte-identical traces.
-///
-/// [`simulate_with_plan`]: crate::simulate_with_plan
+/// `(seed, iteration)` pairs produce identical plans — and, through the
+/// backends, identical fault sets on virtual and wall clocks alike.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Channel blackout windows.
@@ -236,16 +321,30 @@ pub struct FaultPlan {
     pub retry: RetryPolicy,
     /// Degraded-barrier release time, if enabled.
     pub barrier_timeout: Option<SimDuration>,
-    /// Dedicated stream deciding which transfer attempts are lost (kept
-    /// inside the plan so replaying a plan replays its drops).
-    drop_rng: SmallRng,
+    /// Seed of the keyed per-attempt drop hash (kept inside the plan so
+    /// replaying a plan replays its drops, on any backend).
+    drop_seed: u64,
 }
 
 impl FaultPlan {
+    /// The plan that injects nothing: what a quiet spec always samples.
+    pub fn quiet() -> Self {
+        Self {
+            blackouts: Vec::new(),
+            crashes: Vec::new(),
+            stragglers: Vec::new(),
+            stalls: Vec::new(),
+            drop_prob: 0.0,
+            retry: RetryPolicy::grpc_default(),
+            barrier_timeout: None,
+            drop_seed: 0,
+        }
+    }
+
     /// Samples the iteration's faults from `spec` for the given graph.
     ///
     /// The draw is keyed by `(seed, iteration)` on a stream separate from
-    /// the engine's noise RNG, so the same arguments always yield the same
+    /// any engine's noise RNG, so the same arguments always yield the same
     /// plan and fault sampling never perturbs fault-free behaviour.
     pub fn sample(spec: &FaultSpec, graph: &Graph, seed: u64, iteration: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(
@@ -319,7 +418,7 @@ impl FaultPlan {
             drop_prob: spec.drop_prob,
             retry: spec.retry,
             barrier_timeout: spec.barrier_timeout,
-            drop_rng: SmallRng::seed_from_u64(rng.gen()),
+            drop_seed: rng.gen(),
         }
     }
 
@@ -333,13 +432,26 @@ impl FaultPlan {
             && self.barrier_timeout.is_none()
     }
 
-    /// Decides whether the next transfer attempt is lost on the wire.
+    /// Decides whether attempt `attempt` of `recv`'s transfer is lost on
+    /// the wire.
     ///
-    /// Forks the plan's dedicated drop stream. The engine draws loss
-    /// decisions from the fork, so a plan can be borrowed (and replayed)
-    /// any number of times: every fork replays the identical stream.
-    pub(crate) fn drop_stream(&self) -> SmallRng {
-        self.drop_rng.clone()
+    /// A pure keyed hash of `(plan, op, attempt)` — not a sequential
+    /// stream — so the decision is independent of the *order* in which a
+    /// backend starts transfers. That is what lets the simulator and the
+    /// threaded runtime, which interleave channel work very differently,
+    /// lose exactly the same attempts and report identical drop,
+    /// timeout and retransmit counters for one plan.
+    pub fn drops_attempt(&self, recv: OpId, attempt: u32) -> bool {
+        if self.drop_prob <= 0.0 {
+            return false;
+        }
+        if self.drop_prob >= 1.0 {
+            return true;
+        }
+        let key = ((recv.index() as u64) << 32) | u64::from(attempt);
+        let h = mix(self.drop_seed, key);
+        // Top 53 bits → uniform in [0, 1).
+        ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < self.drop_prob
     }
 }
 
@@ -362,6 +474,7 @@ mod tests {
         let plan = FaultPlan::sample(&FaultSpec::none(), &g, 1, 0);
         assert!(plan.is_quiet());
         assert!(FaultSpec::none().is_quiet());
+        assert!(FaultPlan::quiet().is_quiet());
     }
 
     #[test]
@@ -404,16 +517,47 @@ mod tests {
     }
 
     #[test]
-    fn drop_stream_replays_with_the_plan() {
+    fn drop_decisions_are_keyed_and_order_independent() {
         let g = graph();
         let spec = FaultSpec::none().with_drop_prob(0.5);
         let plan = FaultPlan::sample(&spec, &g, 42, 0);
-        // Every fork of the stream replays the identical loss decisions,
-        // so borrowing the plan across engine runs replays its drops.
-        let draws = |mut rng: SmallRng| -> Vec<bool> {
-            (0..64).map(|_| rng.gen::<f64>() < plan.drop_prob).collect()
-        };
-        assert_eq!(draws(plan.drop_stream()), draws(plan.drop_stream()));
+        let op = |i: usize| OpId::from_index(i);
+        // The decision for one (op, attempt) key never changes, however
+        // many times or in whatever order a backend asks.
+        let forward: Vec<bool> = (0..64).map(|i| plan.drops_attempt(op(i), 0)).collect();
+        let reverse: Vec<bool> = (0..64)
+            .rev()
+            .map(|i| plan.drops_attempt(op(i), 0))
+            .collect();
+        assert_eq!(forward, reverse.into_iter().rev().collect::<Vec<_>>());
+        // With p = 0.5 across 64 ops × 4 attempts, both outcomes appear.
+        let outcomes: Vec<bool> = (0..64)
+            .flat_map(|i| (0..4).map(move |a| (i, a)))
+            .map(|(i, a)| plan.drops_attempt(op(i), a))
+            .collect();
+        assert!(outcomes.iter().any(|&d| d) && outcomes.iter().any(|&d| !d));
+        // Extremes never consult the hash.
+        let certain = FaultPlan::sample(&spec.clone().with_drop_prob(1.0), &g, 42, 0);
+        assert!((0..32).all(|i| certain.drops_attempt(op(i), 0)));
+        assert!((0..32).all(|i| !FaultPlan::quiet().drops_attempt(op(i), 0)));
+    }
+
+    #[test]
+    fn fault_clock_maps_identity_and_scaled_domains() {
+        let at = SimTime::from_nanos(123_456);
+        let d = SimDuration::from_nanos(10_000);
+        let virt = FaultClock::virtual_time();
+        assert_eq!(virt.instant(at), at);
+        assert_eq!(virt.duration(d), d);
+        let wall = FaultClock::wall_clock(0.5);
+        assert_eq!(wall.instant(at).as_nanos(), 61_728);
+        assert_eq!(wall.duration(d).as_nanos(), 5_000);
+        assert_eq!(
+            wall.wall_instant(at),
+            std::time::Duration::from_nanos(61_728)
+        );
+        assert_eq!(wall.wall_duration(d), std::time::Duration::from_micros(5));
+        assert_eq!(wall.scale(), 0.5);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
-use crate::faults::FaultSpec;
 use serde::{Deserialize, Serialize};
+use tictac_faults::FaultSpec;
 use tictac_timing::{NoiseModel, Platform};
 
 /// Default base seed (reads roughly as "TICTAC").

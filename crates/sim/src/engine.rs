@@ -2,11 +2,11 @@
 
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::faults::FaultPlan;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use tictac_faults::{FaultClock, FaultPlan};
 use tictac_graph::{Channel, ChannelId, DeviceId, Graph, OpId, OpKind};
 use tictac_obs::{BucketHistogram, Counter, Registry};
 use tictac_sched::Schedule;
@@ -456,9 +456,6 @@ struct Engine<'g> {
     disorder_window: usize,
     rng: SmallRng,
     plan: &'g FaultPlan,
-    /// Fork of the plan's drop stream (the plan itself stays borrowed and
-    /// untouched, so one plan can be replayed across runs).
-    drop_rng: SmallRng,
 
     clock: SimTime,
     events: BinaryHeap<Reverse<Ev>>,
@@ -602,7 +599,6 @@ impl<'g> Engine<'g> {
             disorder_window: config.disorder_window.unwrap_or(usize::MAX).max(1),
             rng,
             plan,
-            drop_rng: plan.drop_stream(),
             clock: SimTime::ZERO,
             events: BinaryHeap::new(),
             seq: 0,
@@ -642,22 +638,29 @@ impl<'g> Engine<'g> {
     /// the degraded barrier, and logs the iteration-long stragglers.
     /// Quiet plans schedule nothing, keeping the event stream identical to
     /// a fault-free run.
+    ///
+    /// Plan instants pass through [`FaultClock::virtual_time`] — an exact
+    /// identity, since plans are sampled in this engine's own domain. The
+    /// threaded runtime maps the same plan through
+    /// `FaultClock::wall_clock(time_scale)` instead; the clock is the only
+    /// seam between the two interpretations.
     fn schedule_faults(&mut self) {
         let plan = self.plan;
+        let clock = FaultClock::virtual_time();
         for &(device, _) in &plan.stragglers {
             self.trace
                 .push_fault(SimTime::ZERO, FaultEventKind::StragglerApplied { device });
         }
         for b in &plan.blackouts {
             self.schedule_event(
-                b.at,
+                clock.instant(b.at),
                 EventKind::Fault(FaultAction::BlackoutStart {
                     ch: b.channel.index(),
-                    until: b.until.as_nanos(),
+                    until: clock.instant(b.until).as_nanos(),
                 }),
             );
             self.schedule_event(
-                b.until,
+                clock.instant(b.until),
                 EventKind::Fault(FaultAction::BlackoutEnd {
                     ch: b.channel.index(),
                 }),
@@ -665,14 +668,14 @@ impl<'g> Engine<'g> {
         }
         for c in &plan.crashes {
             self.schedule_event(
-                c.at,
+                clock.instant(c.at),
                 EventKind::Fault(FaultAction::CrashStart {
                     dev: c.device.index(),
-                    until: c.until.as_nanos(),
+                    until: clock.instant(c.until).as_nanos(),
                 }),
             );
             self.schedule_event(
-                c.until,
+                clock.instant(c.until),
                 EventKind::Fault(FaultAction::CrashEnd {
                     dev: c.device.index(),
                 }),
@@ -680,21 +683,21 @@ impl<'g> Engine<'g> {
         }
         for s in &plan.stalls {
             self.schedule_event(
-                s.at,
+                clock.instant(s.at),
                 EventKind::Fault(FaultAction::StallStart {
                     dev: s.device.index(),
-                    until: s.until.as_nanos(),
+                    until: clock.instant(s.until).as_nanos(),
                 }),
             );
             self.schedule_event(
-                s.until,
+                clock.instant(s.until),
                 EventKind::Fault(FaultAction::StallEnd {
                     dev: s.device.index(),
                 }),
             );
         }
         if let Some(timeout) = plan.barrier_timeout {
-            self.schedule_event(SimTime::ZERO + timeout, EventKind::Barrier);
+            self.schedule_event(SimTime::ZERO + clock.duration(timeout), EventKind::Barrier);
         }
     }
 
@@ -774,13 +777,6 @@ impl<'g> Engine<'g> {
                 break;
             }
         }
-    }
-
-    /// Whether the next transfer attempt is lost on the wire, drawn from
-    /// the engine's fork of the plan's drop stream (only when losses are
-    /// possible, so quiet plans consume nothing).
-    fn draw_drop(&mut self) -> bool {
-        self.plan.drop_prob > 0.0 && self.drop_rng.gen::<f64>() < self.plan.drop_prob
     }
 
     fn schedule_event(&mut self, at: SimTime, kind: EventKind) {
@@ -938,11 +934,11 @@ impl<'g> Engine<'g> {
         let dur = self.noise.apply(&mut self.rng, base);
         self.started_at[recv.index()] = self.clock;
         let epoch = self.epoch[recv.index()];
-        if self.draw_drop() {
+        let attempt = self.attempts[recv.index()];
+        if self.plan.drops_attempt(recv, attempt) {
             // Lost on the wire: the receiver only notices when the
             // loss-detection timeout for this attempt fires; the channel
             // stays wedged on the failed stream until then.
-            let attempt = self.attempts[recv.index()];
             self.trace.push_fault(
                 self.clock,
                 FaultEventKind::TransferDropped { op: recv, attempt },
@@ -1227,8 +1223,8 @@ impl<'g> Engine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::faults::FaultSpec;
     use tictac_cluster::{deploy, ClusterSpec};
+    use tictac_faults::FaultSpec;
     use tictac_graph::{Cost, GraphBuilder};
     use tictac_models::{tiny_mlp, Mode};
     use tictac_sched::no_ordering;

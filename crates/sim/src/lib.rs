@@ -45,13 +45,15 @@
 mod config;
 mod engine;
 mod error;
-mod faults;
 mod metrics;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, DEFAULT_SEED};
 pub use engine::{
     simulate, simulate_with_plan, simulate_with_plan_observed, try_simulate, try_simulate_observed,
 };
 pub use error::SimError;
-pub use faults::{Blackout, Crash, FaultPlan, FaultSpec, Stall};
+// The fault model lives in the backend-agnostic `tictac-faults` crate
+// (the threaded runtime samples the same plans); re-exported here so the
+// simulator's API is unchanged.
 pub use metrics::{analyze, straggler_pct, FaultCounters, IterationMetrics};
+pub use tictac_faults::{Blackout, Crash, FaultClock, FaultPlan, FaultSpec, Stall};

@@ -84,6 +84,11 @@ impl NoiseModel {
         self.sigma
     }
 
+    /// The per-iteration whole-worker slowdown probability.
+    pub fn slowdown_prob(&self) -> f64 {
+        self.slowdown_prob
+    }
+
     /// Draws a multiplicative per-op noise factor.
     pub fn op_factor(&self, rng: &mut impl Rng) -> f64 {
         if self.sigma == 0.0 {

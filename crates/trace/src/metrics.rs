@@ -106,6 +106,55 @@ impl FaultCounters {
         self.deferred_ops += other.deferred_ops;
         self.degraded_barriers += other.degraded_barriers;
     }
+
+    /// The counters as one JSON object (stable key order), for report
+    /// files and log lines. Hand-rolled — the values are plain `u64`s, so
+    /// no serializer dependency is warranted.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"drops\":{},\"timeouts\":{},\"retransmits\":{},\"blackouts\":{},\
+             \"crashes\":{},\"ps_stalls\":{},\"stragglers\":{},\"deferred_ops\":{},\
+             \"degraded_barriers\":{}}}",
+            self.drops,
+            self.timeouts,
+            self.retransmits,
+            self.blackouts,
+            self.crashes,
+            self.ps_stalls,
+            self.stragglers,
+            self.deferred_ops,
+            self.degraded_barriers
+        )
+    }
+}
+
+impl std::fmt::Display for FaultCounters {
+    /// Compact human summary: only non-zero classes are listed, and a
+    /// clean run prints `clean`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        let mut sep = "";
+        let mut item = |f: &mut std::fmt::Formatter<'_>, name: &str, v: u64| {
+            if v > 0 {
+                let r = write!(f, "{sep}{name} {v}");
+                sep = " ";
+                r
+            } else {
+                Ok(())
+            }
+        };
+        item(f, "drops", self.drops)?;
+        item(f, "timeouts", self.timeouts)?;
+        item(f, "rexmits", self.retransmits)?;
+        item(f, "blackouts", self.blackouts)?;
+        item(f, "crashes", self.crashes)?;
+        item(f, "ps_stalls", self.ps_stalls)?;
+        item(f, "stragglers", self.stragglers)?;
+        item(f, "deferred", self.deferred_ops)?;
+        item(f, "degraded", self.degraded_barriers)
+    }
 }
 
 /// Summary of one executed iteration.
@@ -235,5 +284,31 @@ mod tests {
         total.merge(&c);
         assert_eq!(total.drops, 2);
         assert_eq!(total.degraded_barriers, 2);
+    }
+
+    #[test]
+    fn counters_render_as_text_and_json() {
+        assert_eq!(FaultCounters::default().to_string(), "clean");
+        let c = FaultCounters {
+            drops: 3,
+            timeouts: 3,
+            retransmits: 2,
+            blackouts: 0,
+            crashes: 1,
+            ps_stalls: 0,
+            stragglers: 0,
+            deferred_ops: 4,
+            degraded_barriers: 1,
+        };
+        assert_eq!(
+            c.to_string(),
+            "drops 3 timeouts 3 rexmits 2 crashes 1 deferred 4 degraded 1"
+        );
+        assert_eq!(
+            c.to_json(),
+            "{\"drops\":3,\"timeouts\":3,\"retransmits\":2,\"blackouts\":0,\
+             \"crashes\":1,\"ps_stalls\":0,\"stragglers\":0,\"deferred_ops\":4,\
+             \"degraded_barriers\":1}"
+        );
     }
 }

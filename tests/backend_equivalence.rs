@@ -35,6 +35,7 @@ fn threaded_session(
         .scheduler(scheduler)
         .backend(
             ThreadedBackend::from_config(&SimConfig::cloud_gpu())
+                .expect("preset config is supported")
                 .with_time_scale(0.5)
                 .with_watchdog(std::time::Duration::from_secs(60)),
         )
@@ -163,6 +164,7 @@ fn decisive_sim_rankings_hold_on_the_wall_clock() {
             let builder = if threaded {
                 builder.backend(
                     ThreadedBackend::from_config(&SimConfig::cloud_gpu())
+                        .expect("preset config is supported")
                         .with_watchdog(std::time::Duration::from_secs(60)),
                 )
             } else {
