@@ -29,6 +29,15 @@ echo "== bench smoke =="
 ./target/release/bench --quick --out target/BENCH_results_smoke.json
 ./target/release/bench --check target/BENCH_results_smoke.json
 
+echo "== scale smoke =="
+# Partitioned-engine gate: the quick scale sweep must auto-select both
+# engines across the threshold and the parallel engine must agree with
+# the sequential oracle on the makespan (asserted inside the runner).
+# TICTAC_THREADS is pinned for stable wall numbers on small CI boxes.
+TICTAC_THREADS=2 ./target/release/repro --exp scale --quick --out target/ci-results
+grep -q "engine" target/ci-results/scale.txt
+grep -q "speedup" target/ci-results/scale.txt
+
 echo "== golden traces =="
 # Fingerprint gate: any change to simulated behavior (including the
 # pinned Perfetto export bytes) fails here, not in review.

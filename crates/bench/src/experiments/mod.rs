@@ -14,6 +14,7 @@ mod fig12;
 mod fig13;
 mod observe;
 mod orders;
+mod scale;
 mod sched_cost;
 mod spread;
 mod table1;
@@ -38,6 +39,7 @@ pub const ALL: &[(&str, Runner)] = &[
     ("fig12", fig12::run),
     ("fig13", fig13::run),
     ("sched-cost", sched_cost::run),
+    ("scale", scale::run),
     ("ext-allreduce", allreduce::run),
     ("ext-spread", spread::run),
     ("ablation-reorder", ablations::reorder),
@@ -120,7 +122,7 @@ mod tests {
             assert!(find(name).is_some(), "{name} missing");
         }
         assert!(find("nope").is_none());
-        assert_eq!(ALL.len(), 19);
+        assert_eq!(ALL.len(), 20);
     }
 
     #[test]

@@ -137,11 +137,14 @@ pub struct PhaseTimings {
     pub tac_naive_ms: f64,
     /// One unordered simulated iteration.
     pub simulate_ms: f64,
+    /// One iteration through the partitioned parallel engine on a
+    /// 256-worker deployment (shards clamped to the parameter count).
+    pub simulate_par_ms: f64,
 }
 
 impl PhaseTimings {
     /// Phase names in report order, paired with their values.
-    pub fn pairs(&self) -> [(&'static str, f64); 7] {
+    pub fn pairs(&self) -> [(&'static str, f64); 8] {
         [
             ("build_ms", self.build_ms),
             ("deploy_ms", self.deploy_ms),
@@ -150,6 +153,7 @@ impl PhaseTimings {
             ("tac_ms", self.tac_ms),
             ("tac_naive_ms", self.tac_naive_ms),
             ("simulate_ms", self.simulate_ms),
+            ("simulate_par_ms", self.simulate_par_ms),
         ]
     }
 }
@@ -241,6 +245,21 @@ pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
         }
     };
 
+    // The partitioned engine at scale: the same model on 256 workers
+    // (shards at W/32, clamped to the parameter count) under the
+    // parallel-safe deterministic config, which sits above the default
+    // threshold and so exercises the `par` path end to end.
+    let scale_workers = 256;
+    let shards = (scale_workers / 32).clamp(1, graph.params().len());
+    let scaled =
+        deploy(&graph, &ClusterSpec::new(scale_workers, shards)).expect("zoo model deploys");
+    let sg = scaled.graph();
+    let par_config = SimConfig::deterministic(Platform::cloud_gpu()).with_disorder_window(Some(1));
+    let par_schedule = no_ordering(sg);
+    let simulate_par_ms = median_ms(plan.warmup, plan.samples, || {
+        black_box(simulate(sg, &par_schedule, &par_config, 0));
+    });
+
     ModelTiming {
         model: model.name().to_string(),
         phases: PhaseTimings {
@@ -251,6 +270,7 @@ pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
             tac_ms,
             tac_naive_ms,
             simulate_ms,
+            simulate_par_ms,
         },
         tac_speedup: tac_naive_ms / tac_ms.max(1e-9),
     }
@@ -360,6 +380,7 @@ pub fn validate_report(src: &str) -> Result<BenchReport, String> {
             tac_ms: field_f64(phases, "tac_ms", name)?,
             tac_naive_ms: field_f64(phases, "tac_naive_ms", name)?,
             simulate_ms: field_f64(phases, "simulate_ms", name)?,
+            simulate_par_ms: field_f64(phases, "simulate_par_ms", name)?,
         };
         let tac_speedup = field_f64(entry, "tac_speedup", name)?;
         models.push(ModelTiming {
@@ -445,6 +466,7 @@ mod tests {
                     tac_ms: 2.0,
                     tac_naive_ms: 12.0,
                     simulate_ms: 8.5,
+                    simulate_par_ms: 40.0,
                 },
                 tac_speedup: 6.0,
             }],

@@ -58,12 +58,40 @@ pub struct ClusterSpec {
 
 impl ClusterSpec {
     /// A spec with the default size-balanced sharding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate shape (zero workers or zero parameter
+    /// servers); use [`ClusterSpec::try_new`] to handle that as a value.
     pub fn new(workers: usize, parameter_servers: usize) -> Self {
-        Self {
+        match Self::try_new(workers, parameter_servers) {
+            Ok(spec) => spec,
+            Err(e) => panic!("invalid cluster shape: {e}"),
+        }
+    }
+
+    /// A spec with the default size-balanced sharding, rejecting
+    /// degenerate shapes with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterSpecError::ZeroWorkers`] or
+    /// [`ClusterSpecError::ZeroParameterServers`]. Shapes that only turn
+    /// out degenerate against a concrete model — more PS shards than the
+    /// model has parameters — are rejected by [`deploy`] instead
+    /// ([`DeployError::ShardsExceedParams`]).
+    pub fn try_new(workers: usize, parameter_servers: usize) -> Result<Self, ClusterSpecError> {
+        if workers == 0 {
+            return Err(ClusterSpecError::ZeroWorkers);
+        }
+        if parameter_servers == 0 {
+            return Err(ClusterSpecError::ZeroParameterServers);
+        }
+        Ok(Self {
             workers,
             parameter_servers,
             sharding: Sharding::SizeBalanced,
-        }
+        })
     }
 
     /// Overrides the sharding policy.
@@ -73,6 +101,29 @@ impl ClusterSpec {
     }
 }
 
+/// Errors from [`ClusterSpec::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterSpecError {
+    /// The spec requested zero workers.
+    ZeroWorkers,
+    /// The spec requested zero parameter servers.
+    ZeroParameterServers,
+}
+
+impl fmt::Display for ClusterSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterSpecError::ZeroWorkers => f.write_str("cluster needs at least one worker"),
+            ClusterSpecError::ZeroParameterServers => {
+                f.write_str("cluster needs at least one parameter server")
+            }
+        }
+    }
+}
+
+impl Error for ClusterSpecError {}
+
 /// Errors from [`deploy`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -81,6 +132,15 @@ pub enum DeployError {
     EmptyCluster,
     /// The model has no parameters to distribute.
     NoParameters,
+    /// The spec requested more PS shards than the model has parameters,
+    /// which would leave at least one shard hosting nothing (and hence
+    /// silently idle at every iteration).
+    ShardsExceedParams {
+        /// Requested parameter-server count.
+        shards: usize,
+        /// Parameters the model actually has.
+        params: usize,
+    },
     /// An all-reduce deployment was requested for an inference graph
     /// (there are no gradients to aggregate).
     NotTraining,
@@ -95,6 +155,10 @@ impl fmt::Display for DeployError {
                 f.write_str("cluster needs at least one worker and one parameter server")
             }
             DeployError::NoParameters => f.write_str("model has no parameters to distribute"),
+            DeployError::ShardsExceedParams { shards, params } => write!(
+                f,
+                "{shards} PS shards requested but the model has only {params} parameters"
+            ),
             DeployError::NotTraining => {
                 f.write_str("all-reduce aggregation requires a training graph")
             }
@@ -250,6 +314,12 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
     }
     if model.params().is_empty() {
         return Err(DeployError::NoParameters);
+    }
+    if spec.parameter_servers > model.params().len() {
+        return Err(DeployError::ShardsExceedParams {
+            shards: spec.parameter_servers,
+            params: model.params().len(),
+        });
     }
 
     let mut b = GraphBuilder::with_capacity(
@@ -568,14 +638,53 @@ mod tests {
     #[test]
     fn rejects_empty_cluster_and_empty_model() {
         let model = tiny_mlp(Mode::Inference, 1);
+        // `try_new` catches degenerate shapes before any model is in hand…
         assert_eq!(
-            deploy(&model, &ClusterSpec::new(0, 1)).unwrap_err(),
-            DeployError::EmptyCluster
+            ClusterSpec::try_new(0, 1).unwrap_err(),
+            ClusterSpecError::ZeroWorkers
         );
         assert_eq!(
-            deploy(&model, &ClusterSpec::new(1, 0)).unwrap_err(),
+            ClusterSpec::try_new(1, 0).unwrap_err(),
+            ClusterSpecError::ZeroParameterServers
+        );
+        // …and `deploy` still guards hand-built specs.
+        let zero_workers = ClusterSpec {
+            workers: 0,
+            parameter_servers: 1,
+            sharding: Sharding::SizeBalanced,
+        };
+        assert_eq!(
+            deploy(&model, &zero_workers).unwrap_err(),
             DeployError::EmptyCluster
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parameter server")]
+    fn new_panics_on_degenerate_shape() {
+        ClusterSpec::new(4, 0);
+    }
+
+    #[test]
+    fn rejects_more_shards_than_params() {
+        // tiny_mlp has 4 parameters; 5 shards would leave one idle.
+        let model = tiny_mlp(Mode::Training, 1);
+        assert_eq!(
+            deploy(&model, &ClusterSpec::new(2, 5)).unwrap_err(),
+            DeployError::ShardsExceedParams {
+                shards: 5,
+                params: 4
+            }
+        );
+        assert!(deploy(&model, &ClusterSpec::new(2, 4)).is_ok());
+    }
+
+    #[test]
+    fn validates_thousand_worker_shapes() {
+        // The scale sweep's largest shape must pass spec validation.
+        let spec = ClusterSpec::try_new(1024, 16).unwrap();
+        assert_eq!(spec.workers, 1024);
+        assert_eq!(spec.parameter_servers, 16);
     }
 
     #[test]

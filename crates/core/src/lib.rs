@@ -75,9 +75,9 @@ pub use tictac_sched::{
     PartitionGraph, Random, Schedule, Scheduler, TacComparator, TacScheduler, TicScheduler,
 };
 pub use tictac_sim::{
-    analyze, simulate, simulate_with_plan, simulate_with_plan_observed, try_simulate,
-    try_simulate_observed, Blackout, Crash, FaultClock, FaultCounters, FaultPlan, FaultSpec,
-    IterationMetrics, SimConfig, SimError, Stall,
+    analyze, selected_engine, simulate, simulate_with_plan, simulate_with_plan_observed,
+    try_simulate, try_simulate_observed, Blackout, Crash, EngineChoice, FaultClock, FaultCounters,
+    FaultPlan, FaultSpec, IterationMetrics, SimConfig, SimError, Stall, DEFAULT_PAR_THRESHOLD,
 };
 pub use tictac_timing::{
     CostOracle, GeneralOracle, MeasuredProfile, NoiseModel, Platform, RetryPolicy, SimDuration,

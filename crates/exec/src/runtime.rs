@@ -274,12 +274,8 @@ impl ExecPlan {
         // hand-off) and mirrored on the recv for queue keying.
         let mut rank = vec![None; n];
         let mut send_of = vec![None; n];
-        for channel in graph.channels() {
-            for (r, recv) in schedule
-                .ordered_recvs(graph, channel.id())
-                .into_iter()
-                .enumerate()
-            {
+        for recvs in schedule.ordered_recvs_per_channel(graph) {
+            for (r, recv) in recvs.into_iter().enumerate() {
                 rank[recv.index()] = Some(r as u64);
                 if let Some(send) = graph
                     .preds(recv)
@@ -1714,7 +1710,9 @@ mod tests {
         assert_eq!(FaultCounters::from_trace(&slowed).stragglers, 1);
         // Jitter-robust check: the slowed worker's *largest* compute op
         // stretches by roughly the straggler factor (makespans are too
-        // noisy at this scale).
+        // noisy at this scale). Preemption can only inflate a busy-loop,
+        // so the quiet baseline may itself be stretched under parallel
+        // test load — keep the multiplier well below the 8x factor.
         let biggest = d
             .graph()
             .op_ids()
@@ -1727,7 +1725,7 @@ mod tests {
         let q = quiet.record(biggest).unwrap();
         let s = slowed.record(biggest).unwrap();
         assert!(
-            (s.end - s.start) > (q.end - q.start).mul_f64(3.0),
+            (s.end - s.start) > (q.end - q.start).mul_f64(2.0),
             "8x straggler barely stretched {biggest:?}: {:?} vs {:?}",
             s.end - s.start,
             q.end - q.start

@@ -1,0 +1,309 @@
+//! SoA event arenas: flat `Vec`-backed event pools indexed by `u32`
+//! handles and a calendar queue popping in exact `(at, seq)` order.
+//!
+//! The seed engine kept a `BinaryHeap<Reverse<Ev>>` of 40-byte events —
+//! every push/pop paid an `O(log n)` sift over the whole pending set and
+//! moved full event payloads through the heap. Here the payload lives
+//! once in an [`EventPool`] (a free-listed slab) and the queue moves only
+//! 24-byte `(at, seq, handle)` entries through a classic calendar queue:
+//! power-of-two bucket ring indexed by `at / width`, the current bucket
+//! kept sorted (descending, so the minimum pops from the back), future
+//! buckets left unsorted until their epoch arrives. Pushes into the
+//! current epoch binary-insert; everything else is an append. The queue
+//! rebuilds itself (bucket count and width re-estimated from the live
+//! spread) when occupancy outgrows the ring.
+//!
+//! Both structures are deterministic: the pop order is *exactly*
+//! ascending `(at, seq)` — the same total order the seed heap produced —
+//! which the golden-trace fingerprints pin end-to-end and
+//! `calendar_queue_matches_reference_heap` pins in isolation.
+//!
+//! # Invariant
+//!
+//! Like any calendar queue, pushes must not travel into the past:
+//! `push(at, ..)` requires `at` to be no earlier than the last popped
+//! timestamp. The engine guarantees this (events are scheduled at
+//! `clock + duration`, and `clock` is the last popped instant).
+
+/// A free-listed slab of event payloads addressed by `u32` handles.
+///
+/// Payloads stay put from [`alloc`](EventPool::alloc) to
+/// [`take`](EventPool::take); the queue carries only the handle.
+#[derive(Debug)]
+pub(crate) struct EventPool<K> {
+    slots: Vec<K>,
+    free: Vec<u32>,
+}
+
+impl<K: Copy> EventPool<K> {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `kind`, returning its handle.
+    pub(crate) fn alloc(&mut self, kind: K) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                self.slots[h as usize] = kind;
+                h
+            }
+            None => {
+                let h = u32::try_from(self.slots.len()).expect("under 2^32 live events");
+                self.slots.push(kind);
+                h
+            }
+        }
+    }
+
+    /// Returns the payload of `h` and recycles the slot.
+    pub(crate) fn take(&mut self, h: u32) -> K {
+        let kind = self.slots[h as usize];
+        self.free.push(h);
+        kind
+    }
+}
+
+/// Ring geometry floor; rebuilds never shrink below this.
+const MIN_BUCKETS: usize = 32;
+/// Ring geometry ceiling; beyond this buckets just get denser.
+const MAX_BUCKETS: usize = 1 << 16;
+/// Initial bucket width in nanoseconds (re-estimated on rebuild).
+const INITIAL_WIDTH: u64 = 1 << 12;
+
+/// A calendar queue over `(at, seq, handle)` entries popping in exact
+/// ascending `(at, seq)` order. See the module docs for the layout.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue {
+    buckets: Vec<Vec<(u64, u64, u32)>>,
+    /// Nanoseconds spanned by one bucket.
+    width: u64,
+    /// Ring slot currently being drained.
+    cur: usize,
+    /// Timestamp at which `cur`'s current lap begins; eligible entries
+    /// satisfy `at < epoch_start + width`.
+    epoch_start: u64,
+    /// Whether `buckets[cur]` is sorted descending by `(at, seq)`.
+    sorted: bool,
+    len: usize,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalendarQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: vec![Vec::new(); MIN_BUCKETS],
+            width: INITIAL_WIDTH,
+            cur: 0,
+            epoch_start: 0,
+            sorted: true,
+            len: 0,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    fn slot(&self, at: u64) -> usize {
+        ((at / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    pub(crate) fn push(&mut self, at: u64, seq: u64, handle: u32) {
+        self.len += 1;
+        let s = self.slot(at);
+        if s == self.cur && self.sorted {
+            // Keep the active bucket's descending order so the minimum
+            // stays poppable from the back. (A future-lap entry landing
+            // in the active slot sorts to the front — still correct.)
+            let bucket = &mut self.buckets[s];
+            let pos = bucket.partition_point(|&(a, q, _)| (a, q) > (at, seq));
+            bucket.insert(pos, (at, seq, handle));
+        } else {
+            self.buckets[s].push((at, seq, handle));
+        }
+        if self.len > self.buckets.len() * 4 && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild();
+        }
+    }
+
+    /// The minimum entry without removing it.
+    pub(crate) fn peek_min(&mut self) -> Option<(u64, u64, u32)> {
+        if !self.position() {
+            return None;
+        }
+        self.buckets[self.cur].last().copied()
+    }
+
+    /// Removes and returns the minimum `(at, seq)` entry.
+    pub(crate) fn pop_min(&mut self) -> Option<(u64, u64, u32)> {
+        if !self.position() {
+            return None;
+        }
+        self.len -= 1;
+        self.buckets[self.cur].pop()
+    }
+
+    /// Advances the ring until the active bucket's back entry is eligible
+    /// for the current epoch. Returns `false` iff the queue is empty.
+    fn position(&mut self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let mut scanned = 0usize;
+        loop {
+            if !self.sorted {
+                self.buckets[self.cur].sort_unstable_by(|a, b| b.cmp(a));
+                self.sorted = true;
+            }
+            if let Some(&(at, _, _)) = self.buckets[self.cur].last() {
+                if at < self.epoch_start.saturating_add(self.width) {
+                    return true;
+                }
+            }
+            self.cur = (self.cur + 1) & (self.buckets.len() - 1);
+            self.epoch_start = self.epoch_start.saturating_add(self.width);
+            self.sorted = false;
+            scanned += 1;
+            if scanned >= self.buckets.len() {
+                // A full lap found nothing eligible: the pending set is
+                // sparse relative to the ring span. Jump straight to the
+                // global minimum instead of walking empty epochs.
+                self.fast_forward();
+                scanned = 0;
+            }
+        }
+    }
+
+    /// Re-aims the ring at the globally minimal pending timestamp.
+    fn fast_forward(&mut self) {
+        let min_at = self
+            .buckets
+            .iter()
+            .flatten()
+            .map(|&(at, _, _)| at)
+            .min()
+            .expect("fast_forward on a non-empty queue");
+        self.epoch_start = (min_at / self.width) * self.width;
+        self.cur = self.slot(min_at);
+        self.sorted = false;
+    }
+
+    /// Doubles the ring and re-estimates the bucket width from the live
+    /// entry spread (mean inter-event gap), then re-buckets everything.
+    fn rebuild(&mut self) {
+        let entries: Vec<(u64, u64, u32)> =
+            self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let min_at = entries.iter().map(|e| e.0).min().unwrap_or(0);
+        let max_at = entries.iter().map(|e| e.0).max().unwrap_or(0);
+        let n = (self.buckets.len() * 2).clamp(MIN_BUCKETS, MAX_BUCKETS);
+        self.width = ((max_at - min_at) / entries.len().max(1) as u64).max(1);
+        self.buckets = vec![Vec::new(); n];
+        self.epoch_start = (min_at / self.width) * self.width;
+        self.cur = ((min_at / self.width) as usize) & (n - 1);
+        self.sorted = false;
+        for (at, seq, handle) in entries {
+            let s = self.slot(at);
+            self.buckets[s].push((at, seq, handle));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pool_recycles_slots() {
+        let mut pool: EventPool<(u32, u32)> = EventPool::with_capacity(2);
+        let a = pool.alloc((1, 2));
+        let b = pool.alloc((3, 4));
+        assert_ne!(a, b);
+        assert_eq!(pool.take(a), (1, 2));
+        let c = pool.alloc((5, 6));
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(pool.take(b), (3, 4));
+        assert_eq!(pool.take(c), (5, 6));
+    }
+
+    #[test]
+    fn pops_in_at_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(50, 1, 0);
+        q.push(10, 2, 1);
+        q.push(10, 3, 2);
+        q.push(7_000_000, 4, 3); // far future: exercises fast-forward
+        q.push(0, 5, 4);
+        assert_eq!(q.pop_min(), Some((0, 5, 4)));
+        assert_eq!(q.peek_min(), Some((10, 2, 1)));
+        assert_eq!(q.pop_min(), Some((10, 2, 1)));
+        assert_eq!(q.pop_min(), Some((10, 3, 2)));
+        assert_eq!(q.pop_min(), Some((50, 1, 0)));
+        assert_eq!(q.pop_min(), Some((7_000_000, 4, 3)));
+        assert_eq!(q.pop_min(), None);
+        assert_eq!(q.len(), 0);
+    }
+
+    /// The engine's access pattern: interleaved pushes (never into the
+    /// past) and pops, checked entry-for-entry against a reference heap
+    /// across rebuilds and fast-forwards.
+    #[test]
+    fn calendar_queue_matches_reference_heap() {
+        let mut rng = SmallRng::seed_from_u64(0x11C7AC);
+        for round in 0..20 {
+            let mut q = CalendarQueue::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+            let mut clock = 0u64;
+            let mut seq = 0u64;
+            let mut handle = 0u32;
+            for _ in 0..2_000 {
+                if !heap.is_empty() && rng.gen_bool(0.5) {
+                    let expect = heap.pop().map(|Reverse(e)| e);
+                    assert_eq!(q.pop_min(), expect, "round {round}");
+                    clock = expect.unwrap().0;
+                } else {
+                    // Bursty horizon: mostly near-term events, a heavy
+                    // tail far out (transfer vs compute durations).
+                    let gap = if rng.gen_bool(0.1) {
+                        rng.gen_range(0..10_000_000u64)
+                    } else {
+                        rng.gen_range(0..10_000u64)
+                    };
+                    seq += 1;
+                    handle += 1;
+                    q.push(clock + gap, seq, handle);
+                    heap.push(Reverse((clock + gap, seq, handle)));
+                }
+            }
+            while let Some(Reverse(e)) = heap.pop() {
+                assert_eq!(q.pop_min(), Some(e), "round {round} drain");
+            }
+            assert_eq!(q.pop_min(), None, "round {round} empty");
+        }
+    }
+
+    #[test]
+    fn identical_timestamps_pop_in_seq_order_at_scale() {
+        // Thousands of coincident events (symmetric shard completions at
+        // scale) must come back in exact insertion-seq order.
+        let mut q = CalendarQueue::new();
+        for seq in 0..5_000u64 {
+            q.push(42, seq, seq as u32);
+        }
+        for seq in 0..5_000u64 {
+            assert_eq!(q.pop_min(), Some((42, seq, seq as u32)));
+        }
+    }
+}

@@ -7,6 +7,10 @@ use tictac_timing::{NoiseModel, Platform};
 /// Default base seed (reads roughly as "TICTAC").
 pub const DEFAULT_SEED: u64 = 0x11C7AC;
 
+/// Default worker count at which the parallel engine takes over (see
+/// [`SimConfig::par_threshold`]).
+pub const DEFAULT_PAR_THRESHOLD: usize = 64;
+
 /// Configuration of one simulated deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -49,6 +53,12 @@ pub struct SimConfig {
     /// injects nothing and leaves every trace byte-identical to a run
     /// without the fault subsystem.
     pub faults: FaultSpec,
+    /// Worker count at or above which the `simulate*` entry points switch
+    /// to the conservatively partitioned parallel engine, provided the
+    /// workload is parallel-safe (deterministic timing, quiet faults,
+    /// worker↔PS topology — see `selected_engine`). `None` disables the
+    /// parallel engine entirely, pinning the sequential oracle.
+    pub par_threshold: Option<usize>,
 }
 
 impl SimConfig {
@@ -64,6 +74,7 @@ impl SimConfig {
             disorder_window: Some(32),
             bandwidth_share_override: None,
             faults: FaultSpec::none(),
+            par_threshold: Some(DEFAULT_PAR_THRESHOLD),
         }
     }
 
@@ -78,6 +89,7 @@ impl SimConfig {
             disorder_window: Some(32),
             bandwidth_share_override: None,
             faults: FaultSpec::none(),
+            par_threshold: Some(DEFAULT_PAR_THRESHOLD),
         }
     }
 
@@ -93,6 +105,7 @@ impl SimConfig {
             disorder_window: Some(32),
             bandwidth_share_override: None,
             faults: FaultSpec::none(),
+            par_threshold: Some(DEFAULT_PAR_THRESHOLD),
         }
     }
 
@@ -136,6 +149,13 @@ impl SimConfig {
     /// Overrides the fault-injection model.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Overrides the parallel-engine worker threshold (see
+    /// [`SimConfig::par_threshold`]). `None` pins the sequential oracle.
+    pub fn with_par_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.par_threshold = threshold;
         self
     }
 

@@ -1,11 +1,19 @@
-//! The discrete-event execution engine.
+//! The sequential discrete-event execution engine and the shared
+//! simulation driver.
+//!
+//! Every public `simulate*` entry point is a thin wrapper over one
+//! generic driver ([`run_simulation`]): validate the schedule, sample the
+//! iteration's fault plan if the caller didn't supply one, then select an
+//! engine — this sequential oracle, or the conservatively partitioned
+//! parallel engine in [`crate::par`] for large, parallel-safe workloads
+//! (see [`selected_engine`]).
 
+use crate::arena::{CalendarQueue, EventPool};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use tictac_faults::{FaultClock, FaultPlan};
 use tictac_graph::{Channel, ChannelId, DeviceId, Graph, OpId, OpKind};
 use tictac_obs::{BucketHistogram, Counter, Registry};
@@ -53,8 +61,14 @@ pub fn try_simulate(
     config: &SimConfig,
     iteration: u64,
 ) -> Result<ExecutionTrace, SimError> {
-    let plan = FaultPlan::sample(&config.faults, graph, config.seed, iteration);
-    simulate_with_plan(graph, schedule, config, iteration, &plan)
+    run_simulation(
+        graph,
+        schedule,
+        config,
+        iteration,
+        None,
+        &Registry::disabled(),
+    )
 }
 
 /// Simulates one iteration under an explicit, pre-sampled [`FaultPlan`]
@@ -70,12 +84,12 @@ pub fn simulate_with_plan(
     iteration: u64,
     plan: &FaultPlan,
 ) -> Result<ExecutionTrace, SimError> {
-    simulate_with_plan_observed(
+    run_simulation(
         graph,
         schedule,
         config,
         iteration,
-        plan,
+        Some(plan),
         &Registry::disabled(),
     )
 }
@@ -99,8 +113,7 @@ pub fn try_simulate_observed(
     iteration: u64,
     registry: &Registry,
 ) -> Result<ExecutionTrace, SimError> {
-    let plan = FaultPlan::sample(&config.faults, graph, config.seed, iteration);
-    simulate_with_plan_observed(graph, schedule, config, iteration, &plan, registry)
+    run_simulation(graph, schedule, config, iteration, None, registry)
 }
 
 /// Like [`simulate_with_plan`], recording engine metrics into `registry`
@@ -117,11 +130,65 @@ pub fn simulate_with_plan_observed(
     plan: &FaultPlan,
     registry: &Registry,
 ) -> Result<ExecutionTrace, SimError> {
+    run_simulation(graph, schedule, config, iteration, Some(plan), registry)
+}
+
+/// The engine a `simulate*` call resolves to for a given workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The sequential oracle engine (this module).
+    Sequential,
+    /// The conservatively partitioned parallel engine ([`crate::par`]).
+    Parallel,
+}
+
+/// Which engine the `simulate*` entry points select for `(graph, config)`.
+///
+/// The parallel engine is chosen only when the workload is *parallel-safe*
+/// — at least [`SimConfig::par_threshold`] workers, deterministic timing
+/// (no noise, no reorder error, disorder window 1), a quiet fault spec,
+/// and a pure worker↔PS topology — so that it is observationally
+/// equivalent to the sequential oracle (`tests/par_equivalence.rs`).
+/// Everything else runs sequentially. Two run-time inputs can still force
+/// the sequential engine even when this returns
+/// [`EngineChoice::Parallel`]: an *enabled* metrics [`Registry`] (engine
+/// metrics are sequential-only) and an explicitly supplied non-quiet
+/// [`FaultPlan`].
+pub fn selected_engine(graph: &Graph, config: &SimConfig) -> EngineChoice {
+    if crate::par::eligible(graph, config) {
+        EngineChoice::Parallel
+    } else {
+        EngineChoice::Sequential
+    }
+}
+
+/// The shared driver behind every public `simulate*` entry point:
+/// validates the schedule, samples the iteration's fault plan when the
+/// caller didn't pin one, then routes to the selected engine.
+fn run_simulation(
+    graph: &Graph,
+    schedule: &Schedule,
+    config: &SimConfig,
+    iteration: u64,
+    plan: Option<&FaultPlan>,
+    registry: &Registry,
+) -> Result<ExecutionTrace, SimError> {
     if schedule.len() != graph.len() {
         return Err(SimError::ScheduleMismatch {
             schedule_len: schedule.len(),
             graph_len: graph.len(),
         });
+    }
+    let sampled;
+    let plan = match plan {
+        Some(plan) => plan,
+        None => {
+            sampled = FaultPlan::sample(&config.faults, graph, config.seed, iteration);
+            &sampled
+        }
+    };
+    if !registry.is_enabled() && plan.is_quiet() && crate::par::eligible(graph, config) {
+        return crate::par::simulate_par(graph, schedule, config);
     }
     let mut engine = Engine::new(graph, schedule, config, iteration, plan);
     engine.metrics = EngineMetrics::install(registry, graph);
@@ -232,24 +299,6 @@ enum FaultAction {
     StallEnd { dev: usize },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Ev {
-    at: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Per-device ready set, bucketed by schedule priority.
 ///
 /// The seed engine scanned the whole ready `Vec` per pick to find the
@@ -261,7 +310,7 @@ impl PartialOrd for Ev {
 /// seed engine's candidate indices exposed (the RNG pick index must mean
 /// the same op).
 #[derive(Debug, Default)]
-struct ReadyQueue {
+pub(crate) struct ReadyQueue {
     seq: u64,
     /// Unprioritized ready ops in push order.
     unprio: VecDeque<(u64, OpId)>,
@@ -271,7 +320,7 @@ struct ReadyQueue {
 }
 
 impl ReadyQueue {
-    fn push(&mut self, op: OpId, priority: Option<u64>) {
+    pub(crate) fn push(&mut self, op: OpId, priority: Option<u64>) {
         self.seq += 1;
         match priority {
             None => self.unprio.push_back((self.seq, op)),
@@ -280,7 +329,7 @@ impl ReadyQueue {
         self.len += 1;
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.len == 0
     }
 
@@ -294,7 +343,7 @@ impl ReadyQueue {
     /// # Panics
     ///
     /// Panics if `idx >= self.candidates()`.
-    fn take_candidate(&mut self, idx: usize) -> OpId {
+    pub(crate) fn take_candidate(&mut self, idx: usize) -> OpId {
         let min_key = self.buckets.first_key_value().map(|(&k, _)| k);
         let bucket_at = |b: usize| {
             min_key.and_then(|k| self.buckets.get(&k).and_then(|q| q.get(b).map(|e| e.0)))
@@ -349,7 +398,7 @@ struct ChanEntry {
 /// the entry; dead prefixes pop eagerly and the deque is compacted when
 /// tombstones outnumber live entries, keeping walks amortized cheap.
 #[derive(Debug, Default)]
-struct ChanQueue {
+pub(crate) struct ChanQueue {
     seq: u64,
     /// Queued transfers in hand-off order; `seq` is strictly increasing
     /// along the deque (compaction preserves order).
@@ -360,7 +409,7 @@ struct ChanQueue {
 }
 
 impl ChanQueue {
-    fn push(&mut self, op: OpId, rank: Option<u64>) {
+    pub(crate) fn push(&mut self, op: OpId, rank: Option<u64>) {
         self.seq += 1;
         if let Some(r) = rank {
             let prev = self.ranked.insert(r, self.seq);
@@ -375,15 +424,15 @@ impl ChanQueue {
         self.live += 1;
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.live == 0
     }
 
-    fn live(&self) -> usize {
+    pub(crate) fn live(&self) -> usize {
         self.live
     }
 
-    fn has_ranked(&self) -> bool {
+    pub(crate) fn has_ranked(&self) -> bool {
         !self.ranked.is_empty()
     }
 
@@ -393,7 +442,7 @@ impl ChanQueue {
     /// # Panics
     ///
     /// Panics if no ranked transfer is queued.
-    fn pop_min_rank(&mut self) -> OpId {
+    pub(crate) fn pop_min_rank(&mut self) -> OpId {
         let (&rank, &seq) = self.ranked.iter().next().expect("a ranked entry");
         self.ranked.remove(&rank);
         let idx = self
@@ -412,7 +461,7 @@ impl ChanQueue {
     /// # Panics
     ///
     /// Panics if `idx >= self.live()`.
-    fn pop_live_index(&mut self, idx: usize) -> OpId {
+    pub(crate) fn pop_live_index(&mut self, idx: usize) -> OpId {
         let mut seen = 0usize;
         let pos = self
             .order
@@ -446,6 +495,35 @@ impl ChanQueue {
     }
 }
 
+/// Enforcement ranks: priorities normalized to `[0, n)` per channel,
+/// attached to the PS-side send op of each prioritized transfer (§5.1:
+/// enforcement happens at the sender before gRPC hand-off). Hand-built
+/// graphs may model recvs as pure roots (no explicit send op); those
+/// transfers carry the rank on the recv itself and are ordered by the
+/// channel's rank-aware pop alone. Shared by both engines.
+pub(crate) fn enforcement_ranks(graph: &Graph, schedule: &Schedule) -> Vec<Option<u64>> {
+    let mut rank = vec![None; graph.len()];
+    for (ch, recvs) in schedule
+        .ordered_recvs_per_channel(graph)
+        .into_iter()
+        .enumerate()
+    {
+        debug_assert!(ch < graph.channels().len());
+        for (r, recv) in recvs.into_iter().enumerate() {
+            let send = graph
+                .preds(recv)
+                .iter()
+                .copied()
+                .find(|&p| graph.op(p).kind().is_send());
+            match send {
+                Some(send) => rank[send.index()] = Some(r as u64),
+                None => rank[recv.index()] = Some(r as u64),
+            }
+        }
+    }
+    rank
+}
+
 struct Engine<'g> {
     graph: &'g Graph,
     schedule: &'g Schedule,
@@ -458,7 +536,10 @@ struct Engine<'g> {
     plan: &'g FaultPlan,
 
     clock: SimTime,
-    events: BinaryHeap<Reverse<Ev>>,
+    /// Event payloads, free-listed; the queue carries only handles.
+    pool: EventPool<EventKind>,
+    /// Pending events in exact `(at, seq)` pop order.
+    events: CalendarQueue,
     seq: u64,
 
     indegree: Vec<u32>,
@@ -547,31 +628,7 @@ impl<'g> Engine<'g> {
             slowdown[device.index()] *= factor;
         }
 
-        // Enforcement ranks: priorities normalized to [0, n) per channel,
-        // attached to the PS-side send op of each prioritized transfer
-        // (§5.1: enforcement happens at the sender before gRPC hand-off).
-        let mut rank = vec![None; n];
-        for channel in graph.channels() {
-            for (r, recv) in schedule
-                .ordered_recvs(graph, channel.id())
-                .into_iter()
-                .enumerate()
-            {
-                // Hand-built graphs may model recvs as pure roots (no
-                // explicit send op); those transfers skip sender-side
-                // counters and are ordered by the channel's rank-aware
-                // pop alone.
-                let send = graph
-                    .preds(recv)
-                    .iter()
-                    .copied()
-                    .find(|&p| graph.op(p).kind().is_send());
-                match send {
-                    Some(send) => rank[send.index()] = Some(r as u64),
-                    None => rank[recv.index()] = Some(r as u64),
-                }
-            }
-        }
+        let rank = enforcement_ranks(graph, schedule);
 
         let indegree: Vec<u32> = (0..n)
             .map(|i| graph.preds(OpId::from_index(i)).len() as u32)
@@ -600,7 +657,8 @@ impl<'g> Engine<'g> {
             rng,
             plan,
             clock: SimTime::ZERO,
-            events: BinaryHeap::new(),
+            pool: EventPool::with_capacity(graph.devices().len() + graph.channels().len()),
+            events: CalendarQueue::new(),
             seq: 0,
             indegree,
             done: vec![false; n],
@@ -713,14 +771,15 @@ impl<'g> Engine<'g> {
         self.pump();
 
         while self.remaining > 0 {
-            let Some(Reverse(ev)) = self.events.pop() else {
+            let Some((at, _seq, handle)) = self.events.pop_min() else {
                 break;
             };
+            let kind = self.pool.take(handle);
             if let Some(m) = &self.metrics {
                 m.events.inc();
             }
-            self.clock = SimTime::from_nanos(ev.at);
-            match ev.kind {
+            self.clock = SimTime::from_nanos(at);
+            match kind {
                 EventKind::ComputeDone(op, epoch) => {
                     if epoch != self.epoch[op.index()] {
                         continue; // cancelled by a crash or stall
@@ -781,11 +840,8 @@ impl<'g> Engine<'g> {
 
     fn schedule_event(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Reverse(Ev {
-            at: at.as_nanos(),
-            seq: self.seq,
-            kind,
-        }));
+        let handle = self.pool.alloc(kind);
+        self.events.push(at.as_nanos(), self.seq, handle);
     }
 
     /// Routes an op whose dependencies are all satisfied.

@@ -42,14 +42,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod config;
 mod engine;
 mod error;
 mod metrics;
+mod par;
 
-pub use config::{SimConfig, DEFAULT_SEED};
+pub use config::{SimConfig, DEFAULT_PAR_THRESHOLD, DEFAULT_SEED};
 pub use engine::{
-    simulate, simulate_with_plan, simulate_with_plan_observed, try_simulate, try_simulate_observed,
+    selected_engine, simulate, simulate_with_plan, simulate_with_plan_observed, try_simulate,
+    try_simulate_observed, EngineChoice,
 };
 pub use error::SimError;
 // The fault model lives in the backend-agnostic `tictac-faults` crate

@@ -159,8 +159,10 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
     let ps = flag_usize(flags, "ps", (workers / 4).max(1));
     let iterations = flag_usize(flags, "iterations", 10);
     let scheduler = flag_scheduler(flags);
+    let cluster = ClusterSpec::try_new(workers, ps)
+        .unwrap_or_else(|e| usage(&format!("invalid cluster: {e}")));
     let session = Session::builder(model.build(flag_mode(flags)))
-        .cluster(ClusterSpec::new(workers, ps))
+        .cluster(cluster)
         .config(flag_config(flags))
         .scheduler(scheduler)
         .iterations(iterations)
@@ -187,8 +189,10 @@ fn timeline(args: &[String], flags: &HashMap<String, String>) {
     let ps = flag_usize(flags, "ps", 1);
     let config = flag_config(flags);
     let graph = model.build(flag_mode(flags));
-    let deployed = deploy(&graph, &ClusterSpec::new(workers, ps))
-        .unwrap_or_else(|e| usage(&format!("invalid deployment: {e}")));
+    let cluster = ClusterSpec::try_new(workers, ps)
+        .unwrap_or_else(|e| usage(&format!("invalid cluster: {e}")));
+    let deployed =
+        deploy(&graph, &cluster).unwrap_or_else(|e| usage(&format!("invalid deployment: {e}")));
     let g = deployed.graph();
     let schedule = match flag_scheduler(flags) {
         SchedulerKind::Baseline => no_ordering(g),

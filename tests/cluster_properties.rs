@@ -70,6 +70,8 @@ proptest! {
         workers in 1usize..5,
         ps in 1usize..3,
     ) {
+        // A one-layer model only supports one shard.
+        let ps = ps.min(model.params().len());
         let deployed = deploy(&model, &ClusterSpec::new(workers, ps)).unwrap();
         let g = deployed.graph();
         prop_assert!(g.check().is_ok());
@@ -128,7 +130,8 @@ proptest! {
         model in random_model(),
         workers in 1usize..4,
     ) {
-        let deployed = deploy(&model, &ClusterSpec::new(workers, 2)).unwrap();
+        let ps = 2.min(model.params().len());
+        let deployed = deploy(&model, &ClusterSpec::new(workers, ps)).unwrap();
         let g = deployed.graph();
         let param_bytes: u64 = model.params().iter().map(|p| p.bytes()).sum();
         // Downlink = params x workers; uplink = grads x workers.

@@ -1,0 +1,219 @@
+//! Parallel-engine equivalence suite: the conservatively partitioned
+//! parallel engine must be trace-equivalent to the sequential oracle.
+//!
+//! "Trace-equivalent" is the metric/analyzer bar documented in
+//! `tictac_sim::par`: identical [`IterationMetrics`] and identical
+//! analyzer outputs (overlap report, realized efficiency, priority
+//! inversions). Byte-identical traces are *not* required — partitions
+//! that complete ops at the same simulated instant may record them in a
+//! different (but equally legal) order, and every derived quantity is
+//! invariant under that permutation.
+//!
+//! Three families of checks:
+//!
+//! * **Zoo coverage**: every model of the 10-model zoo, deployed at
+//!   several worker/shard shapes up to 16 workers, under both the random
+//!   baseline and enforced TIC/TAC schedules.
+//! * **Property-based**: random layered models × random small cluster
+//!   shapes × seeds, through the same comparison.
+//! * **Auto-selection**: `simulate` switches engines at the configured
+//!   threshold, and a `Session` above the threshold produces the same
+//!   report as one pinned to the sequential oracle.
+
+use proptest::prelude::*;
+use tictac::{
+    analyze, deploy, no_ordering, overlap_report, priority_inversions, realized_efficiency,
+    selected_engine, simulate, tac, tic, ClusterSpec, CostOracle, EngineChoice, Mode, Model,
+    ModelGraph, Platform, Schedule, Session, SimConfig,
+};
+use tictac_graph::{Graph, ModelGraphBuilder, ModelOpId, ModelOpKind};
+
+/// A parallel-safe deterministic config that *forces* the parallel engine
+/// (threshold 1) — the sequential run pins the oracle with threshold
+/// `None`.
+fn forced_par() -> SimConfig {
+    SimConfig::deterministic(Platform::cloud_gpu())
+        .with_disorder_window(Some(1))
+        .with_par_threshold(Some(1))
+}
+
+/// Asserts the parallel engine is trace-equivalent to the sequential
+/// oracle for one `(graph, schedule)` under [`forced_par`].
+fn assert_equivalent(graph: &Graph, workers: &[tictac::DeviceId], schedule: &Schedule, tag: &str) {
+    let par_cfg = forced_par();
+    let seq_cfg = par_cfg.clone().with_par_threshold(None);
+    assert_eq!(
+        selected_engine(graph, &par_cfg),
+        EngineChoice::Parallel,
+        "{tag}"
+    );
+    assert_eq!(
+        selected_engine(graph, &seq_cfg),
+        EngineChoice::Sequential,
+        "{tag}"
+    );
+    let par = simulate(graph, schedule, &par_cfg, 0);
+    let seq = simulate(graph, schedule, &seq_cfg, 0);
+    assert_eq!(par.executed_ops(), graph.len(), "{tag}: par completes");
+    assert_eq!(par.makespan(), seq.makespan(), "{tag}: makespan");
+    assert_eq!(
+        analyze(graph, workers, &par),
+        analyze(graph, workers, &seq),
+        "{tag}: iteration metrics"
+    );
+    assert_eq!(
+        overlap_report(graph, &par),
+        overlap_report(graph, &seq),
+        "{tag}: overlap report"
+    );
+    assert_eq!(
+        realized_efficiency(graph, &par),
+        realized_efficiency(graph, &seq),
+        "{tag}: realized efficiency"
+    );
+    assert_eq!(
+        priority_inversions(graph, &par, |op| schedule.priority(op)),
+        priority_inversions(graph, &seq, |op| schedule.priority(op)),
+        "{tag}: priority inversions"
+    );
+}
+
+#[test]
+fn every_zoo_model_is_equivalent_under_all_schedules() {
+    let oracle = CostOracle::new(Platform::cloud_gpu());
+    for model in Model::ALL {
+        for (w, s) in [(4, 2), (16, 4)] {
+            let d = deploy(
+                &model.build_with_batch(Mode::Training, 2),
+                &ClusterSpec::new(w, s),
+            )
+            .unwrap();
+            let g = d.graph();
+            let w0 = d.workers()[0];
+            let schedules = [
+                ("baseline", no_ordering(g)),
+                ("tic", d.replicate_schedule(&tic(g, w0))),
+                ("tac", d.replicate_schedule(&tac(g, w0, &oracle))),
+            ];
+            for (name, schedule) in schedules {
+                let tag = format!("{}/{w}w{s}s/{name}", model.name());
+                assert_equivalent(g, d.workers(), &schedule, &tag);
+            }
+        }
+    }
+}
+
+#[test]
+fn inference_deployments_are_equivalent_too() {
+    // No gradient path: the PS partitions see no inbound messages at all.
+    let d = deploy(
+        &Model::AlexNetV2.build_with_batch(Mode::Inference, 2),
+        &ClusterSpec::new(8, 2),
+    )
+    .unwrap();
+    let g = d.graph();
+    assert_equivalent(g, d.workers(), &no_ordering(g), "alexnet/inference");
+    let schedule = d.replicate_schedule(&tic(g, d.workers()[0]));
+    assert_equivalent(g, d.workers(), &schedule, "alexnet/inference/tic");
+}
+
+/// A random layered training model (same shape family as
+/// `cluster_properties.rs`).
+fn random_model() -> impl Strategy<Value = ModelGraph> {
+    (1usize..6, 1usize..5, any::<u64>()).prop_map(|(layers, width_step, seed)| {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = ModelGraphBuilder::new("random", 4);
+        let mut prev: Option<ModelOpId> = None;
+        let mut weights = Vec::new();
+        for l in 0..layers {
+            let w = b.add_param(format!("l{l}/w"), vec![8 * width_step, 8]);
+            let deps: Vec<ModelOpId> = prev.into_iter().collect();
+            let fwd = b.add_op(
+                format!("l{l}/fwd"),
+                ModelOpKind::Forward,
+                rng.gen_range(1e5..1e8),
+                &deps,
+                &[w],
+                &[],
+            );
+            prev = Some(fwd);
+            weights.push(w);
+        }
+        let loss = b.add_op(
+            "loss",
+            ModelOpKind::Loss,
+            1e4,
+            &prev.into_iter().collect::<Vec<_>>(),
+            &[],
+            &[],
+        );
+        let mut bwd_prev = loss;
+        for (l, w) in weights.iter().enumerate().rev() {
+            bwd_prev = b.add_op(
+                format!("l{l}/grad"),
+                ModelOpKind::Backward,
+                rng.gen_range(1e5..1e8),
+                &[bwd_prev],
+                &[*w],
+                &[*w],
+            );
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_models_are_equivalent(
+        model in random_model(),
+        workers in 1usize..5,
+        ps in 1usize..3,
+    ) {
+        let ps = ps.min(model.params().len());
+        let d = deploy(&model, &ClusterSpec::new(workers, ps)).unwrap();
+        let g = d.graph();
+        assert_equivalent(g, d.workers(), &no_ordering(g), "random/baseline");
+        let schedule = d.replicate_schedule(&tic(g, d.workers()[0]));
+        assert_equivalent(g, d.workers(), &schedule, "random/tic");
+    }
+}
+
+#[test]
+fn simulate_switches_engines_at_the_threshold() {
+    let model = tictac::tiny_mlp(Mode::Training, 4);
+    let base = SimConfig::deterministic(Platform::cloud_gpu()).with_disorder_window(Some(1));
+    for (w, expected) in [(4, EngineChoice::Sequential), (8, EngineChoice::Parallel)] {
+        let d = deploy(&model, &ClusterSpec::new(w, 2)).unwrap();
+        assert_eq!(
+            selected_engine(d.graph(), &base.clone().with_par_threshold(Some(8))),
+            expected,
+            "{w} workers vs threshold 8"
+        );
+    }
+}
+
+#[test]
+fn sessions_above_the_threshold_match_the_pinned_oracle() {
+    let report_with = |threshold: Option<usize>| {
+        Session::builder(tictac::tiny_mlp(Mode::Training, 4))
+            .cluster(ClusterSpec::new(8, 2))
+            .config(
+                SimConfig::deterministic(Platform::cloud_gpu())
+                    .with_disorder_window(Some(1))
+                    .with_par_threshold(threshold),
+            )
+            .scheduler(tictac::SchedulerKind::Tac)
+            .warmup(0)
+            .iterations(2)
+            .build()
+            .expect("model deploys")
+            .run()
+    };
+    let par = report_with(Some(1));
+    let seq = report_with(None);
+    assert_eq!(par.mean_makespan(), seq.mean_makespan());
+}
