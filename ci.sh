@@ -72,4 +72,19 @@ echo "== trace export =="
 ./target/release/repro --export-trace target/trace_smoke.json
 ./target/release/repro --validate-trace target/trace_smoke.json
 
+echo "== run store smoke =="
+# Observability gate (DESIGN.md §13): replay the committed run-store
+# corpus, append one fresh seeded session and one repro report on top of
+# it, then let `runs regress` judge the new records against the stored
+# history — any drift in the deterministic sim payloads fails the gate.
+# target/ci-runs.jsonl is the uploaded artifact.
+cp results/runs.jsonl target/ci-runs.jsonl
+./target/release/tictac run alexnet_v2 --workers 2 --ps 1 --scheduler tac \
+    --iterations 4 --env g --store target/ci-runs.jsonl > /dev/null
+TICTAC_RUN_STORE=target/ci-runs.jsonl ./target/release/repro --exp table1 --quick > /dev/null
+./target/release/tictac runs list --store target/ci-runs.jsonl
+./target/release/tictac runs diff --store target/ci-runs.jsonl --kind session | grep -q "zero drift"
+./target/release/tictac runs diff --store target/ci-runs.jsonl --kind report | grep -q "zero drift"
+./target/release/tictac runs regress --store target/ci-runs.jsonl
+
 echo "== ci.sh: all green =="

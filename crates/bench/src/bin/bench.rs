@@ -1,7 +1,7 @@
 //! `bench` — the in-repo wall-clock benchmark harness.
 //!
 //! ```text
-//! bench [--quick] [--backend sim|threaded] [--out PATH] [--baseline PATH]
+//! bench [--quick] [--backend sim|threaded] [--out PATH] [--baseline PATH] [--store PATH]
 //! bench --check PATH [--baseline PATH]
 //! ```
 //!
@@ -9,6 +9,12 @@
 //! tac / tac_naive / simulate) with warmup + median-of-N, writes the
 //! report to `BENCH_results.json` (or `--out`), and prints a comparison
 //! against the checked-in `BENCH_baseline.json` when one is present.
+//!
+//! `--store PATH` additionally appends the run to the JSONL run store
+//! (one record per model; `TICTAC_RUN_STORE` arms the same sink). A
+//! `--baseline` ending in `.jsonl` is read as a run-store corpus: the
+//! latest bench record per model becomes the comparison baseline, so the
+//! gate tracks accumulated history instead of one pinned file.
 //!
 //! `--check PATH` validates an existing report and, when a baseline with
 //! a matching backend is available, exits nonzero if any phase of any
@@ -19,7 +25,8 @@
 
 use tictac_bench::format::Table;
 use tictac_bench::micro::{
-    regressions, render_json, run_plan, validate_report, BenchBackend, BenchPlan, BenchReport,
+    regressions, render_json, report_from_records, report_records, run_plan, validate_report,
+    BenchBackend, BenchPlan, BenchReport,
 };
 
 /// The CI gate for full reports: fail a phase that got >25% and >0.1 ms
@@ -35,7 +42,7 @@ const QUICK_FLOOR_MS: f64 = 0.25;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench [--quick] [--backend sim|threaded] [--out PATH] [--baseline PATH]\n       bench --check PATH [--baseline PATH]"
+        "usage: bench [--quick] [--backend sim|threaded] [--out PATH] [--baseline PATH] [--store PATH]\n       bench --check PATH [--baseline PATH]"
     );
     std::process::exit(2);
 }
@@ -43,6 +50,11 @@ fn usage() -> ! {
 fn load_report(path: &str, what: &str) -> Result<BenchReport, String> {
     let src =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {what} {path}: {e}"))?;
+    if path.ends_with(".jsonl") {
+        let records = tictac_store::load_lines(&src)
+            .map_err(|e| format!("{what} {path} is not a valid run store: {e}"))?;
+        return report_from_records(&records).map_err(|e| format!("{what} {path}: {e}"));
+    }
     validate_report(&src).map_err(|e| format!("{what} {path} is malformed: {e}"))
 }
 
@@ -183,10 +195,12 @@ fn main() {
     let mut out = String::from("BENCH_results.json");
     let mut baseline_path = String::from("BENCH_baseline.json");
     let mut check_path: Option<String> = None;
+    let mut store_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--store" => store_path = Some(args.next().unwrap_or_else(|| usage())),
             "--backend" => {
                 let value = args.next().unwrap_or_else(|| usage());
                 backend = BenchBackend::parse(&value).unwrap_or_else(|| {
@@ -233,6 +247,21 @@ fn main() {
     }
     println!("\n{}", summary(&report));
     println!("wrote {out}");
+
+    let store = store_path
+        .map(tictac_store::set_global_store)
+        .or_else(tictac_store::global_store);
+    if let Some(store) = store {
+        for record in report_records(&report) {
+            match store.append(record) {
+                Ok(id) => println!("recorded {id} -> {}", store.path().display()),
+                Err(e) => {
+                    eprintln!("bench: cannot append to {}: {e}", store.path().display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 
     match std::fs::read_to_string(&baseline_path) {
         Ok(src) => match validate_report(&src) {

@@ -13,7 +13,16 @@
 //! repro --export-trace out.json   # write a Perfetto trace of one iteration
 //! repro --export-chaos-trace out.json # same, with injected faults
 //! repro --validate-trace out.json # parse + sanity-check an exported trace
+//! repro --exp table1 --store runs.jsonl # also append run records to a store
 //! ```
+//!
+//! `--store PATH` (or the `TICTAC_RUN_STORE` environment variable) arms
+//! the process-global run store: every session an experiment runs appends
+//! a full evidence record, and each experiment additionally appends one
+//! `report`-kind record holding the FNV-1a fingerprint of its rendered
+//! report — so even session-free experiments (like `table1`) leave a
+//! regression-checkable trail. Reports are deterministic on the sim
+//! backend, so two same-seed invocations append byte-identical payloads.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -160,6 +169,12 @@ fn main() {
                 let value = args.next().unwrap_or_else(|| usage("--out needs a value"));
                 out_dir = Some(PathBuf::from(value));
             }
+            "--store" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--store needs a file path"));
+                tictac_store::set_global_store(value);
+            }
             "--export-trace" => {
                 let value = args
                     .next()
@@ -246,6 +261,33 @@ fn main() {
             f.write_all(report.as_bytes()).expect("write report");
             eprintln!("wrote {}", path.display());
         }
+        if let Some(store) = tictac_store::global_store() {
+            let record = tictac_store::RunRecord {
+                id: String::new(),
+                time_ms: 0,
+                source: "repro".into(),
+                workload: label.to_string(),
+                model_fp: 0,
+                workers: 0,
+                ps: 0,
+                scheduler: "-".into(),
+                backend: if threaded { "threaded" } else { "sim" }.into(),
+                seed: SimConfig::cloud_gpu().seed,
+                fault_fp: 0,
+                provenance: std::env::var("TICTAC_PROVENANCE").unwrap_or_default(),
+                payload: tictac_store::Payload::Report(tictac_store::ReportEvidence {
+                    report_fp: tictac_store::fnv1a_64(report.as_bytes()),
+                    quick,
+                }),
+            };
+            match store.append(record) {
+                Ok(id) => eprintln!("recorded {id} -> {}", store.path().display()),
+                Err(e) => {
+                    eprintln!("repro: cannot append to {}: {e}", store.path().display());
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }
 
@@ -254,7 +296,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro --exp <name|all>[,name...] [--quick] [--backend sim|threaded] [--out DIR] [--list]\n\
+        "usage: repro --exp <name|all>[,name...] [--quick] [--backend sim|threaded] [--out DIR] [--store FILE.jsonl] [--list]\n\
          \x20      repro --export-trace FILE.json   (Perfetto trace of one TAC AlexNet iteration)\n\
          \x20      repro --export-chaos-trace FILE.json (same, threaded backend with injected faults)\n\
          \x20      repro --validate-trace FILE.json (parse + sanity-check an exported trace)\n\

@@ -19,7 +19,7 @@
 use crate::format::Table;
 use tictac_core::{
     overlap_report, priority_inversions, realized_efficiency, ClusterSpec, Mode, Model, NoiseModel,
-    Registry, SchedulerKind, Session, SimConfig,
+    Registry, RunOptions, SchedulerKind, Session, SimConfig,
 };
 
 const KINDS: [SchedulerKind; 3] = [
@@ -107,14 +107,25 @@ pub fn run(quick: bool) -> String {
 
         // Deterministic registry excerpt for the last model: scheduler
         // work counters and simulator event counts (never timers — those
-        // are wall clock and would make the report unstable).
+        // are wall clock and would make the report unstable). A short
+        // measured run fills the makespan histogram so the excerpt also
+        // carries the p50/p95/p99 line `tictac runs show` prints from a
+        // stored record — makespans are virtual time, so it is stable.
+        tac_session.run_with(RunOptions::default().iterations(8));
         let snap = registry.snapshot();
+        let makespan_line = snap
+            .render()
+            .lines()
+            .find(|l| l.starts_with("session.makespan_us"))
+            .map(str::to_string)
+            .unwrap_or_default();
         excerpt = format!(
-            "registry excerpt ({}, tac): sched.tac.merges={} sched.tac.rederived={} sim.events={}",
+            "registry excerpt ({}, tac): sched.tac.merges={} sched.tac.rederived={} sim.events={}\n{}",
             model.name(),
             snap.counter("sched.tac.merges").unwrap_or(0),
             snap.counter("sched.tac.rederived").unwrap_or(0),
             snap.counter("sim.events").unwrap_or(0),
+            makespan_line,
         );
     }
 
@@ -144,6 +155,10 @@ mod tests {
         assert!(a.contains("inv vs TAC"));
         assert!(a.contains("registry excerpt"));
         assert!(a.contains("sched.tac.merges="));
+        // The measured-run histogram surfaces its percentile summary.
+        assert!(a.contains("session.makespan_us = count 8 / mean"));
+        assert!(a.contains("/ p50 "));
+        assert!(a.contains("/ p99 "));
         // No wall-clock values: two runs render byte-identically.
         assert_eq!(a, super::run(true));
     }

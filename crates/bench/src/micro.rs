@@ -10,8 +10,11 @@
 //! hand-rolled: [`render_json`] emits it and [`parse_json`] /
 //! [`validate_report`] read it back for `bench --check` and for the
 //! comparison against the checked-in `BENCH_baseline.json`. The JSON
-//! value type, parser and string quoting live in `tictac-obs` (shared
-//! with the Perfetto exporter/validator) and are re-exported here.
+//! value type, parser, string quoting *and writer* all live in
+//! `tictac-obs` (shared with the Perfetto exporter/validator and the
+//! run store) and are re-exported here — this module builds a [`Json`]
+//! tree and prints it with [`render_json_pretty`] rather than keeping a
+//! second hand-rolled writer.
 
 use std::hint::black_box;
 
@@ -20,7 +23,7 @@ use tictac_core::{
     CostOracle, DeployCache, ExecOptions, Mode, Model, Platform, Registry, SchedulerKind,
     SimConfig,
 };
-pub use tictac_obs::{parse_json, quote, Json};
+pub use tictac_obs::{parse_json, quote, render_json_pretty, Json};
 
 /// Which engine executes the timed iteration phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -293,32 +296,78 @@ pub fn run_plan(plan: &BenchPlan, mut progress: impl FnMut(&ModelTiming)) -> Ben
     }
 }
 
-/// Renders the report as pretty-printed JSON.
+/// The report as a [`Json`] tree (the shape `BENCH_results.json` pins).
+fn report_json(report: &BenchReport) -> Json {
+    let models = report
+        .models
+        .iter()
+        .map(|m| {
+            let phases = m
+                .phases
+                .pairs()
+                .iter()
+                .map(|&(name, value)| (name.to_string(), Json::Num(value)))
+                .collect();
+            Json::Obj(vec![
+                ("model".into(), Json::Str(m.model.clone())),
+                ("phases".into(), Json::Obj(phases)),
+                ("tac_speedup".into(), Json::Num(m.tac_speedup)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("quick".into(), Json::Bool(report.quick)),
+        ("warmup".into(), Json::Num(report.warmup as f64)),
+        ("samples".into(), Json::Num(report.samples as f64)),
+        ("backend".into(), Json::Str(report.backend.clone())),
+        ("models".into(), Json::Arr(models)),
+    ])
+}
+
+/// Renders the report as pretty-printed JSON (trailing newline included).
 pub fn render_json(report: &BenchReport) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str(&format!("  \"schema\": {},\n", quote(SCHEMA)));
-    s.push_str(&format!("  \"quick\": {},\n", report.quick));
-    s.push_str(&format!("  \"warmup\": {},\n", report.warmup));
-    s.push_str(&format!("  \"samples\": {},\n", report.samples));
-    s.push_str(&format!("  \"backend\": {},\n", quote(&report.backend)));
-    s.push_str("  \"models\": [\n");
-    for (i, m) in report.models.iter().enumerate() {
-        s.push_str("    {\n");
-        s.push_str(&format!("      \"model\": {},\n", quote(&m.model)));
-        s.push_str("      \"phases\": {\n");
-        let pairs = m.phases.pairs();
-        for (j, (name, value)) in pairs.iter().enumerate() {
-            let comma = if j + 1 < pairs.len() { "," } else { "" };
-            s.push_str(&format!("        {}: {value:.6}{comma}\n", quote(name)));
-        }
-        s.push_str("      },\n");
-        s.push_str(&format!("      \"tac_speedup\": {:.6}\n", m.tac_speedup));
-        let comma = if i + 1 < report.models.len() { "," } else { "" };
-        s.push_str(&format!("    }}{comma}\n"));
-    }
-    s.push_str("  ]\n}\n");
-    s
+    let mut out = render_json_pretty(&report_json(report));
+    out.push('\n');
+    out
+}
+
+/// Converts the report into run-store records: one [`Payload::Bench`]
+/// record per model row, carrying the per-phase medians. Identity fields
+/// mirror [`bench_model`]'s fixed setup (4 workers, 1 PS); the seed slot
+/// carries the sample count since wall-clock timing has no RNG seed.
+///
+/// [`Payload::Bench`]: tictac_store::Payload::Bench
+pub fn report_records(report: &BenchReport) -> Vec<tictac_store::RunRecord> {
+    report
+        .models
+        .iter()
+        .map(|m| tictac_store::RunRecord {
+            id: String::new(),
+            time_ms: 0,
+            source: "bench".into(),
+            workload: m.model.clone(),
+            model_fp: 0,
+            workers: 4,
+            ps: 1,
+            scheduler: "-".into(),
+            backend: report.backend.clone(),
+            seed: report.samples as u64,
+            fault_fp: 0,
+            provenance: std::env::var("TICTAC_PROVENANCE").unwrap_or_default(),
+            payload: tictac_store::Payload::Bench(tictac_store::BenchEvidence {
+                phases: m
+                    .phases
+                    .pairs()
+                    .iter()
+                    .map(|&(name, value)| tictac_store::PhaseMean {
+                        name: name.to_string(),
+                        mean_ms: value,
+                    })
+                    .collect(),
+            }),
+        })
+        .collect()
 }
 
 fn field_f64(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
@@ -392,6 +441,74 @@ pub fn validate_report(src: &str) -> Result<BenchReport, String> {
     Ok(BenchReport {
         quick,
         warmup,
+        samples,
+        backend,
+        models,
+    })
+}
+
+/// Reconstructs a comparable [`BenchReport`] from a run-store corpus:
+/// the *latest* [`Payload::Bench`] record of every workload becomes one
+/// model row (`tac_speedup` is re-derived from the phase medians). This
+/// is what lets `bench --baseline runs.jsonl` gate against accumulated
+/// history instead of a single pinned `BENCH_baseline.json`.
+///
+/// # Errors
+///
+/// Fails when the corpus holds no bench records, mixes backends, or a
+/// record is missing one of the pinned phase names.
+///
+/// [`Payload::Bench`]: tictac_store::Payload::Bench
+pub fn report_from_records(records: &[tictac_store::RunRecord]) -> Result<BenchReport, String> {
+    let mut latest: Vec<&tictac_store::RunRecord> = Vec::new();
+    for r in records {
+        if !matches!(r.payload, tictac_store::Payload::Bench(_)) {
+            continue;
+        }
+        match latest.iter_mut().find(|l| l.workload == r.workload) {
+            Some(slot) => *slot = r,
+            None => latest.push(r),
+        }
+    }
+    if latest.is_empty() {
+        return Err("corpus holds no bench records".into());
+    }
+    let backend = latest[0].backend.clone();
+    if latest.iter().any(|r| r.backend != backend) {
+        return Err("corpus mixes bench backends; filter before comparing".into());
+    }
+    let samples = latest[0].seed as usize;
+    let mut models = Vec::with_capacity(latest.len());
+    for r in &latest {
+        let tictac_store::Payload::Bench(b) = &r.payload else {
+            unreachable!("non-bench records were filtered above");
+        };
+        let phase = |name: &str| {
+            b.phases
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| p.mean_ms)
+                .ok_or_else(|| format!("{}: bench record lacks phase {name:?}", r.workload))
+        };
+        let phases = PhaseTimings {
+            build_ms: phase("build_ms")?,
+            deploy_ms: phase("deploy_ms")?,
+            deploy_cached_ms: phase("deploy_cached_ms")?,
+            tic_ms: phase("tic_ms")?,
+            tac_ms: phase("tac_ms")?,
+            tac_naive_ms: phase("tac_naive_ms")?,
+            simulate_ms: phase("simulate_ms")?,
+            simulate_par_ms: phase("simulate_par_ms")?,
+        };
+        models.push(ModelTiming {
+            model: r.workload.clone(),
+            tac_speedup: phases.tac_naive_ms / phases.tac_ms.max(1e-9),
+            phases,
+        });
+    }
+    Ok(BenchReport {
+        quick: samples <= 3,
+        warmup: 1,
         samples,
         backend,
         models,
@@ -479,6 +596,32 @@ mod tests {
         let json = render_json(&report);
         let back = validate_report(&json).expect("rendered report validates");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn report_records_carry_phases_and_round_trip() {
+        let records = report_records(&sample_report());
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.source, "bench");
+        assert_eq!(r.workload, "alexnet_v2");
+        assert_eq!((r.workers, r.ps), (4, 1));
+        let tictac_store::Payload::Bench(b) = &r.payload else {
+            panic!("expected bench payload");
+        };
+        assert_eq!(b.phases.len(), 8);
+        assert_eq!(b.phases[0].name, "build_ms");
+        assert_eq!(b.phases[0].mean_ms, 0.5);
+        let line = r.encode();
+        assert_eq!(
+            tictac_store::RunRecord::decode(&line).unwrap().encode(),
+            line
+        );
+        // The corpus reconstructs a report equal to the original (the
+        // sample's tac_speedup is exactly naive/tac, as report_from_records
+        // re-derives it).
+        assert_eq!(report_from_records(&records).unwrap(), sample_report());
+        assert!(report_from_records(&[]).is_err());
     }
 
     #[test]

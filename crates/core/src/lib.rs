@@ -79,6 +79,10 @@ pub use tictac_sim::{
     try_simulate, try_simulate_observed, Blackout, Crash, EngineChoice, FaultClock, FaultCounters,
     FaultPlan, FaultSpec, IterationMetrics, SimConfig, SimError, Stall, DEFAULT_PAR_THRESHOLD,
 };
+pub use tictac_store::{
+    self as store, diff_records, group_key, regress, MemorySink, Payload, RegressPolicy,
+    RegressReport, RunFilter, RunRecord, RunSink, RunStore, SessionSummary,
+};
 pub use tictac_timing::{
     CostOracle, GeneralOracle, MeasuredProfile, NoiseModel, Platform, RetryPolicy, SimDuration,
     SimTime, TimeOracle,

@@ -10,6 +10,7 @@ use tictac_sched::{
     efficiency, no_ordering, Baseline, Random, Schedule, Scheduler, TacScheduler, TicScheduler,
 };
 use tictac_sim::{analyze, simulate, FaultCounters, FaultSpec, SimConfig};
+use tictac_store::{IterationEvidence, Payload, RunRecord, RunSink, SessionEvidence};
 use tictac_timing::MeasuredProfile;
 use tictac_timing::{GeneralOracle, SimDuration, TimeOracle};
 use tictac_trace::{estimate_profile, ExecutionTrace};
@@ -64,6 +65,7 @@ pub struct SessionBuilder {
     iterations: usize,
     registry: Registry,
     backend: Option<Box<dyn ExecutionBackend>>,
+    sink: Option<std::sync::Arc<dyn RunSink>>,
 }
 
 impl SessionBuilder {
@@ -118,6 +120,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Routes this session's finished runs into `sink` as
+    /// [`RunRecord`]s, overriding the process-global store. Without this
+    /// call, runs are recorded only when a global store is configured
+    /// (`TICTAC_RUN_STORE` or [`tictac_store::set_global_store`]) — the
+    /// default is no recording at all.
+    pub fn record_to(mut self, sink: std::sync::Arc<dyn RunSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Deploys the model and computes the schedule, consulting the
     /// process-wide [`DeployCache`](crate::DeployCache): sessions sharing
     /// a `(model, cluster, scheduler, config)` configuration share one
@@ -139,8 +151,12 @@ impl SessionBuilder {
         let backend = self
             .backend
             .unwrap_or_else(|| Box::new(SimBackend::new(self.config.clone())));
+        let sink = self
+            .sink
+            .or_else(|| tictac_store::global_store().map(|s| s as std::sync::Arc<dyn RunSink>));
         Ok(Session {
             model_name: self.model.name().to_string(),
+            model_fp: self.model.fingerprint(),
             batch: self.model.batch_size(),
             deployed,
             scheduler: self.scheduler,
@@ -150,6 +166,9 @@ impl SessionBuilder {
             schedule_compute_time,
             registry: self.registry,
             backend,
+            seed: self.config.seed,
+            fault_fp: self.config.faults.fingerprint(),
+            sink,
         })
     }
 }
@@ -311,6 +330,7 @@ impl RunReport {
 #[derive(Debug)]
 pub struct Session {
     model_name: String,
+    model_fp: u64,
     batch: usize,
     deployed: std::sync::Arc<DeployedModel>,
     scheduler: SchedulerKind,
@@ -320,6 +340,9 @@ pub struct Session {
     schedule_compute_time: std::time::Duration,
     registry: Registry,
     backend: Box<dyn ExecutionBackend>,
+    seed: u64,
+    fault_fp: u64,
+    sink: Option<std::sync::Arc<dyn RunSink>>,
 }
 
 /// Options for [`Session::run_with`] / [`Session::try_run_with`].
@@ -379,6 +402,7 @@ impl Session {
             iterations: 10,
             registry: Registry::disabled(),
             backend: None,
+            sink: None,
         }
     }
 
@@ -515,10 +539,18 @@ impl Session {
             .histogram("session.makespan_us", &MAKESPAN_BUCKETS_US);
 
         let mut records = Vec::with_capacity(iterations);
+        // Inversion detection walks the whole trace, so it runs only when
+        // the run is being recorded into a store.
+        let mut inversions = Vec::with_capacity(if self.sink.is_some() { iterations } else { 0 });
         for i in 0..(self.warmup + iterations) as u64 {
             let trace = self.trace_iteration(offset + i)?;
             if (i as usize) < self.warmup {
                 continue;
+            }
+            if self.sink.is_some() {
+                let report =
+                    tictac_obs::priority_inversions(graph, &trace, |op| self.schedule.priority(op));
+                inversions.push(report.count() as u64);
             }
             let metrics = analyze(graph, self.deployed.workers(), &trace);
             // Scheduling efficiency per worker partition with measured
@@ -552,7 +584,7 @@ impl Session {
             });
         }
 
-        Ok(RunReport {
+        let report = RunReport {
             model: self.model_name.clone(),
             scheduler: self.scheduler,
             workers: self.deployed.workers().len(),
@@ -560,7 +592,52 @@ impl Session {
             batch: self.batch,
             iterations: records,
             schedule_compute_seconds: self.schedule_compute_time.as_secs_f64(),
-        })
+        };
+        if let Some(sink) = &self.sink {
+            sink.record(self.run_record(&report, &inversions));
+        }
+        Ok(report)
+    }
+
+    /// Assembles the [`RunRecord`] of one finished run. Everything in the
+    /// payload derives from *simulated* observations (virtual time on the
+    /// sim backend), so same-seed runs produce byte-identical payloads;
+    /// the wall-clock `schedule_compute_seconds` is deliberately left
+    /// out.
+    fn run_record(&self, report: &RunReport, inversions: &[u64]) -> RunRecord {
+        let evidence = SessionEvidence {
+            iterations: report
+                .iterations
+                .iter()
+                .zip(inversions)
+                .map(|(r, &inv)| IterationEvidence {
+                    makespan_ns: r.makespan.as_nanos(),
+                    throughput: r.throughput,
+                    straggler_pct: r.straggler_pct,
+                    efficiency: r.efficiency,
+                    speedup_potential: r.speedup_potential,
+                    goodput_pct: r.goodput_pct,
+                    inversions: inv,
+                })
+                .collect(),
+            faults: report.total_faults(),
+            snapshot: self.registry.snapshot(),
+        };
+        RunRecord {
+            id: String::new(),
+            time_ms: 0,
+            source: "session".into(),
+            workload: self.model_name.clone(),
+            model_fp: self.model_fp,
+            workers: report.workers as u32,
+            ps: report.parameter_servers as u32,
+            scheduler: self.scheduler.to_string(),
+            backend: self.backend.name().to_string(),
+            seed: self.seed,
+            fault_fp: self.fault_fp,
+            provenance: std::env::var("TICTAC_PROVENANCE").unwrap_or_default(),
+            payload: Payload::Session(evidence),
+        }
     }
 }
 
@@ -709,6 +786,53 @@ mod tests {
             Some(tictac_obs::MetricValue::Gauge(v)) => assert_eq!(*v, 100.0),
             other => panic!("expected goodput gauge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn recorded_sessions_emit_deterministic_run_records() {
+        use tictac_store::{diff_records, MemorySink, Payload};
+        let sink = std::sync::Arc::new(MemorySink::new());
+        let run = || {
+            Session::builder(tiny_mlp(Mode::Training, 8))
+                .cluster(ClusterSpec::new(2, 1))
+                .config(SimConfig::cloud_gpu())
+                .scheduler(SchedulerKind::Tac)
+                .warmup(1)
+                .iterations(4)
+                .record_to(sink.clone())
+                .build()
+                .unwrap()
+                .run()
+        };
+        let report = run();
+        run();
+        let mut records = sink.take();
+        assert_eq!(records.len(), 2);
+        let (a, b) = (records.remove(0), records.remove(0));
+        assert_eq!(a.workload, "tiny_mlp");
+        assert_eq!(a.scheduler, "tac");
+        assert_eq!(a.backend, "sim");
+        assert_eq!(a.seed, SimConfig::cloud_gpu().seed);
+        assert_eq!(a.workers, 2);
+        assert_eq!(a.ps, 1);
+        assert_ne!(a.model_fp, 0);
+        // Same seed, same config: payloads are byte-identical and the
+        // diff reports zero drift.
+        let (pa, pb) = match (&a.payload, &b.payload) {
+            (Payload::Session(pa), Payload::Session(pb)) => (pa, pb),
+            other => panic!("expected session payloads, got {other:?}"),
+        };
+        assert_eq!(pa, pb);
+        assert!(diff_records(&a, &b).is_zero());
+        // The payload mirrors the report the caller saw.
+        assert_eq!(pa.iterations.len(), report.iterations.len());
+        assert_eq!(
+            pa.iterations[0].makespan_ns,
+            report.iterations[0].makespan.as_nanos()
+        );
+        // An enforced TAC schedule on the in-order sim executes without
+        // inversions.
+        assert!(pa.iterations.iter().all(|i| i.inversions == 0));
     }
 
     #[test]

@@ -181,6 +181,43 @@ impl FaultSpec {
             && self.ps_stall_prob == 0.0
     }
 
+    /// FNV-1a hash over a canonical byte encoding of every field, used by
+    /// the run store to tag records with the exact fault regime they ran
+    /// under. Two specs hash equal iff every field is bit-identical
+    /// (floats compare by `to_bits`, so `-0.0 != 0.0` — acceptable, since
+    /// specs are constructed from literals, not arithmetic).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.drop_prob.to_bits());
+        eat(self.blackout_prob.to_bits());
+        eat(self.blackout.as_nanos());
+        eat(self.crash_prob.to_bits());
+        eat(self.crash_downtime.as_nanos());
+        eat(self.straggler_prob.to_bits());
+        eat(self.straggler_factor.to_bits());
+        eat(self.ps_stall_prob.to_bits());
+        eat(self.ps_stall.as_nanos());
+        eat(self.onset_window.as_nanos());
+        eat(self.retry.timeout.as_nanos());
+        eat(self.retry.backoff.to_bits());
+        eat(u64::from(self.retry.max_retries));
+        match self.barrier_timeout {
+            None => eat(0),
+            Some(t) => {
+                eat(1);
+                eat(t.as_nanos());
+            }
+        }
+        h
+    }
+
     /// Overrides the per-attempt transfer loss probability.
     ///
     /// # Panics
@@ -466,6 +503,27 @@ mod tests {
             .unwrap()
             .graph()
             .clone()
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = FaultSpec::none();
+        assert_eq!(base.fingerprint(), FaultSpec::none().fingerprint());
+        let variants = [
+            base.clone().with_drop_prob(0.1),
+            base.clone()
+                .with_blackouts(0.2, SimDuration::from_millis(5)),
+            base.clone().with_crashes(0.3, SimDuration::from_millis(50)),
+            base.clone().with_stragglers(0.4, 3.0),
+            base.clone()
+                .with_ps_stalls(0.5, SimDuration::from_millis(10)),
+            base.clone()
+                .with_barrier_timeout(SimDuration::from_millis(200)),
+        ];
+        let mut fps: Vec<u64> = variants.iter().map(FaultSpec::fingerprint).collect();
+        fps.push(base.fingerprint());
+        let distinct: std::collections::HashSet<u64> = fps.iter().copied().collect();
+        assert_eq!(distinct.len(), fps.len(), "fingerprint collision: {fps:?}");
     }
 
     #[test]

@@ -64,6 +64,36 @@ impl Histogram {
         self.overflow
     }
 
+    /// The `p`-th percentile (0 ≤ p ≤ 100) estimated from the bins by
+    /// linear interpolation inside the bin holding the rank-⌈p·n/100⌉
+    /// sample. Underflow samples resolve to `lo`, overflow samples to
+    /// `hi`; an empty histogram reports `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let total = self.total();
+        if total == 0 {
+            return self.lo;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        if rank <= self.underflow {
+            return self.lo;
+        }
+        let mut seen = self.underflow;
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n > 0 && rank <= seen + n {
+                let frac = (rank - seen) as f64 / n as f64;
+                return self.lo + (i as f64 + frac) * width;
+            }
+            seen += n;
+        }
+        self.hi
+    }
+
     /// `(bin_center, count)` pairs for plotting.
     pub fn centers(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         let width = (self.hi - self.lo) / self.counts.len() as f64;
@@ -187,6 +217,29 @@ mod tests {
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_percentiles_interpolate_within_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0); // 10 samples per bin
+        }
+        assert!(
+            (h.percentile(50.0) - 5.0).abs() < 0.11,
+            "{}",
+            h.percentile(50.0)
+        );
+        assert!((h.percentile(95.0) - 9.5).abs() < 0.11);
+        assert_eq!(h.percentile(100.0), 10.0);
+        // Out-of-range samples clamp to the range edges.
+        let mut edges = Histogram::new(0.0, 1.0, 2);
+        edges.record(-5.0);
+        edges.record(5.0);
+        assert_eq!(edges.percentile(25.0), 0.0);
+        assert_eq!(edges.percentile(100.0), 1.0);
+        // Empty histograms are well-defined.
+        assert_eq!(Histogram::new(2.0, 3.0, 4).percentile(50.0), 2.0);
     }
 
     #[test]

@@ -2,10 +2,20 @@
 //!
 //! The build environment vendors no JSON crate, so the workspace
 //! hand-rolls the little it needs: the bench harness renders and
-//! validates `BENCH_results.json` with it, and the Perfetto exporter's
-//! validator ([`crate::perfetto::validate_perfetto`]) parses trace files
-//! back. Lives here (rather than in `bench`) so both sides share one
-//! implementation.
+//! validates `BENCH_results.json` with it, the run store
+//! (`tictac-store`) encodes and strictly decodes its JSONL records with
+//! it, and the Perfetto exporter's validator
+//! ([`crate::perfetto::validate_perfetto`]) parses trace files back.
+//! Lives here (rather than in `bench`) so every side shares one
+//! implementation: [`Json`] is the value type, [`parse_json`] the
+//! parser, and [`render_json`] / [`render_json_pretty`] the writers.
+//!
+//! Writer invariant: numbers are emitted in Rust's shortest `Display`
+//! form, which round-trips exactly through [`parse_json`] — for any
+//! finite tree, `render(parse(render(v))) == render(v)` byte for byte.
+//! The run store's byte-exact append-only guarantee rests on this.
+//! (The Perfetto exporter keeps its own historical formatting because
+//! its output bytes are pinned by a golden snapshot.)
 
 /// Escapes `s` as a JSON string literal, including the surrounding
 /// quotes.
@@ -84,6 +94,90 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The object's fields in source order, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Formats a JSON number: Rust's shortest `Display` representation,
+/// which never uses exponent notation and round-trips exactly through
+/// `str::parse::<f64>`. Non-finite values have no JSON spelling and
+/// render as `null`; writers that must reject them should validate
+/// before rendering.
+fn fmt_num(n: f64) -> String {
+    if n.is_finite() {
+        format!("{n}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_into(value: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    let (open_sep, item_sep, close_sep) = match indent {
+        Some(width) => (
+            format!("\n{}", " ".repeat(width * (depth + 1))),
+            format!(",\n{}", " ".repeat(width * (depth + 1))),
+            format!("\n{}", " ".repeat(width * depth)),
+        ),
+        None => (String::new(), ",".to_string(), String::new()),
+    };
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => out.push_str(&fmt_num(*n)),
+        Json::Str(s) => out.push_str(&quote(s)),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { &open_sep } else { &item_sep });
+                render_into(item, indent, depth + 1, out);
+            }
+            out.push_str(&close_sep);
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                out.push_str(if i == 0 { &open_sep } else { &item_sep });
+                out.push_str(&quote(key));
+                out.push_str(if indent.is_some() { ": " } else { ":" });
+                render_into(item, indent, depth + 1, out);
+            }
+            out.push_str(&close_sep);
+            out.push('}');
+        }
+    }
+}
+
+/// Renders a JSON value compactly (no whitespace), in shortest-number
+/// form. This is the run store's canonical single-line encoding:
+/// `render_json(&parse_json(&render_json(v))?) == render_json(v)` for
+/// any tree of finite numbers.
+pub fn render_json(value: &Json) -> String {
+    let mut out = String::new();
+    render_into(value, None, 0, &mut out);
+    out
+}
+
+/// Renders a JSON value pretty-printed with two-space indentation, one
+/// field or element per line (the layout of `BENCH_results.json`).
+pub fn render_json_pretty(value: &Json) -> String {
+    let mut out = String::new();
+    render_into(value, Some(2), 0, &mut out);
+    out
 }
 
 struct Parser<'a> {
@@ -294,6 +388,40 @@ mod tests {
         for bad in ["", "{", "[1, 2", "{\"a\": }", "{} trailing", "\"\\q\""] {
             assert!(parse_json(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn writer_roundtrips_byte_exactly() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Num(1.0)),
+            ("b".into(), Json::Num(-2.5e-3)),
+            ("big".into(), Json::Num(9007199254740991.0)), // 2^53 - 1
+            ("s".into(), Json::Str("tab\there \"q\"".into())),
+            (
+                "arr".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Obj(vec![])]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let compact = render_json(&v);
+        assert!(!compact.contains('\n'));
+        let reparsed = parse_json(&compact).unwrap();
+        assert_eq!(reparsed, v);
+        assert_eq!(render_json(&reparsed), compact, "byte-exact round trip");
+        // Pretty output parses back to the same tree.
+        let pretty = render_json_pretty(&v);
+        assert!(pretty.contains("\n  \"a\": 1,"));
+        assert_eq!(parse_json(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn writer_numbers_are_shortest_form() {
+        assert_eq!(render_json(&Json::Num(1.0)), "1");
+        assert_eq!(render_json(&Json::Num(0.1)), "0.1");
+        assert_eq!(render_json(&Json::Num(-25.0)), "-25");
+        // Non-finite numbers have no JSON spelling.
+        assert_eq!(render_json(&Json::Num(f64::NAN)), "null");
+        assert_eq!(render_json(&Json::Num(f64::INFINITY)), "null");
     }
 
     #[test]

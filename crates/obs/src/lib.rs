@@ -24,7 +24,7 @@
 //!   channel.
 //! - [`json`] — the workspace's hand-rolled JSON value/parser/writer
 //!   (the build environment vendors no JSON crate), shared with the bench
-//!   harness.
+//!   harness and the run store (`tictac-store`).
 //!
 //! Dependency discipline: this crate sees only `graph`, `timing`, and
 //! `trace`. The schedulers and the simulator depend on *it*, so the
@@ -43,7 +43,7 @@ pub use analyze::{
     overlap_report, priority_inversions, realized_efficiency, ChannelUsage, DeviceUsage,
     InversionRecord, InversionReport, OverlapReport, RealizedEfficiency,
 };
-pub use json::{parse_json, quote, Json};
+pub use json::{parse_json, quote, render_json, render_json_pretty, Json};
 pub use perfetto::{perfetto_json, validate_perfetto, PerfettoStats};
 pub use registry::{
     BucketHistogram, Counter, Gauge, HistogramStats, MetricValue, Registry, Snapshot, Timer,

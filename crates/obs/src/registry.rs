@@ -339,6 +339,51 @@ impl HistogramStats {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100) estimated from the buckets:
+    /// the inclusive upper bound of the bucket holding the rank-⌈p·n/100⌉
+    /// sample — clamped to the exact observed maximum, so a sparse top
+    /// bucket never reports a value no sample reached — or the maximum
+    /// itself for samples in the overflow bucket. Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&bound) => bound.min(self.max),
+                    // Overflow bucket: the only exact statistic we track
+                    // above the last bound is the maximum.
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`percentile`](Self::percentile)).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -449,9 +494,12 @@ impl Snapshot {
                 MetricValue::Histogram(h) => {
                     let _ = writeln!(
                         out,
-                        "{name} = count {} / mean {:.1} / max {}",
+                        "{name} = count {} / mean {:.1} / p50 {} / p95 {} / p99 {} / max {}",
                         h.count,
                         h.mean(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99(),
                         h.max
                     );
                 }
@@ -524,6 +572,31 @@ mod tests {
         assert_eq!(s.sum, 108);
         assert_eq!(s.max, 100);
         assert!((s.mean() - 21.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentiles_estimate_from_buckets() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 2000] {
+            h.observe(v);
+        }
+        let s = h.stats();
+        // Nine samples land in the ≤10 bucket, one overflows.
+        assert_eq!(s.percentile(0.0), 10);
+        assert_eq!(s.p50(), 10);
+        assert_eq!(s.percentile(90.0), 10);
+        // The overflow bucket reports the exact maximum.
+        assert_eq!(s.p95(), 2000);
+        assert_eq!(s.p99(), 2000);
+        assert_eq!(s.percentile(100.0), 2000);
+        // Empty histograms are well-defined.
+        assert_eq!(reg.histogram("empty", &[1]).stats().p50(), 0);
+        // The snapshot renderer surfaces the estimates.
+        assert!(reg
+            .snapshot()
+            .render()
+            .contains("lat = count 10 / mean 204.5 / p50 10 / p95 2000 / p99 2000 / max 2000"));
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! The append-only JSONL store, the [`RunSink`] seam producers emit
+//! through, and the process-global store wired up from `TICTAC_RUN_STORE`.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::record::RunRecord;
+
+/// FNV-1a over arbitrary bytes — the workspace's standard content hash
+/// (the same scheme `ModelGraph::fingerprint` and the golden traces use).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Anything that accepts finished [`RunRecord`]s. `Session` and the
+/// binaries write through this seam, so tests can capture records with a
+/// [`MemorySink`] while production appends to a [`RunStore`] file.
+pub trait RunSink: Send + Sync + std::fmt::Debug {
+    /// Accepts one finished record. Sinks assign ids/timestamps as they
+    /// see fit; callers leave `id` empty and `time_ms` zero.
+    fn record(&self, record: RunRecord);
+}
+
+/// An in-memory sink for tests and dry runs.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<RunRecord>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<RunRecord> {
+        std::mem::take(&mut self.records.lock().unwrap())
+    }
+}
+
+impl RunSink for MemorySink {
+    fn record(&self, record: RunRecord) {
+        self.records.lock().unwrap().push(record);
+    }
+}
+
+/// The append-only run store: one schema-checked JSONL line per record.
+///
+/// Appends are serialized through a mutex because experiments fan
+/// sessions out across worker threads (`parallel_map`); a torn line would
+/// poison the whole corpus. Loads are strict — any undecodable line
+/// fails with its line number rather than being skipped.
+#[derive(Debug)]
+pub struct RunStore {
+    path: PathBuf,
+    lock: Mutex<()>,
+}
+
+impl RunStore {
+    /// A store backed by `path`; the file is created on first append.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record, assigning the next sequential id (`r000042`)
+    /// and — when the caller left it zero — the current wall-clock
+    /// timestamp. Returns the assigned id.
+    pub fn append(&self, mut record: RunRecord) -> io::Result<String> {
+        let _guard = self.lock.lock().unwrap();
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let existing = match fs::read_to_string(&self.path) {
+            Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        record.id = format!("r{existing:06}");
+        if record.time_ms == 0 {
+            record.time_ms = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(file, "{}", record.encode())?;
+        Ok(record.id)
+    }
+
+    /// Loads every record, in append order.
+    pub fn load(&self) -> io::Result<Vec<RunRecord>> {
+        let _guard = self.lock.lock().unwrap();
+        let text = match fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        load_lines(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Parses a JSONL corpus, failing on the first bad line with its number.
+pub fn load_lines(text: &str) -> Result<Vec<RunRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| RunRecord::decode(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+impl RunSink for RunStore {
+    fn record(&self, record: RunRecord) {
+        if let Err(e) = self.append(record) {
+            eprintln!("tictac-store: dropped run record: {e}");
+        }
+    }
+}
+
+static GLOBAL: Mutex<Option<Arc<RunStore>>> = Mutex::new(None);
+
+/// Points the process-global store at `path` (used by the binaries'
+/// `--store` flags), replacing any earlier target.
+pub fn set_global_store(path: impl Into<PathBuf>) -> Arc<RunStore> {
+    let store = Arc::new(RunStore::at(path));
+    *GLOBAL.lock().unwrap() = Some(Arc::clone(&store));
+    store
+}
+
+/// The process-global store, if one is configured: either set explicitly
+/// via [`set_global_store`] or inherited from the `TICTAC_RUN_STORE`
+/// environment variable. `None` means recording is off — the default, so
+/// sessions cost nothing unless a corpus was asked for.
+pub fn global_store() -> Option<Arc<RunStore>> {
+    let mut global = GLOBAL.lock().unwrap();
+    if global.is_none() {
+        if let Ok(path) = std::env::var("TICTAC_RUN_STORE") {
+            if !path.is_empty() {
+                *global = Some(Arc::new(RunStore::at(path)));
+            }
+        }
+    }
+    global.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Payload, ReportEvidence, SessionEvidence};
+
+    fn record(seed: u64) -> RunRecord {
+        RunRecord {
+            id: String::new(),
+            time_ms: 0,
+            source: "session".into(),
+            workload: "tiny_mlp".into(),
+            model_fp: 7,
+            workers: 2,
+            ps: 1,
+            scheduler: "tac".into(),
+            backend: "sim".into(),
+            seed,
+            fault_fp: 0,
+            provenance: String::new(),
+            payload: Payload::Session(SessionEvidence::default()),
+        }
+    }
+
+    #[test]
+    fn append_assigns_sequential_ids_and_loads_back() {
+        let dir = std::env::temp_dir().join(format!("tictac-store-{}", std::process::id()));
+        let store = RunStore::at(dir.join("runs.jsonl"));
+        let _ = std::fs::remove_file(store.path());
+        assert_eq!(store.append(record(1)).unwrap(), "r000000");
+        assert_eq!(store.append(record(2)).unwrap(), "r000001");
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].id, "r000000");
+        assert_eq!(loaded[0].seed, 1);
+        assert_eq!(loaded[1].seed, 2);
+        assert!(loaded.iter().all(|r| r.time_ms > 0));
+        let _ = std::fs::remove_file(store.path());
+        let _ = std::fs::remove_dir(dir);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let store = RunStore::at("/nonexistent-dir-for-sure/runs.jsonl");
+        assert!(store.load().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_lines_fail_with_line_numbers() {
+        let mut r = record(3);
+        r.payload = Payload::Report(ReportEvidence {
+            report_fp: 9,
+            quick: false,
+        });
+        let text = format!("{}\n{{\"schema\":\"bogus\"}}\n", r.encode());
+        let err = load_lines(&text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn memory_sink_captures_records() {
+        let sink = MemorySink::new();
+        sink.record(record(5));
+        let got = sink.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seed, 5);
+        assert!(sink.take().is_empty());
+    }
+}

@@ -5,12 +5,21 @@
 //! tictac schedule resnet_v1_50 --scheduler tac --top 20
 //! tictac run inception_v3 --workers 8 --ps 2 --scheduler tic --env g
 //! tictac timeline alexnet_v2 --format chrome --out trace.json
+//! tictac run alexnet_v2 --store results/runs.jsonl   # record the run
+//! tictac runs list --workload alexnet_v2             # query the corpus
+//! tictac runs show                                   # latest record, percentiles
+//! tictac runs diff --last-two                        # drift between two runs
+//! tictac runs regress --window 5                     # history-aware CI gate
 //! ```
+//!
+//! The `runs` subcommands read the run store — `--store PATH`, else the
+//! `TICTAC_RUN_STORE` environment variable, else `results/runs.jsonl`.
 
 use std::collections::HashMap;
 use tictac::{
-    deploy, estimate_profile, gantt, no_ordering, simulate, tac_order, tic, ClusterSpec, Mode,
-    Model, SchedulerKind, Session, SimConfig,
+    deploy, diff_records, estimate_profile, gantt, no_ordering, regress, simulate, tac_order, tic,
+    ClusterSpec, Mode, Model, Payload, RegressPolicy, RunFilter, RunRecord, RunStore,
+    SchedulerKind, Session, SessionSummary, SimConfig,
 };
 
 fn main() {
@@ -23,6 +32,7 @@ fn main() {
         "models" => models(),
         "schedule" => schedule(&args, &flags),
         "run" => run(&args, &flags),
+        "runs" => runs(&args, &flags),
         "timeline" => timeline(&args, &flags),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command `{other}`")),
@@ -159,6 +169,10 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
     let ps = flag_usize(flags, "ps", (workers / 4).max(1));
     let iterations = flag_usize(flags, "iterations", 10);
     let scheduler = flag_scheduler(flags);
+    if let Some(path) = flags.get("store").filter(|p| !p.is_empty()) {
+        let store = tictac::store::set_global_store(path);
+        eprintln!("recording to {}", store.path().display());
+    }
     let cluster = ClusterSpec::try_new(workers, ps)
         .unwrap_or_else(|e| usage(&format!("invalid cluster: {e}")));
     let session = Session::builder(model.build(flag_mode(flags)))
@@ -181,6 +195,193 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
         report.mean_efficiency(),
         report.max_straggler_pct()
     );
+}
+
+/// Store path resolution for `runs`: `--store`, else `TICTAC_RUN_STORE`,
+/// else the committed default `results/runs.jsonl`.
+fn runs_store(flags: &HashMap<String, String>) -> RunStore {
+    let path = flags
+        .get("store")
+        .filter(|p| !p.is_empty())
+        .cloned()
+        .or_else(|| {
+            std::env::var("TICTAC_RUN_STORE")
+                .ok()
+                .filter(|p| !p.is_empty())
+        })
+        .unwrap_or_else(|| "results/runs.jsonl".to_string());
+    RunStore::at(path)
+}
+
+fn flag_u64(flags: &HashMap<String, String>, name: &str) -> Option<u64> {
+    flags.get(name).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| usage(&format!("--{name} expects an unsigned integer")))
+    })
+}
+
+fn runs_filter(flags: &HashMap<String, String>) -> RunFilter {
+    RunFilter {
+        workload: flags.get("workload").cloned().filter(|v| !v.is_empty()),
+        scheduler: flags.get("scheduler").cloned().filter(|v| !v.is_empty()),
+        backend: flags.get("backend").cloned().filter(|v| !v.is_empty()),
+        kind: flags.get("kind").cloned().filter(|v| !v.is_empty()),
+        seed_min: flag_u64(flags, "seed-min"),
+        seed_max: flag_u64(flags, "seed-max"),
+    }
+}
+
+/// One summary line per record, for `runs list`.
+fn list_line(r: &RunRecord) -> String {
+    let evidence = match &r.payload {
+        Payload::Session(s) => {
+            let sum = SessionSummary::of(s);
+            format!(
+                "iters {} | mean makespan {:.0} ns | eff {:.3} | inversions {}",
+                sum.iterations, sum.mean_makespan_ns, sum.mean_efficiency, sum.inversions
+            )
+        }
+        Payload::Bench(b) => format!("{} phases (wall-clock)", b.phases.len()),
+        Payload::Report(rep) => format!(
+            "report fp {:016x}{}",
+            rep.report_fp,
+            if rep.quick { " (quick)" } else { "" }
+        ),
+    };
+    format!(
+        "{}  {:<7} {:<16} {:>3}x{:<2} {:<8} {:<8} seed {:<12} {evidence}",
+        r.id,
+        r.payload.kind(),
+        r.workload,
+        r.workers,
+        r.ps,
+        r.scheduler,
+        r.backend,
+        r.seed
+    )
+}
+
+/// Full detail for `runs show`, percentiles included.
+fn show_record(r: &RunRecord) {
+    println!("run       {}", r.id);
+    println!("kind      {} (source {})", r.payload.kind(), r.source);
+    println!("workload  {} (model fp {:016x})", r.workload, r.model_fp);
+    println!("cluster   {} workers / {} ps", r.workers, r.ps);
+    println!("scheduler {} | backend {}", r.scheduler, r.backend);
+    println!("seed      {} | fault fp {:016x}", r.seed, r.fault_fp);
+    if !r.provenance.is_empty() {
+        println!("prov      {}", r.provenance);
+    }
+    match &r.payload {
+        Payload::Session(s) => {
+            let sum = SessionSummary::of(s);
+            println!("iterations        {}", sum.iterations);
+            println!("mean makespan     {:.0} ns", sum.mean_makespan_ns);
+            println!(
+                "makespan p50/p95/p99  {} / {} / {} ns",
+                sum.p50_makespan_ns, sum.p95_makespan_ns, sum.p99_makespan_ns
+            );
+            println!("mean efficiency   {:.4}", sum.mean_efficiency);
+            println!("mean goodput      {:.1}%", sum.mean_goodput_pct);
+            println!("inversions        {}", sum.inversions);
+            println!("fault events      {}", sum.fault_events);
+            if !s.snapshot.entries.is_empty() {
+                println!("metrics snapshot:");
+                for line in s.snapshot.render().lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+        Payload::Bench(b) => {
+            println!("phases (wall-clock medians):");
+            for p in &b.phases {
+                println!("  {:<18} {:.3} ms", p.name, p.mean_ms);
+            }
+        }
+        Payload::Report(rep) => {
+            println!("report fp         {:016x}", rep.report_fp);
+            println!("quick             {}", rep.quick);
+        }
+    }
+}
+
+fn runs(args: &[String], flags: &HashMap<String, String>) {
+    let sub = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("list");
+    let store = runs_store(flags);
+    let records = store
+        .load()
+        .unwrap_or_else(|e| usage(&format!("cannot load {}: {e}", store.path().display())));
+    let filter = runs_filter(flags);
+    let filtered: Vec<&RunRecord> = records.iter().filter(|r| filter.matches(r)).collect();
+    match sub {
+        "list" => {
+            for r in &filtered {
+                println!("{}", list_line(r));
+            }
+            println!(
+                "{} record(s) in {} ({} after filters)",
+                records.len(),
+                store.path().display(),
+                filtered.len()
+            );
+        }
+        "show" => {
+            let record = match flags.get("id").filter(|v| !v.is_empty()) {
+                Some(id) => filtered
+                    .iter()
+                    .find(|r| &r.id == id)
+                    .unwrap_or_else(|| usage(&format!("no record with id {id}"))),
+                None => filtered
+                    .last()
+                    .unwrap_or_else(|| usage("the store is empty (after filters)")),
+            };
+            show_record(record);
+        }
+        "diff" => {
+            let by_id = |key: &str| {
+                flags.get(key).filter(|v| !v.is_empty()).map(|id| {
+                    *filtered
+                        .iter()
+                        .find(|r| &r.id == id)
+                        .unwrap_or_else(|| usage(&format!("no record with id {id}")))
+                })
+            };
+            let (a, b) = match (by_id("a"), by_id("b")) {
+                (Some(a), Some(b)) => (a, b),
+                (None, None) => {
+                    // Default (also spelled --last-two): the two most
+                    // recent records under the filters.
+                    if filtered.len() < 2 {
+                        usage("need at least two records to diff");
+                    }
+                    (filtered[filtered.len() - 2], filtered[filtered.len() - 1])
+                }
+                _ => usage("--a and --b must be passed together"),
+            };
+            let diff = diff_records(a, b);
+            print!("{}", diff.render());
+            if diff.is_zero() {
+                println!("zero drift");
+            }
+        }
+        "regress" => {
+            let policy = RegressPolicy {
+                window: flag_usize(flags, "window", RegressPolicy::default().window),
+                ..RegressPolicy::default()
+            };
+            let owned: Vec<RunRecord> = filtered.iter().map(|r| (*r).clone()).collect();
+            let report = regress(&owned, &policy);
+            print!("{}", report.render());
+            if report.failed() {
+                std::process::exit(1);
+            }
+        }
+        other => usage(&format!("unknown runs subcommand `{other}`")),
+    }
 }
 
 fn timeline(args: &[String], flags: &HashMap<String, String>) {
@@ -224,7 +425,10 @@ fn usage(err: &str) -> ! {
          \x20 tictac models\n\
          \x20 tictac schedule <model> [--mode train|inference] [--scheduler tic|tac] [--top N] [--env g|c]\n\
          \x20 tictac run <model> [--workers N] [--ps N] [--scheduler baseline|random|tic|tac]\n\
-         \x20        [--iterations N] [--mode train|inference] [--env g|c]\n\
+         \x20        [--iterations N] [--mode train|inference] [--env g|c] [--store FILE.jsonl]\n\
+         \x20 tictac runs [list|show|diff|regress] [--store FILE.jsonl] [--workload NAME]\n\
+         \x20        [--scheduler S] [--backend B] [--kind session|bench|report]\n\
+         \x20        [--seed-min N] [--seed-max N] [--id RID] [--a RID --b RID] [--window N]\n\
          \x20 tictac timeline <model> [--workers N] [--ps N] [--scheduler baseline|tic]\n\
          \x20        [--format gantt|chrome|tsv] [--out FILE] [--env g|c]"
     );
