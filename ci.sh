@@ -87,4 +87,16 @@ TICTAC_RUN_STORE=target/ci-runs.jsonl ./target/release/repro --exp table1 --quic
 ./target/release/tictac runs diff --store target/ci-runs.jsonl --kind report | grep -q "zero drift"
 ./target/release/tictac runs regress --store target/ci-runs.jsonl
 
+echo "== scenario smoke =="
+# Scenario DSL gate (DESIGN.md §14): every committed example scenario
+# must parse and validate, and the heterogeneous VGG-19 scenario must
+# run end-to-end into a fresh store whose record carries the exact
+# scenario fingerprint announced by --dry-run.
+for scn in examples/scenarios/*.yml; do
+    ./target/release/tictac run "$scn" --dry-run
+done
+scn_fp=$(./target/release/tictac run examples/scenarios/vgg19_hetero.yml --dry-run | awk 'NR==2 {print $1}')
+./target/release/tictac run examples/scenarios/vgg19_hetero.yml --store target/ci-scenario.jsonl
+./target/release/tictac runs show --store target/ci-scenario.jsonl | grep -q "$scn_fp"
+
 echo "== ci.sh: all green =="

@@ -248,10 +248,7 @@ fn main() {
     println!("\n{}", summary(&report));
     println!("wrote {out}");
 
-    let store = store_path
-        .map(tictac_store::set_global_store)
-        .or_else(tictac_store::global_store);
-    if let Some(store) = store {
+    if let Some(store) = tictac_store::arm_global_store(store_path.as_deref()) {
         for record in report_records(&report) {
             match store.append(record) {
                 Ok(id) => println!("recorded {id} -> {}", store.path().display()),

@@ -173,7 +173,7 @@ fn main() {
                 let value = args
                     .next()
                     .unwrap_or_else(|| usage("--store needs a file path"));
-                tictac_store::set_global_store(value);
+                tictac_store::arm_global_store(Some(&value));
             }
             "--export-trace" => {
                 let value = args
@@ -274,6 +274,7 @@ fn main() {
                 backend: if threaded { "threaded" } else { "sim" }.into(),
                 seed: SimConfig::cloud_gpu().seed,
                 fault_fp: 0,
+                scenario_fp: 0,
                 provenance: std::env::var("TICTAC_PROVENANCE").unwrap_or_default(),
                 payload: tictac_store::Payload::Report(tictac_store::ReportEvidence {
                     report_fp: tictac_store::fnv1a_64(report.as_bytes()),

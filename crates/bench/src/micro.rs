@@ -354,6 +354,7 @@ pub fn report_records(report: &BenchReport) -> Vec<tictac_store::RunRecord> {
             backend: report.backend.clone(),
             seed: report.samples as u64,
             fault_fp: 0,
+            scenario_fp: 0,
             provenance: std::env::var("TICTAC_PROVENANCE").unwrap_or_default(),
             payload: tictac_store::Payload::Bench(tictac_store::BenchEvidence {
                 phases: m

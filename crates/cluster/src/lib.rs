@@ -45,8 +45,14 @@ use tictac_graph::{
 };
 use tictac_sched::Schedule;
 
-/// Shape of the deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Shape of the deployment, optionally heterogeneous.
+///
+/// Construct with [`ClusterSpec::new`] / [`ClusterSpec::try_new`] for a
+/// homogeneous cluster, or [`ClusterSpec::builder`] to attach per-device
+/// speed factors and per-link bandwidth factors. Direct struct-literal
+/// construction is no longer possible outside this crate — the
+/// heterogeneity tables are private so every spec passes validation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterSpec {
     /// Number of workers (model replicas).
     pub workers: usize,
@@ -54,6 +60,43 @@ pub struct ClusterSpec {
     pub parameter_servers: usize,
     /// How parameters are assigned to parameter servers.
     pub sharding: Sharding,
+    /// Relative worker speed factors (empty = uniform; else one per
+    /// worker). `2.0` = twice the platform reference throughput.
+    worker_speeds: Vec<f64>,
+    /// Relative PS speed factors (empty = uniform; else one per server).
+    ps_speeds: Vec<f64>,
+    /// Relative link bandwidth factors: empty = uniform, length `W` = one
+    /// factor per worker uplink (applied to all of that worker's
+    /// channels), length `W × S` = full row-major worker×PS matrix.
+    link_bandwidths: Vec<f64>,
+}
+
+impl PartialEq for ClusterSpec {
+    fn eq(&self, other: &Self) -> bool {
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        self.workers == other.workers
+            && self.parameter_servers == other.parameter_servers
+            && self.sharding == other.sharding
+            && bits(&self.worker_speeds) == bits(&other.worker_speeds)
+            && bits(&self.ps_speeds) == bits(&other.ps_speeds)
+            && bits(&self.link_bandwidths) == bits(&other.link_bandwidths)
+    }
+}
+
+impl Eq for ClusterSpec {}
+
+impl std::hash::Hash for ClusterSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.workers.hash(state);
+        self.parameter_servers.hash(state);
+        self.sharding.hash(state);
+        for v in [&self.worker_speeds, &self.ps_speeds, &self.link_bandwidths] {
+            v.len().hash(state);
+            for f in v {
+                f.to_bits().hash(state);
+            }
+        }
+    }
 }
 
 impl ClusterSpec {
@@ -91,7 +134,17 @@ impl ClusterSpec {
             workers,
             parameter_servers,
             sharding: Sharding::SizeBalanced,
+            worker_speeds: Vec::new(),
+            ps_speeds: Vec::new(),
+            link_bandwidths: Vec::new(),
         })
+    }
+
+    /// A builder with typed setters for shape, sharding, device speeds
+    /// and link bandwidths; [`ClusterSpecBuilder::build`] runs the same
+    /// validation as [`ClusterSpec::try_new`] plus heterogeneity checks.
+    pub fn builder() -> ClusterSpecBuilder {
+        ClusterSpecBuilder::default()
     }
 
     /// Overrides the sharding policy.
@@ -99,16 +152,180 @@ impl ClusterSpec {
         self.sharding = sharding;
         self
     }
+
+    /// Whether every device and link runs at the platform reference rate.
+    pub fn is_uniform(&self) -> bool {
+        self.worker_speeds.is_empty()
+            && self.ps_speeds.is_empty()
+            && self.link_bandwidths.is_empty()
+    }
+
+    /// The relative speed factor of worker `w` (`1.0` = reference).
+    pub fn worker_speed(&self, w: usize) -> f64 {
+        self.worker_speeds.get(w).copied().unwrap_or(1.0)
+    }
+
+    /// The relative speed factor of PS shard `s` (`1.0` = reference).
+    pub fn ps_speed(&self, s: usize) -> f64 {
+        self.ps_speeds.get(s).copied().unwrap_or(1.0)
+    }
+
+    /// The relative bandwidth factor of the link between worker `w` and
+    /// PS shard `s` (`1.0` = reference).
+    pub fn link_bandwidth(&self, w: usize, s: usize) -> f64 {
+        if self.link_bandwidths.is_empty() {
+            1.0
+        } else if self.link_bandwidths.len() == self.workers {
+            // One factor per worker uplink.
+            self.link_bandwidths[w]
+        } else {
+            // Full row-major worker × PS matrix.
+            self.link_bandwidths[w * self.parameter_servers + s]
+        }
+    }
 }
 
-/// Errors from [`ClusterSpec::try_new`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Builder for [`ClusterSpec`] — the only way to construct a
+/// heterogeneous spec.
+///
+/// ```
+/// use tictac_cluster::ClusterSpec;
+///
+/// let spec = ClusterSpec::builder()
+///     .workers(3)
+///     .parameter_servers(1)
+///     .worker_speeds(vec![1.0, 1.0, 0.5]) // one straggler at half speed
+///     .build()?;
+/// assert!(!spec.is_uniform());
+/// assert_eq!(spec.worker_speed(2), 0.5);
+/// # Ok::<(), tictac_cluster::ClusterSpecError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSpecBuilder {
+    workers: usize,
+    parameter_servers: usize,
+    sharding: Option<Sharding>,
+    worker_speeds: Vec<f64>,
+    ps_speeds: Vec<f64>,
+    link_bandwidths: Vec<f64>,
+}
+
+impl ClusterSpecBuilder {
+    /// Sets the number of workers (model replicas).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the number of parameter servers.
+    pub fn parameter_servers(mut self, parameter_servers: usize) -> Self {
+        self.parameter_servers = parameter_servers;
+        self
+    }
+
+    /// Sets the sharding policy (default: size-balanced).
+    pub fn sharding(mut self, sharding: Sharding) -> Self {
+        self.sharding = Some(sharding);
+        self
+    }
+
+    /// Sets per-worker relative speed factors (one per worker).
+    pub fn worker_speeds(mut self, speeds: Vec<f64>) -> Self {
+        self.worker_speeds = speeds;
+        self
+    }
+
+    /// Sets per-PS relative speed factors (one per server).
+    pub fn ps_speeds(mut self, speeds: Vec<f64>) -> Self {
+        self.ps_speeds = speeds;
+        self
+    }
+
+    /// Sets relative link bandwidth factors: either one per worker uplink
+    /// (length `W`) or a full row-major worker × PS matrix (length
+    /// `W × S`).
+    pub fn link_bandwidths(mut self, bandwidths: Vec<f64>) -> Self {
+        self.link_bandwidths = bandwidths;
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// All-`1.0` factor vectors are normalized to the empty (uniform)
+    /// encoding, so a builder fed explicit `1.0`s produces a spec equal —
+    /// and hashing identically — to [`ClusterSpec::new`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ClusterSpecError`] for a degenerate shape, a factor
+    /// vector of the wrong length, or a factor that is not positive and
+    /// finite.
+    pub fn build(self) -> Result<ClusterSpec, ClusterSpecError> {
+        let mut spec = ClusterSpec::try_new(self.workers, self.parameter_servers)?;
+        if let Some(sharding) = self.sharding {
+            spec.sharding = sharding;
+        }
+        let check = |field: &'static str, v: &[f64], expected: &[usize]| {
+            if !v.is_empty() && !expected.contains(&v.len()) {
+                return Err(ClusterSpecError::FactorLength {
+                    field,
+                    expected: expected[0],
+                    got: v.len(),
+                });
+            }
+            for &f in v {
+                if !f.is_finite() || f <= 0.0 {
+                    return Err(ClusterSpecError::NonPositiveFactor { field, value: f });
+                }
+            }
+            Ok(())
+        };
+        check("worker_speeds", &self.worker_speeds, &[self.workers])?;
+        check("ps_speeds", &self.ps_speeds, &[self.parameter_servers])?;
+        check(
+            "link_bandwidths",
+            &self.link_bandwidths,
+            &[self.workers, self.workers * self.parameter_servers],
+        )?;
+        // Canonicalize: all-1.0 IS uniform; empty is its one encoding.
+        let normalize = |v: Vec<f64>| {
+            if v.iter().all(|&f| f == 1.0) {
+                Vec::new()
+            } else {
+                v
+            }
+        };
+        spec.worker_speeds = normalize(self.worker_speeds);
+        spec.ps_speeds = normalize(self.ps_speeds);
+        spec.link_bandwidths = normalize(self.link_bandwidths);
+        Ok(spec)
+    }
+}
+
+/// Errors from [`ClusterSpec::try_new`] and [`ClusterSpecBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum ClusterSpecError {
     /// The spec requested zero workers.
     ZeroWorkers,
     /// The spec requested zero parameter servers.
     ZeroParameterServers,
+    /// A heterogeneity factor vector does not match the cluster shape.
+    FactorLength {
+        /// Which builder field was malformed.
+        field: &'static str,
+        /// The primary expected length.
+        expected: usize,
+        /// The length actually supplied.
+        got: usize,
+    },
+    /// A speed or bandwidth factor was zero, negative or non-finite.
+    NonPositiveFactor {
+        /// Which builder field was malformed.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ClusterSpecError {
@@ -117,6 +334,20 @@ impl fmt::Display for ClusterSpecError {
             ClusterSpecError::ZeroWorkers => f.write_str("cluster needs at least one worker"),
             ClusterSpecError::ZeroParameterServers => {
                 f.write_str("cluster needs at least one parameter server")
+            }
+            ClusterSpecError::FactorLength {
+                field,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{field} has {got} entries but the cluster shape expects {expected}"
+            ),
+            ClusterSpecError::NonPositiveFactor { field, value } => {
+                write!(
+                    f,
+                    "{field} factors must be positive and finite, got {value}"
+                )
             }
         }
     }
@@ -338,6 +569,22 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
         .iter()
         .map(|&w| ps.iter().map(|&s| b.add_channel(w, s)).collect())
         .collect();
+
+    // Heterogeneity side tables. Skipped entirely for uniform specs so
+    // homogeneous deployments build the exact graph they always did.
+    if !spec.is_uniform() {
+        for (w, &dev) in workers.iter().enumerate() {
+            b.set_device_speed(dev, spec.worker_speed(w));
+        }
+        for (s, &dev) in ps.iter().enumerate() {
+            b.set_device_speed(dev, spec.ps_speed(s));
+        }
+        for (w, row) in channels.iter().enumerate() {
+            for (s, &ch) in row.iter().enumerate() {
+                b.set_channel_bandwidth(ch, spec.link_bandwidth(w, s));
+            }
+        }
+    }
 
     // Parameters and shards. Parameter and model-op names are interned
     // once up front; every op below carries a compact structured `OpName`
@@ -647,12 +894,10 @@ mod tests {
             ClusterSpec::try_new(1, 0).unwrap_err(),
             ClusterSpecError::ZeroParameterServers
         );
-        // …and `deploy` still guards hand-built specs.
-        let zero_workers = ClusterSpec {
-            workers: 0,
-            parameter_servers: 1,
-            sharding: Sharding::SizeBalanced,
-        };
+        // …and `deploy` still guards hand-mutated specs (the public
+        // shape fields stay writable; the builder is the validated path).
+        let mut zero_workers = ClusterSpec::new(1, 1);
+        zero_workers.workers = 0;
         assert_eq!(
             deploy(&model, &zero_workers).unwrap_err(),
             DeployError::EmptyCluster
@@ -685,6 +930,96 @@ mod tests {
         let spec = ClusterSpec::try_new(1024, 16).unwrap();
         assert_eq!(spec.workers, 1024);
         assert_eq!(spec.parameter_servers, 16);
+    }
+
+    #[test]
+    fn builder_with_unit_factors_equals_uniform_spec() {
+        let built = ClusterSpec::builder()
+            .workers(4)
+            .parameter_servers(2)
+            .worker_speeds(vec![1.0; 4])
+            .ps_speeds(vec![1.0; 2])
+            .link_bandwidths(vec![1.0; 4])
+            .build()
+            .unwrap();
+        let plain = ClusterSpec::new(4, 2);
+        assert_eq!(built, plain);
+        assert!(built.is_uniform());
+        use std::hash::{Hash, Hasher};
+        let h = |s: &ClusterSpec| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&built), h(&plain));
+    }
+
+    #[test]
+    fn builder_rejects_bad_factors() {
+        let base = || ClusterSpec::builder().workers(2).parameter_servers(1);
+        assert_eq!(
+            base().worker_speeds(vec![1.0]).build().unwrap_err(),
+            ClusterSpecError::FactorLength {
+                field: "worker_speeds",
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            base().ps_speeds(vec![0.0]).build().unwrap_err(),
+            ClusterSpecError::NonPositiveFactor {
+                field: "ps_speeds",
+                value: 0.0
+            }
+        );
+        assert!(matches!(
+            base().link_bandwidths(vec![f64::NAN, 1.0]).build(),
+            Err(ClusterSpecError::NonPositiveFactor { .. })
+        ));
+        assert_eq!(
+            ClusterSpec::builder().parameter_servers(1).build(),
+            Err(ClusterSpecError::ZeroWorkers)
+        );
+    }
+
+    #[test]
+    fn heterogeneous_spec_lowers_into_graph_side_tables() {
+        let spec = ClusterSpec::builder()
+            .workers(2)
+            .parameter_servers(2)
+            .worker_speeds(vec![1.0, 0.5])
+            .ps_speeds(vec![2.0, 1.0])
+            .link_bandwidths(vec![1.0, 0.25]) // per-worker uplinks
+            .build()
+            .unwrap();
+        let model = tiny_mlp(Mode::Training, 8);
+        let d = deploy(&model, &spec).unwrap();
+        let g = d.graph();
+        assert!(!g.is_uniform());
+        assert_eq!(g.device_speed(d.workers()[0]), 1.0);
+        assert_eq!(g.device_speed(d.workers()[1]), 0.5);
+        assert_eq!(g.device_speed(d.parameter_servers()[0]), 2.0);
+        // Worker 1's channels to both shards inherit its uplink factor.
+        assert_eq!(g.channel_bandwidth(d.channel(1, 0)), 0.25);
+        assert_eq!(g.channel_bandwidth(d.channel(1, 1)), 0.25);
+        assert_eq!(g.channel_bandwidth(d.channel(0, 0)), 1.0);
+
+        // Full-matrix form targets a single link.
+        let spec = ClusterSpec::builder()
+            .workers(2)
+            .parameter_servers(2)
+            .link_bandwidths(vec![1.0, 1.0, 1.0, 4.0])
+            .build()
+            .unwrap();
+        let d = deploy(&model, &spec).unwrap();
+        assert_eq!(d.graph().channel_bandwidth(d.channel(1, 1)), 4.0);
+        assert_eq!(d.graph().channel_bandwidth(d.channel(1, 0)), 1.0);
+    }
+
+    #[test]
+    fn uniform_spec_lowers_to_uniform_graph() {
+        let d = mlp_cluster(3, 2, Mode::Training);
+        assert!(d.graph().is_uniform());
     }
 
     #[test]

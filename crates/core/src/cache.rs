@@ -36,13 +36,13 @@ use tictac_sim::{FaultSpec, SimConfig};
 
 use crate::session::{compute_schedule, SchedulerKind};
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct DeployKey {
     fingerprint: u64,
     cluster: ClusterSpec,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct SchedKey {
     deploy: DeployKey,
     scheduler: SchedulerKind,
@@ -119,7 +119,7 @@ impl DeployCache {
     ) -> Result<Arc<DeployedModel>, DeployError> {
         let key = DeployKey {
             fingerprint: model.fingerprint(),
-            cluster: *cluster,
+            cluster: cluster.clone(),
         };
         if let Some(hit) = lock(&self.deploys).get(&key) {
             self.deploy_hits.fetch_add(1, Ordering::Relaxed);
@@ -154,7 +154,7 @@ impl DeployCache {
         let key = SchedKey {
             deploy: DeployKey {
                 fingerprint: model.fingerprint(),
-                cluster: *cluster,
+                cluster: cluster.clone(),
             },
             scheduler,
             config_hash: schedule_config_hash(config),

@@ -45,7 +45,10 @@ pub use backend::{ExecError, ExecutionBackend, SimBackend, ThreadedBackend, Time
 pub use cache::{CacheStats, DeployCache};
 pub use experiments::{count_unique_recv_orders, speedup_pct};
 pub use optimal::{makespan_of_order, optimal_order, OptimalSearch};
-pub use session::{IterationRecord, RunOptions, RunReport, SchedulerKind, Session, SessionBuilder};
+pub use session::{
+    IterationRecord, RunOptions, RunReport, ScenarioBuildError, SchedulerKind, Session,
+    SessionBuilder, SessionConfig,
+};
 
 // Re-export the substrate so downstream users need only one dependency.
 pub use tictac_cluster::{
@@ -69,15 +72,18 @@ pub use tictac_obs::{
     InversionReport, MetricValue, OverlapReport, PerfettoStats, RealizedEfficiency, Registry,
     Snapshot, Timer, TimerStats,
 };
+pub use tictac_scenario::{
+    self as scenario, BackendKind, EnvPreset, ParseError as ScenarioParseError, Scenario,
+};
 pub use tictac_sched::{
     efficiency, merge_schedules, no_ordering, random_order, tac, tac_observed, tac_order,
     tac_order_naive, tac_order_observed, tic, tic_observed, worst_case, Baseline, OpProperties,
     PartitionGraph, Random, Schedule, Scheduler, TacComparator, TacScheduler, TicScheduler,
 };
 pub use tictac_sim::{
-    analyze, selected_engine, simulate, simulate_with_plan, simulate_with_plan_observed,
-    try_simulate, try_simulate_observed, Blackout, Crash, EngineChoice, FaultClock, FaultCounters,
-    FaultPlan, FaultSpec, IterationMetrics, SimConfig, SimError, Stall, DEFAULT_PAR_THRESHOLD,
+    selected_engine, simulate, simulate_with_plan, simulate_with_plan_observed, try_simulate,
+    try_simulate_observed, Blackout, Crash, EngineChoice, FaultClock, FaultCounters, FaultPlan,
+    FaultSpec, IterationMetrics, SimConfig, SimError, Stall, DEFAULT_PAR_THRESHOLD,
 };
 pub use tictac_store::{
     self as store, diff_records, group_key, regress, MemorySink, Payload, RegressPolicy,
@@ -88,5 +94,6 @@ pub use tictac_timing::{
     SimTime, TimeOracle,
 };
 pub use tictac_trace::{
-    estimate_profile, gantt, ExecutionTrace, FaultEvent, FaultEventKind, OpRecord, TraceBuilder,
+    analyze, estimate_profile, gantt, straggler_pct, ExecutionTrace, FaultEvent, FaultEventKind,
+    OpRecord, TraceBuilder,
 };

@@ -1,56 +1,62 @@
 //! The end-to-end session: model → cluster → schedule → measure.
 
 use serde::{Deserialize, Serialize};
-use std::fmt;
 use std::time::Instant;
 use tictac_cluster::{ClusterSpec, DeployError, DeployedModel};
 use tictac_graph::{ModelGraph, OpId};
 use tictac_obs::Registry;
+use tictac_scenario::{BackendKind, Scenario};
 use tictac_sched::{
     efficiency, no_ordering, Baseline, Random, Schedule, Scheduler, TacScheduler, TicScheduler,
 };
-use tictac_sim::{analyze, simulate, FaultCounters, FaultSpec, SimConfig};
+use tictac_sim::{simulate, FaultCounters, FaultSpec, SimConfig};
 use tictac_store::{IterationEvidence, Payload, RunRecord, RunSink, SessionEvidence};
 use tictac_timing::MeasuredProfile;
 use tictac_timing::{GeneralOracle, SimDuration, TimeOracle};
-use tictac_trace::{estimate_profile, ExecutionTrace};
+use tictac_trace::{analyze, estimate_profile, ExecutionTrace};
 
 use crate::backend::{ExecError, ExecutionBackend, SimBackend, TimeDomain};
 
-/// Which transfer-scheduling policy to enforce.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SchedulerKind {
-    /// No enforced order — the paper's baseline; transfer order is whatever
-    /// the runtime's random ready-queue pops produce.
-    Baseline,
-    /// A uniformly random but *fixed* total order, identical on all
-    /// workers (used in §6.3 to isolate the benefit of consistency).
-    Random,
-    /// Timing-Independent Communication scheduling (Algorithm 2).
-    Tic,
-    /// Timing-Aware Communication scheduling (Algorithm 3), fed by the
-    /// min-of-5 traced profile (§5).
-    Tac,
+// `SchedulerKind` moved to `tictac-sched` (re-exported here for API
+// compatibility) so policy-naming surfaces — scenario files, run records
+// — need not depend on the whole session layer.
+pub use tictac_sched::SchedulerKind;
+
+/// The declarative half of a session: every knob that determines *what*
+/// runs — and therefore the run's recorded identity — separate from the
+/// process-local attachments (metrics registry, backend instance, record
+/// sink). [`SessionBuilder`] is a thin imperative layer over this struct,
+/// and [`Session::from_scenario`] fills it from a parsed scenario file;
+/// both construction paths flow through the same `build`.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Cluster shape, including heterogeneity factors.
+    pub cluster: ClusterSpec,
+    /// Simulation configuration: platform, noise, faults, seed.
+    pub config: SimConfig,
+    /// Transfer-scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Discarded warm-up iterations.
+    pub warmup: usize,
+    /// Measured iterations.
+    pub iterations: usize,
+    /// `Scenario::fingerprint` of the driving scenario (0 when the
+    /// session was assembled imperatively).
+    pub scenario_fp: u64,
 }
 
-impl SchedulerKind {
-    /// All policies, baseline first.
-    pub const ALL: [SchedulerKind; 4] = [
-        SchedulerKind::Baseline,
-        SchedulerKind::Random,
-        SchedulerKind::Tic,
-        SchedulerKind::Tac,
-    ];
-}
-
-impl fmt::Display for SchedulerKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            SchedulerKind::Baseline => "baseline",
-            SchedulerKind::Random => "random",
-            SchedulerKind::Tic => "tic",
-            SchedulerKind::Tac => "tac",
-        })
+impl Default for SessionConfig {
+    /// The paper's defaults: 2 workers / 1 PS, envG with noise, baseline
+    /// scheduling, 2 warm-up + 10 measured iterations (§6).
+    fn default() -> Self {
+        Self {
+            cluster: ClusterSpec::new(2, 1),
+            config: SimConfig::cloud_gpu(),
+            scheduler: SchedulerKind::Baseline,
+            warmup: 2,
+            iterations: 10,
+            scenario_fp: 0,
+        }
     }
 }
 
@@ -58,44 +64,46 @@ impl fmt::Display for SchedulerKind {
 #[derive(Debug)]
 pub struct SessionBuilder {
     model: ModelGraph,
-    cluster: ClusterSpec,
-    config: SimConfig,
-    scheduler: SchedulerKind,
-    warmup: usize,
-    iterations: usize,
+    settings: SessionConfig,
     registry: Registry,
     backend: Option<Box<dyn ExecutionBackend>>,
     sink: Option<std::sync::Arc<dyn RunSink>>,
 }
 
 impl SessionBuilder {
+    /// Replaces the whole declarative configuration at once.
+    pub fn settings(mut self, settings: SessionConfig) -> Self {
+        self.settings = settings;
+        self
+    }
+
     /// Sets the cluster shape (default: 2 workers, 1 PS).
     pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
-        self.cluster = cluster;
+        self.settings.cluster = cluster;
         self
     }
 
     /// Sets the simulation configuration (default: envG with noise).
     pub fn config(mut self, config: SimConfig) -> Self {
-        self.config = config;
+        self.settings.config = config;
         self
     }
 
     /// Sets the scheduling policy (default: baseline).
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
-        self.scheduler = scheduler;
+        self.settings.scheduler = scheduler;
         self
     }
 
     /// Number of discarded warm-up iterations (default 2, as in §6).
     pub fn warmup(mut self, warmup: usize) -> Self {
-        self.warmup = warmup;
+        self.settings.warmup = warmup;
         self
     }
 
     /// Number of measured iterations (default 10, as in §6).
     pub fn iterations(mut self, iterations: usize) -> Self {
-        self.iterations = iterations;
+        self.settings.iterations = iterations;
         self
     }
 
@@ -140,17 +148,18 @@ impl SessionBuilder {
     /// Returns a [`DeployError`] if the cluster spec or model is invalid.
     pub fn build(self) -> Result<Session, DeployError> {
         let started = Instant::now();
+        let s = &self.settings;
         let (deployed, schedule) = crate::DeployCache::global().schedule(
             &self.model,
-            &self.cluster,
-            self.scheduler,
-            &self.config,
+            &s.cluster,
+            s.scheduler,
+            &s.config,
             &self.registry,
         )?;
         let schedule_compute_time = started.elapsed();
         let backend = self
             .backend
-            .unwrap_or_else(|| Box::new(SimBackend::new(self.config.clone())));
+            .unwrap_or_else(|| Box::new(SimBackend::new(s.config.clone())));
         let sink = self
             .sink
             .or_else(|| tictac_store::global_store().map(|s| s as std::sync::Arc<dyn RunSink>));
@@ -159,17 +168,52 @@ impl SessionBuilder {
             model_fp: self.model.fingerprint(),
             batch: self.model.batch_size(),
             deployed,
-            scheduler: self.scheduler,
-            warmup: self.warmup,
-            iterations: self.iterations,
+            scheduler: s.scheduler,
+            warmup: s.warmup,
+            iterations: s.iterations,
             schedule,
             schedule_compute_time,
             registry: self.registry,
             backend,
-            seed: self.config.seed,
-            fault_fp: self.config.faults.fingerprint(),
+            seed: s.config.seed,
+            fault_fp: s.config.faults.fingerprint(),
+            scenario_fp: s.scenario_fp,
             sink,
         })
+    }
+}
+
+/// Error turning a [`Scenario`] into a runnable [`Session`]: the
+/// deployment can be invalid, or the scenario can ask the threaded
+/// backend for a configuration it does not support.
+#[derive(Debug)]
+pub enum ScenarioBuildError {
+    /// The model/cluster deployment failed.
+    Deploy(DeployError),
+    /// The threaded backend rejected the scenario's configuration.
+    Runtime(tictac_exec::RuntimeError),
+}
+
+impl std::fmt::Display for ScenarioBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioBuildError::Deploy(e) => write!(f, "invalid deployment: {e}"),
+            ScenarioBuildError::Runtime(e) => write!(f, "unsupported backend config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioBuildError {}
+
+impl From<DeployError> for ScenarioBuildError {
+    fn from(e: DeployError) -> Self {
+        ScenarioBuildError::Deploy(e)
+    }
+}
+
+impl From<tictac_exec::RuntimeError> for ScenarioBuildError {
+    fn from(e: tictac_exec::RuntimeError) -> Self {
+        ScenarioBuildError::Runtime(e)
     }
 }
 
@@ -342,6 +386,7 @@ pub struct Session {
     backend: Box<dyn ExecutionBackend>,
     seed: u64,
     fault_fp: u64,
+    scenario_fp: u64,
     sink: Option<std::sync::Arc<dyn RunSink>>,
 }
 
@@ -395,15 +440,47 @@ impl Session {
     pub fn builder(model: ModelGraph) -> SessionBuilder {
         SessionBuilder {
             model,
-            cluster: ClusterSpec::new(2, 1),
-            config: SimConfig::cloud_gpu(),
-            scheduler: SchedulerKind::Baseline,
-            warmup: 2,
-            iterations: 10,
+            settings: SessionConfig::default(),
             registry: Registry::disabled(),
             backend: None,
             sink: None,
         }
+    }
+
+    /// Assembles a runnable session from a parsed [`Scenario`] — the
+    /// declarative counterpart of [`Session::builder`]. The scenario's
+    /// fingerprint is carried into every [`RunRecord`] the session emits
+    /// (`scenario_fp`), and a scenario-level `store:` target becomes the
+    /// session's record sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioBuildError`] if the deployment is invalid or
+    /// the threaded backend rejects the scenario's configuration.
+    pub fn from_scenario(scenario: &Scenario) -> Result<Session, ScenarioBuildError> {
+        let model = scenario
+            .model
+            .build_with_batch(scenario.mode, scenario.batch);
+        let config = scenario.sim_config();
+        let mut builder = Session::builder(model).settings(SessionConfig {
+            cluster: scenario.cluster.clone(),
+            config: config.clone(),
+            scheduler: scenario.scheduler,
+            warmup: scenario.warmup,
+            iterations: scenario.iterations,
+            scenario_fp: scenario.fingerprint(),
+        });
+        if scenario.backend == BackendKind::Threaded {
+            let mut threaded = crate::backend::ThreadedBackend::from_config(&config)?;
+            if let Some(scale) = scenario.time_scale {
+                threaded = threaded.with_time_scale(scale);
+            }
+            builder = builder.backend(threaded);
+        }
+        if let Some(path) = &scenario.store {
+            builder = builder.record_to(std::sync::Arc::new(tictac_store::RunStore::at(path)));
+        }
+        Ok(builder.build()?)
     }
 
     /// The deployed model.
@@ -635,6 +712,7 @@ impl Session {
             backend: self.backend.name().to_string(),
             seed: self.seed,
             fault_fp: self.fault_fp,
+            scenario_fp: self.scenario_fp,
             provenance: std::env::var("TICTAC_PROVENANCE").unwrap_or_default(),
             payload: Payload::Session(evidence),
         }
@@ -849,6 +927,81 @@ mod tests {
             json,
             tictac_obs::perfetto_json(s.deployed().graph(), &trace, "tiny_mlp/tic/iter0")
         );
+    }
+
+    #[test]
+    fn from_scenario_builds_equivalent_sessions() {
+        let doc = "\
+model: alexnet_v2
+cluster:
+  workers: 2
+  parameter_servers: 1
+scheduler: tic
+iterations: 3
+warmup: 1
+";
+        let scenario = Scenario::parse(doc).unwrap();
+        let from_scenario = Session::from_scenario(&scenario).unwrap();
+        let by_hand = Session::builder(
+            tictac_models::Model::AlexNetV2.build_with_batch(Mode::Training, scenario.batch),
+        )
+        .cluster(ClusterSpec::new(2, 1))
+        .config(SimConfig::cloud_gpu())
+        .scheduler(SchedulerKind::Tic)
+        .warmup(1)
+        .iterations(3)
+        .build()
+        .unwrap();
+        // Both construction paths produce the same schedule and the same
+        // measured iterations.
+        assert_eq!(from_scenario.schedule(), by_hand.schedule());
+        assert_eq!(from_scenario.run().iterations, by_hand.run().iterations);
+    }
+
+    #[test]
+    fn scenario_sessions_stamp_records_with_the_fingerprint() {
+        use tictac_store::MemorySink;
+        let doc = "\
+model: alexnet_v2
+cluster:
+  workers: 2
+  parameter_servers: 1
+scheduler: tac
+backend: threaded
+time_scale: 0.5
+iterations: 2
+warmup: 0
+";
+        let scenario = Scenario::parse(doc).unwrap();
+        let sink = std::sync::Arc::new(MemorySink::new());
+        // `record_to` after from_scenario is not available (from_scenario
+        // returns a Session), so go through the builder path with the
+        // same settings to verify the fp lands in records.
+        let session = Session::builder(
+            scenario
+                .model
+                .build_with_batch(scenario.mode, scenario.batch),
+        )
+        .settings(SessionConfig {
+            cluster: scenario.cluster.clone(),
+            config: scenario.sim_config(),
+            scheduler: scenario.scheduler,
+            warmup: scenario.warmup,
+            iterations: scenario.iterations,
+            scenario_fp: scenario.fingerprint(),
+        })
+        .record_to(sink.clone())
+        .build()
+        .unwrap();
+        session.run();
+        let records = sink.take();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].scenario_fp, scenario.fingerprint());
+        assert_ne!(records[0].scenario_fp, 0);
+        // The threaded scenario builds too, and carries its own backend.
+        let threaded = Session::from_scenario(&scenario).unwrap();
+        assert_eq!(threaded.backend().name(), "threaded");
+        assert_eq!(threaded.schedule(), session.schedule());
     }
 
     #[test]

@@ -243,8 +243,11 @@ pub struct ExecPlan {
     rank: Vec<Option<u64>>,
     /// The send op feeding each recv, for transfer-interval attribution.
     send_of: Vec<Option<OpId>>,
-    /// Fair-share divisor for wire time (PS fan-out, or the override).
-    bandwidth_share: f64,
+    /// Per-channel wire-time stretch: the fair-share divisor (PS
+    /// fan-out, or the override) divided by the channel's relative
+    /// bandwidth factor. Uniform graphs divide by exactly `1.0`,
+    /// preserving the homogeneous durations bit-for-bit.
+    chan_share: Vec<f64>,
     /// Duration oracle on the plan's platform.
     oracle: CostOracle,
 }
@@ -309,10 +312,16 @@ impl ExecPlan {
             }
         });
 
+        let chan_share: Vec<f64> = (0..graph.channels().len())
+            .map(|c| {
+                bandwidth_share / graph.channel_bandwidth(tictac_graph::ChannelId::from_index(c))
+            })
+            .collect();
+
         Ok(Self {
             rank,
             send_of,
-            bandwidth_share,
+            chan_share,
             oracle: CostOracle::new(opts.platform.clone()),
         })
     }
@@ -334,6 +343,23 @@ impl ExecPlan {
         fold(graph.len() as u64);
         fold(graph.devices().len() as u64);
         fold(graph.channels().len() as u64);
+        // Heterogeneity tables change the baked-in per-channel shares and
+        // oracle durations, so they are plan-relevant. Uniform graphs have
+        // empty tables and fold nothing — their keys are unchanged.
+        for d in 0..graph.devices().len() {
+            let speed = graph.device_speed(tictac_graph::DeviceId::from_index(d));
+            if speed != 1.0 {
+                fold(d as u64);
+                fold(speed.to_bits());
+            }
+        }
+        for c in 0..graph.channels().len() {
+            let bw = graph.channel_bandwidth(tictac_graph::ChannelId::from_index(c));
+            if bw != 1.0 {
+                fold(c as u64);
+                fold(bw.to_bits());
+            }
+        }
         for op in graph.op_ids() {
             match schedule.priority(op) {
                 Some(r) => {
@@ -1375,7 +1401,7 @@ impl<'g> Shared<'g> {
             let wire = self.scaled(
                 self.opts
                     .platform
-                    .transfer_time_shared(bytes, self.plan.bandwidth_share),
+                    .transfer_time_scaled(bytes, self.plan.chan_share[ch]),
             );
             let start = self.now();
             if !self.wait_until(self.started + (self.started.elapsed() + wire)) {

@@ -38,6 +38,10 @@ pub struct GraphBuilder {
     devices: Vec<Device>,
     channels: Vec<Channel>,
     params: Vec<ParamInfo>,
+    /// Sparse heterogeneity overrides; normalized away at `build` when
+    /// every factor is exactly `1.0`.
+    device_speeds: Vec<f64>,
+    channel_bandwidths: Vec<f64>,
     names: NameTable,
 }
 
@@ -50,6 +54,8 @@ impl Default for GraphBuilder {
             devices: Vec::new(),
             channels: Vec::new(),
             params: Vec::new(),
+            device_speeds: Vec::new(),
+            channel_bandwidths: Vec::new(),
             names: NameTable::new(),
         }
     }
@@ -109,6 +115,50 @@ impl GraphBuilder {
         let id = ChannelId::from_index(self.channels.len());
         self.channels.push(Channel::new_peer(id, a, b));
         id
+    }
+
+    /// Sets the relative speed factor of `device` (`1.0` = platform
+    /// reference; `2.0` = twice as fast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was not created by this builder, or if `speed`
+    /// is not a positive finite number.
+    pub fn set_device_speed(&mut self, device: DeviceId, speed: f64) {
+        assert!(
+            device.index() < self.devices.len(),
+            "unknown device {device:?}"
+        );
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "device speed must be positive and finite, got {speed}"
+        );
+        if self.device_speeds.len() <= device.index() {
+            self.device_speeds.resize(device.index() + 1, 1.0);
+        }
+        self.device_speeds[device.index()] = speed;
+    }
+
+    /// Sets the relative bandwidth factor of `channel` (`1.0` = platform
+    /// reference; `0.5` = half the bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` was not created by this builder, or if
+    /// `bandwidth` is not a positive finite number.
+    pub fn set_channel_bandwidth(&mut self, channel: ChannelId, bandwidth: f64) {
+        assert!(
+            channel.index() < self.channels.len(),
+            "unknown channel {channel:?}"
+        );
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "channel bandwidth must be positive and finite, got {bandwidth}"
+        );
+        if self.channel_bandwidths.len() <= channel.index() {
+            self.channel_bandwidths.resize(channel.index() + 1, 1.0);
+        }
+        self.channel_bandwidths[channel.index()] = bandwidth;
     }
 
     /// Registers a parameter of `bytes` bytes and returns its id.
@@ -319,6 +369,22 @@ impl GraphBuilder {
             }
         }
 
+        // Canonicalize heterogeneity: an all-1.0 table IS the uniform
+        // cluster, and the empty vector is its single representation —
+        // uniform graphs stay byte-identical however they were built.
+        let mut device_speeds = self.device_speeds;
+        if device_speeds.iter().all(|&s| s == 1.0) {
+            device_speeds = Vec::new();
+        } else {
+            device_speeds.resize(self.devices.len(), 1.0);
+        }
+        let mut channel_bandwidths = self.channel_bandwidths;
+        if channel_bandwidths.iter().all(|&b| b == 1.0) {
+            channel_bandwidths = Vec::new();
+        } else {
+            channel_bandwidths.resize(self.channels.len(), 1.0);
+        }
+
         let graph = Graph {
             ops: self.ops,
             pred_edges: self.pred_edges,
@@ -328,6 +394,8 @@ impl GraphBuilder {
             devices: self.devices,
             channels: self.channels,
             params: self.params,
+            device_speeds,
+            channel_bandwidths,
             names: self.names,
             rendered: std::sync::OnceLock::new(),
             name_index: std::sync::OnceLock::new(),

@@ -50,6 +50,18 @@ pub struct Graph {
     pub(crate) devices: Vec<Device>,
     pub(crate) channels: Vec<Channel>,
     pub(crate) params: Vec<ParamInfo>,
+    /// Relative device speed factors, one per device (empty = uniform).
+    ///
+    /// A factor of `2.0` means the device computes twice as fast as the
+    /// platform reference; `0.5` means half speed. The empty vector is the
+    /// canonical encoding of a uniform cluster, so homogeneous graphs are
+    /// bit-for-bit identical to graphs built before heterogeneity existed.
+    #[serde(default)]
+    pub(crate) device_speeds: Vec<f64>,
+    /// Relative channel bandwidth factors, one per channel (empty =
+    /// uniform). `2.0` = twice the platform bandwidth, `0.5` = half.
+    #[serde(default)]
+    pub(crate) channel_bandwidths: Vec<f64>,
     /// Interned strings referenced by the ops' [`OpName`]s.
     pub(crate) names: NameTable,
     /// Lazily-rendered display names, one per op (see [`Graph::op_name`]).
@@ -167,6 +179,32 @@ impl Graph {
     /// Panics if `id` is out of bounds.
     pub fn channel(&self, id: ChannelId) -> &Channel {
         &self.channels[id.index()]
+    }
+
+    /// The relative speed factor of `id` (`1.0` = platform reference).
+    ///
+    /// Uniform graphs store no side table and always answer `1.0`, so the
+    /// homogeneous fast path stays branch-predictable and byte-identical.
+    pub fn device_speed(&self, id: DeviceId) -> f64 {
+        self.device_speeds.get(id.index()).copied().unwrap_or(1.0)
+    }
+
+    /// The relative bandwidth factor of channel `id` (`1.0` = platform
+    /// reference bandwidth).
+    pub fn channel_bandwidth(&self, id: ChannelId) -> f64 {
+        self.channel_bandwidths
+            .get(id.index())
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Whether every device and channel runs at the platform reference
+    /// rate (no heterogeneity side tables).
+    ///
+    /// The parallel engine only accepts uniform graphs; heterogeneous
+    /// ones fall back to the sequential oracle.
+    pub fn is_uniform(&self) -> bool {
+        self.device_speeds.is_empty() && self.channel_bandwidths.is_empty()
     }
 
     /// All parameters.

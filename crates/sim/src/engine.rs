@@ -586,11 +586,14 @@ struct Engine<'g> {
     recv_rank: Vec<Option<u64>>,
     /// The send op feeding each recv (transfer pairing).
     send_of: Vec<Option<OpId>>,
-    /// Fair-share factor applied to wire time (see
-    /// [`Platform::transfer_time_shared`]).
+    /// Per-channel wire-time stretch factor: the topology fair share
+    /// (see [`Platform::transfer_time_shared`]) divided by the channel's
+    /// relative bandwidth. Uniform graphs divide by exactly `1.0`, so the
+    /// factor — and every transfer duration — is bit-for-bit the
+    /// homogeneous value.
     ///
     /// [`Platform::transfer_time_shared`]: tictac_timing::Platform::transfer_time_shared
-    bandwidth_share: f64,
+    chan_share: Vec<f64>,
     /// Registry handles (read-only observation; `None` when disabled).
     metrics: Option<Box<EngineMetrics>>,
 }
@@ -645,6 +648,9 @@ impl<'g> Engine<'g> {
                 workers.max(servers).max(1) as f64
             }
         });
+        let chan_share: Vec<f64> = (0..graph.channels().len())
+            .map(|c| bandwidth_share / graph.channel_bandwidth(ChannelId::from_index(c)))
+            .collect();
 
         Self {
             graph,
@@ -687,7 +693,7 @@ impl<'g> Engine<'g> {
                 .collect(),
             recv_rank: vec![None; n],
             send_of: vec![None; n],
-            bandwidth_share,
+            chan_share,
             metrics: None,
         }
     }
@@ -984,7 +990,7 @@ impl<'g> Engine<'g> {
         let base = self
             .oracle
             .platform()
-            .transfer_time_shared(bytes, self.bandwidth_share);
+            .transfer_time_scaled(bytes, self.chan_share[ch]);
         // The wire-time draw happens whether or not the attempt survives,
         // so the noise stream is independent of drop decisions.
         let dur = self.noise.apply(&mut self.rng, base);

@@ -58,5 +58,5 @@ pub use error::SimError;
 // The fault model lives in the backend-agnostic `tictac-faults` crate
 // (the threaded runtime samples the same plans); re-exported here so the
 // simulator's API is unchanged.
-pub use metrics::{analyze, straggler_pct, FaultCounters, IterationMetrics};
+pub use metrics::{FaultCounters, IterationMetrics};
 pub use tictac_faults::{Blackout, Crash, FaultClock, FaultPlan, FaultSpec, Stall};

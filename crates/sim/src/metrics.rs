@@ -2,18 +2,20 @@
 //!
 //! The metric types live in `tictac-trace` (they depend only on the graph,
 //! timing and trace layers, so non-simulator backends can reuse them); this
-//! module re-exports them for compatibility.
+//! module re-exports the *types* for compatibility. The `analyze` /
+//! `straggler_pct` function re-exports were removed — call
+//! `tictac_trace::analyze` directly.
 
-pub use tictac_trace::{analyze, straggler_pct, FaultCounters, IterationMetrics};
+pub use tictac_trace::{FaultCounters, IterationMetrics};
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{simulate, SimConfig};
     use tictac_cluster::{deploy, ClusterSpec};
     use tictac_models::{tiny_mlp, Mode};
     use tictac_sched::no_ordering;
     use tictac_timing::SimTime;
+    use tictac_trace::analyze;
 
     fn t(ns: u64) -> SimTime {
         SimTime::from_nanos(ns)

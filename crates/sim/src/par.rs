@@ -71,6 +71,9 @@ pub(crate) fn eligible(graph: &Graph, config: &SimConfig) -> bool {
         && config.faults.is_quiet()
         && config.faults.barrier_timeout.is_none()
         && graph.workers().count() >= threshold.max(1)
+        // Heterogeneous device speeds / link bandwidths are sequential-only:
+        // the partitioned engine's lookahead assumes uniform wire time.
+        && graph.is_uniform()
         && supported_graph(graph)
 }
 
@@ -683,7 +686,7 @@ pub(crate) fn simulate_par(
 mod tests {
     use super::*;
     use crate::engine::{selected_engine, simulate, EngineChoice};
-    use crate::metrics::analyze;
+    use tictac_trace::analyze;
     use tictac_cluster::{deploy, ClusterSpec, DeployedModel};
     use tictac_models::{tiny_mlp, Mode};
     use tictac_sched::no_ordering;

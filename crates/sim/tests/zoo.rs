@@ -3,8 +3,9 @@
 use tictac_cluster::{deploy, deploy_all_reduce, ClusterSpec};
 use tictac_models::{Mode, Model};
 use tictac_sched::no_ordering;
-use tictac_sim::{analyze, simulate, SimConfig};
+use tictac_sim::{simulate, SimConfig};
 use tictac_timing::SimTime;
+use tictac_trace::analyze;
 
 #[test]
 fn every_model_simulates_to_completion_on_a_multi_ps_cluster() {

@@ -48,5 +48,6 @@ pub use record::{
     SessionEvidence, SCHEMA,
 };
 pub use store::{
-    fnv1a_64, global_store, load_lines, set_global_store, MemorySink, RunSink, RunStore,
+    arm_global_store, fnv1a_64, global_store, load_lines, resolve_store_path, set_global_store,
+    MemorySink, RunSink, RunStore, DEFAULT_STORE_PATH,
 };

@@ -42,7 +42,7 @@ impl RunFilter {
 /// key observed the same configuration, so any metric difference between
 /// them is drift, not design.
 pub fn group_key(r: &RunRecord) -> String {
-    format!(
+    let mut key = format!(
         "{}/{}/{}x{}/{}/{}/seed{}",
         r.payload.kind(),
         r.workload,
@@ -51,7 +51,14 @@ pub fn group_key(r: &RunRecord) -> String {
         r.scheduler,
         r.backend,
         r.seed
-    )
+    );
+    // Scenario-driven runs carry the scenario identity too: the same
+    // model/cluster-shape/seed tuple under different heterogeneity or
+    // fault regimes is a different experiment, not drift.
+    if r.scenario_fp != 0 {
+        key.push_str(&format!("/scn{:016x}", r.scenario_fp));
+    }
+    key
 }
 
 /// Nearest-rank percentile over a sorted sample (exact, not binned).
@@ -528,6 +535,7 @@ mod tests {
             backend: "sim".into(),
             seed: 7,
             fault_fp: 0,
+            scenario_fp: 0,
             provenance: String::new(),
             payload: Payload::Session(SessionEvidence {
                 iterations: makespans
@@ -626,6 +634,7 @@ mod tests {
             backend: "sim".into(),
             seed: 42,
             fault_fp: 0,
+            scenario_fp: 0,
             provenance: String::new(),
             payload: Payload::Report(ReportEvidence {
                 report_fp: fp,

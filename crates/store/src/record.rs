@@ -26,7 +26,13 @@ use tictac_obs::{parse_json, render_json, Json};
 use tictac_trace::FaultCounters;
 
 /// The store's current schema tag; bump on any wire-format change.
-pub const SCHEMA: &str = "tictac-run/v1";
+///
+/// v2 added `scenario_fp` — the [`Scenario::fingerprint`] of the
+/// declarative scenario that drove the run (`"0"` for runs not driven by
+/// a scenario file).
+///
+/// [`Scenario::fingerprint`]: https://docs.rs/tictac-scenario
+pub const SCHEMA: &str = "tictac-run/v2";
 
 /// Largest integer exactly representable in an f64-backed JSON number.
 const MAX_SAFE_INT: u64 = 1 << 53;
@@ -62,6 +68,9 @@ pub struct RunRecord {
     ///
     /// [`FaultSpec::fingerprint`]: https://docs.rs/tictac-faults
     pub fault_fp: u64,
+    /// `Scenario::fingerprint` of the scenario file that drove the run
+    /// (0 when the run was not scenario-driven).
+    pub scenario_fp: u64,
     /// Free-form provenance (git describe, CI job id, …); often empty.
     pub provenance: String,
     /// The observed evidence, tagged by kind.
@@ -294,6 +303,7 @@ impl RunRecord {
             ("backend".into(), Json::Str(self.backend.clone())),
             ("seed".into(), str_u64(self.seed)),
             ("fault_fp".into(), str_u64(self.fault_fp)),
+            ("scenario_fp".into(), str_u64(self.scenario_fp)),
             ("provenance".into(), Json::Str(self.provenance.clone())),
             ("payload".into(), payload_json(&self.payload)),
         ]);
@@ -321,6 +331,7 @@ impl RunRecord {
                 "backend",
                 "seed",
                 "fault_fp",
+                "scenario_fp",
                 "provenance",
                 "payload",
             ],
@@ -332,7 +343,7 @@ impl RunRecord {
             ));
         }
         let kind = get_str(f[4], "kind")?;
-        let payload = decode_payload(&kind, f[14])?;
+        let payload = decode_payload(&kind, f[15])?;
         Ok(RunRecord {
             id: get_str(f[1], "id")?,
             time_ms: get_u64(f[2], "time_ms")?,
@@ -345,7 +356,8 @@ impl RunRecord {
             backend: get_str(f[10], "backend")?,
             seed: get_u64_str(f[11], "seed")?,
             fault_fp: get_u64_str(f[12], "fault_fp")?,
-            provenance: get_str(f[13], "provenance")?,
+            scenario_fp: get_u64_str(f[13], "scenario_fp")?,
+            provenance: get_str(f[14], "provenance")?,
             payload,
         })
     }
@@ -609,6 +621,7 @@ mod tests {
             backend: "sim".into(),
             seed: u64::MAX,
             fault_fp: 0xDEAD_BEEF_CAFE_F00D,
+            scenario_fp: 0x71C7_AC00_5CEA_4210,
             provenance: "ci/1234".into(),
             payload: Payload::Session(SessionEvidence {
                 iterations: vec![IterationEvidence {
@@ -670,7 +683,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_rejected() {
-        let line = sample().encode().replace("tictac-run/v1", "tictac-run/v0");
+        let line = sample().encode().replace("tictac-run/v2", "tictac-run/v1");
         let err = RunRecord::decode(&line).unwrap_err();
         assert!(err.contains("unsupported schema"), "{err}");
     }

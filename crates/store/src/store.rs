@@ -163,6 +163,39 @@ pub fn global_store() -> Option<Arc<RunStore>> {
     global.clone()
 }
 
+/// The committed default corpus the read-side `runs` subcommands fall
+/// back to when neither `--store` nor `TICTAC_RUN_STORE` names a path.
+pub const DEFAULT_STORE_PATH: &str = "results/runs.jsonl";
+
+/// The one `--store` / `TICTAC_RUN_STORE` resolution rule, shared by
+/// every binary that *arms recording* (`tictac run`, `repro`, `bench`):
+/// an explicit non-empty `--store` value arms the process-global store at
+/// that path; otherwise the global store stands as-is (set earlier, or
+/// inherited from `TICTAC_RUN_STORE` via [`global_store`]). Returns the
+/// armed store, or `None` when recording stays off.
+pub fn arm_global_store(explicit: Option<&str>) -> Option<Arc<RunStore>> {
+    match explicit.filter(|p| !p.is_empty()) {
+        Some(path) => Some(set_global_store(path)),
+        None => global_store(),
+    }
+}
+
+/// The same resolution rule for *read-side* commands (`tictac runs`),
+/// which always need a path: `--store`, else `TICTAC_RUN_STORE`, else
+/// the committed [`DEFAULT_STORE_PATH`].
+pub fn resolve_store_path(explicit: Option<&str>) -> PathBuf {
+    explicit
+        .filter(|p| !p.is_empty())
+        .map(PathBuf::from)
+        .or_else(|| {
+            std::env::var("TICTAC_RUN_STORE")
+                .ok()
+                .filter(|p| !p.is_empty())
+                .map(PathBuf::from)
+        })
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_STORE_PATH))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +214,7 @@ mod tests {
             backend: "sim".into(),
             seed,
             fault_fp: 0,
+            scenario_fp: 0,
             provenance: String::new(),
             payload: Payload::Session(SessionEvidence::default()),
         }
@@ -219,6 +253,22 @@ mod tests {
         let text = format!("{}\n{{\"schema\":\"bogus\"}}\n", r.encode());
         let err = load_lines(&text).unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn store_path_resolution_prefers_explicit_flag() {
+        assert_eq!(
+            resolve_store_path(Some("custom.jsonl")),
+            PathBuf::from("custom.jsonl")
+        );
+        // An empty flag value is "not given", not "the empty path".
+        if std::env::var("TICTAC_RUN_STORE").is_err() {
+            assert_eq!(
+                resolve_store_path(Some("")),
+                PathBuf::from(DEFAULT_STORE_PATH)
+            );
+            assert_eq!(resolve_store_path(None), PathBuf::from(DEFAULT_STORE_PATH));
+        }
     }
 
     #[test]

@@ -82,19 +82,27 @@ impl CostOracle {
 
 impl TimeOracle for CostOracle {
     fn duration(&self, graph: &Graph, op: OpId) -> SimDuration {
+        // Heterogeneity: flops scale by the device's speed factor and wire
+        // time by the channel's bandwidth factor. Both divisions are exact
+        // for the uniform factor 1.0 (IEEE-754: `x / 1.0 == x` bitwise),
+        // so homogeneous graphs keep byte-identical durations.
         let o = graph.op(op);
         match o.kind() {
-            OpKind::Recv { .. } => self.platform.transfer_time(o.cost().bytes),
+            OpKind::Recv { channel, .. } => self
+                .platform
+                .transfer_time_scaled(o.cost().bytes, 1.0 / graph.channel_bandwidth(channel)),
             OpKind::Send { .. } => CostOracle::SEND_COST,
             OpKind::Compute => {
+                let flops = o.cost().flops / graph.device_speed(o.device());
                 if graph.device(o.device()).is_worker() {
-                    self.platform.worker_compute_time(o.cost().flops)
+                    self.platform.worker_compute_time(flops)
                 } else {
-                    self.platform.ps_compute_time(o.cost().flops)
+                    self.platform.ps_compute_time(flops)
                 }
             }
             OpKind::Aggregate { .. } | OpKind::Read { .. } | OpKind::Update { .. } => {
-                self.platform.ps_compute_time(o.cost().flops)
+                let flops = o.cost().flops / graph.device_speed(o.device());
+                self.platform.ps_compute_time(flops)
             }
         }
     }

@@ -151,7 +151,28 @@ impl Platform {
     /// Panics if `share < 1`.
     pub fn transfer_time_shared(&self, bytes: u64, share: f64) -> SimDuration {
         assert!(share >= 1.0, "share must be at least 1");
-        self.latency + SimDuration::from_secs_f64(bytes as f64 * share / self.bandwidth)
+        self.transfer_time_scaled(bytes, share)
+    }
+
+    /// Wire time for a `bytes`-byte transfer whose wire portion is
+    /// stretched by an arbitrary positive factor.
+    ///
+    /// This is [`transfer_time_shared`](Self::transfer_time_shared)
+    /// without the fair-share lower bound: heterogeneous links compose a
+    /// per-channel bandwidth factor into the share, and a link faster than
+    /// the platform reference yields an effective factor below `1.0`. The
+    /// float expression is identical to the shared path, so a factor of
+    /// exactly `1.0` is bit-for-bit the uniform result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive finite number.
+    pub fn transfer_time_scaled(&self, bytes: u64, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "transfer factor must be positive and finite, got {factor}"
+        );
+        self.latency + SimDuration::from_secs_f64(bytes as f64 * factor / self.bandwidth)
     }
 }
 

@@ -4,6 +4,8 @@
 //! tictac models
 //! tictac schedule resnet_v1_50 --scheduler tac --top 20
 //! tictac run inception_v3 --workers 8 --ps 2 --scheduler tic --env g
+//! tictac run examples/scenarios/vgg19_hetero.yml     # declarative scenario
+//! tictac run sweep.yml --dry-run                     # validate + show the grid
 //! tictac timeline alexnet_v2 --format chrome --out trace.json
 //! tictac run alexnet_v2 --store results/runs.jsonl   # record the run
 //! tictac runs list --workload alexnet_v2             # query the corpus
@@ -18,9 +20,10 @@
 use std::collections::HashMap;
 use tictac::{
     deploy, diff_records, estimate_profile, gantt, no_ordering, regress, simulate, tac_order, tic,
-    ClusterSpec, Mode, Model, Payload, RegressPolicy, RunFilter, RunRecord, RunStore,
+    ClusterSpec, Mode, Model, Payload, RegressPolicy, RunFilter, RunRecord, RunStore, Scenario,
     SchedulerKind, Session, SessionSummary, SimConfig,
 };
+use tictac_bench::runner::parallel_map;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -163,14 +166,89 @@ fn schedule(args: &[String], flags: &HashMap<String, String>) {
     }
 }
 
+/// Does `run`'s positional argument name a scenario file rather than a
+/// zoo model? Scenario mode is chosen by extension (`.yml` / `.yaml`),
+/// or by the argument being an existing file that is not a model name.
+fn is_scenario_arg(arg: &str) -> bool {
+    let lower = arg.to_ascii_lowercase();
+    lower.ends_with(".yml")
+        || lower.ends_with(".yaml")
+        || (Model::from_name(arg).is_none() && std::path::Path::new(arg).is_file())
+}
+
+/// `tictac run scenario.yml`: parse, expand the grid, and either validate
+/// (`--dry-run`) or execute every expanded point.
+fn run_scenario(path: &str, flags: &HashMap<String, String>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+    let grid = Scenario::parse_grid(&text).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+    if flags.contains_key("dry-run") {
+        println!("{path}: valid — {} scenario(s) in the grid", grid.len());
+        for s in &grid {
+            println!(
+                "  {:016x}  {} | {} {}x{} | {} | {} | {} | seed {} | {}+{} iters",
+                s.fingerprint(),
+                s.name,
+                s.model.name(),
+                s.cluster.workers,
+                s.cluster.parameter_servers,
+                if s.cluster.is_uniform() {
+                    "uniform"
+                } else {
+                    "hetero"
+                },
+                s.scheduler,
+                s.backend,
+                s.seed,
+                s.warmup,
+                s.iterations,
+            );
+        }
+        return;
+    }
+    if let Some(store) = tictac::store::arm_global_store(flags.get("store").map(String::as_str)) {
+        eprintln!("recording to {}", store.path().display());
+    }
+    let results = parallel_map(grid, |s| {
+        let session = Session::from_scenario(s)
+            .unwrap_or_else(|e| usage(&format!("{path} ({}/{}): {e}", s.scheduler, s.backend)));
+        let report = session
+            .try_run()
+            .map_err(|e| format!("{e}"))
+            .unwrap_or_else(|e| usage(&format!("{path} ({}/{}): {e}", s.scheduler, s.backend)));
+        (s.clone(), report)
+    });
+    for (s, report) in &results {
+        println!(
+            "{} [{:016x}] | {} | {} | {} workers / {} ps | seed {} | \
+             throughput {:.1} samples/s | iteration {} | efficiency {:.3}",
+            s.name,
+            s.fingerprint(),
+            s.scheduler,
+            s.backend,
+            s.cluster.workers,
+            s.cluster.parameter_servers,
+            s.seed,
+            report.mean_throughput(),
+            report.mean_makespan(),
+            report.mean_efficiency(),
+        );
+    }
+}
+
 fn run(args: &[String], flags: &HashMap<String, String>) {
+    if let Some(arg) = args.get(1).filter(|a| !a.starts_with("--")) {
+        if is_scenario_arg(arg) {
+            run_scenario(arg, flags);
+            return;
+        }
+    }
     let model = model_arg(args);
     let workers = flag_usize(flags, "workers", 4);
     let ps = flag_usize(flags, "ps", (workers / 4).max(1));
     let iterations = flag_usize(flags, "iterations", 10);
     let scheduler = flag_scheduler(flags);
-    if let Some(path) = flags.get("store").filter(|p| !p.is_empty()) {
-        let store = tictac::store::set_global_store(path);
+    if let Some(store) = tictac::store::arm_global_store(flags.get("store").map(String::as_str)) {
         eprintln!("recording to {}", store.path().display());
     }
     let cluster = ClusterSpec::try_new(workers, ps)
@@ -198,19 +276,11 @@ fn run(args: &[String], flags: &HashMap<String, String>) {
 }
 
 /// Store path resolution for `runs`: `--store`, else `TICTAC_RUN_STORE`,
-/// else the committed default `results/runs.jsonl`.
+/// else the committed default corpus (one shared rule in `tictac-store`).
 fn runs_store(flags: &HashMap<String, String>) -> RunStore {
-    let path = flags
-        .get("store")
-        .filter(|p| !p.is_empty())
-        .cloned()
-        .or_else(|| {
-            std::env::var("TICTAC_RUN_STORE")
-                .ok()
-                .filter(|p| !p.is_empty())
-        })
-        .unwrap_or_else(|| "results/runs.jsonl".to_string());
-    RunStore::at(path)
+    RunStore::at(tictac::store::resolve_store_path(
+        flags.get("store").map(String::as_str),
+    ))
 }
 
 fn flag_u64(flags: &HashMap<String, String>, name: &str) -> Option<u64> {
@@ -269,6 +339,9 @@ fn show_record(r: &RunRecord) {
     println!("cluster   {} workers / {} ps", r.workers, r.ps);
     println!("scheduler {} | backend {}", r.scheduler, r.backend);
     println!("seed      {} | fault fp {:016x}", r.seed, r.fault_fp);
+    if r.scenario_fp != 0 {
+        println!("scenario  fp {:016x}", r.scenario_fp);
+    }
     if !r.provenance.is_empty() {
         println!("prov      {}", r.provenance);
     }
@@ -426,6 +499,7 @@ fn usage(err: &str) -> ! {
          \x20 tictac schedule <model> [--mode train|inference] [--scheduler tic|tac] [--top N] [--env g|c]\n\
          \x20 tictac run <model> [--workers N] [--ps N] [--scheduler baseline|random|tic|tac]\n\
          \x20        [--iterations N] [--mode train|inference] [--env g|c] [--store FILE.jsonl]\n\
+         \x20 tictac run <scenario.yml> [--dry-run] [--store FILE.jsonl]\n\
          \x20 tictac runs [list|show|diff|regress] [--store FILE.jsonl] [--workload NAME]\n\
          \x20        [--scheduler S] [--backend B] [--kind session|bench|report]\n\
          \x20        [--seed-min N] [--seed-max N] [--id RID] [--a RID --b RID] [--window N]\n\

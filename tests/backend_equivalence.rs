@@ -156,7 +156,7 @@ fn decisive_sim_rankings_hold_on_the_wall_clock() {
         let mean = |scheduler: SchedulerKind, threaded: bool| -> f64 {
             let graph = model.build_with_batch(Mode::Training, model.default_batch());
             let builder = Session::builder(graph)
-                .cluster(cluster)
+                .cluster(cluster.clone())
                 .config(SimConfig::cloud_gpu())
                 .scheduler(scheduler)
                 .warmup(1)

@@ -1,0 +1,104 @@
+//! Heterogeneous-cluster guarantees:
+//!
+//! 1. Uniformity is byte-exact: a cluster built with explicit all-unit
+//!    speed/bandwidth vectors is *indistinguishable* from one that never
+//!    mentioned heterogeneity — same deployed graph, same schedule, and
+//!    bit-for-bit identical iteration metrics (property-tested across
+//!    shapes, schedulers and seeds).
+//! 2. Heterogeneity matters and scheduling helps: a straggler device
+//!    (half compute speed behind a quarter-bandwidth uplink) slows the
+//!    uniform iteration down, and TAC's profiled schedule beats the
+//!    baseline's arbitrary transfer order on that degraded cluster.
+
+use proptest::prelude::*;
+use tictac::{tiny_mlp, ClusterSpec, Mode, Model, ModelGraph, SchedulerKind, Session, SimConfig};
+
+fn run_model(
+    model: ModelGraph,
+    cluster: ClusterSpec,
+    kind: SchedulerKind,
+    seed: u64,
+) -> tictac::RunReport {
+    Session::builder(model)
+        .cluster(cluster)
+        .config(SimConfig::cloud_gpu().with_seed(seed))
+        .scheduler(kind)
+        .warmup(1)
+        .iterations(3)
+        .build()
+        .expect("valid deployment")
+        .run()
+}
+
+fn run(cluster: ClusterSpec, kind: SchedulerKind, seed: u64) -> tictac::RunReport {
+    run_model(tiny_mlp(Mode::Training, 8), cluster, kind, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All-unit factor vectors are normalized away: schedules and
+    /// iteration records reproduce bit-for-bit against the spec that
+    /// never specified factors.
+    #[test]
+    fn unit_factors_reproduce_uniform_runs_bit_for_bit(
+        workers in 1usize..4,
+        ps in 1usize..3,
+        kind_ix in 0usize..4,
+        seed in 0u64..3,
+    ) {
+        let kind = SchedulerKind::ALL[kind_ix];
+        let plain = ClusterSpec::new(workers, ps);
+        let unit = ClusterSpec::builder()
+            .workers(workers)
+            .parameter_servers(ps)
+            .worker_speeds(vec![1.0; workers])
+            .ps_speeds(vec![1.0; ps])
+            .link_bandwidths(vec![1.0; workers * ps])
+            .build()
+            .expect("unit factors are valid");
+        prop_assert_eq!(&plain, &unit);
+        prop_assert!(unit.is_uniform());
+        let a = run(plain, kind, seed);
+        let b = run(unit, kind, seed);
+        // PartialEq on the reports compares every f64 exactly — this is
+        // bit-for-bit identity, not approximate equality.
+        prop_assert_eq!(a.iterations, b.iterations);
+    }
+}
+
+/// A straggler device slows the whole synchronous iteration down, and
+/// TAC's profiled schedule recovers part of the loss over the baseline.
+#[test]
+fn tac_beats_baseline_on_a_straggler_device() {
+    let straggler = || {
+        ClusterSpec::builder()
+            .workers(4)
+            .parameter_servers(1)
+            .worker_speeds(vec![1.0, 1.0, 1.0, 0.5])
+            .link_bandwidths(vec![1.0, 1.0, 1.0, 0.25])
+            .build()
+            .expect("valid straggler cluster")
+    };
+    // A deep model whose long transfer chain gives the scheduler room to
+    // reorder (§6.1) — on tiny graphs there is nothing to rearrange.
+    let model = || Model::ResNet50V1.build_with_batch(Mode::Inference, 4);
+    let uniform = run_model(model(), ClusterSpec::new(4, 1), SchedulerKind::Baseline, 0);
+    let baseline = run_model(model(), straggler(), SchedulerKind::Baseline, 0);
+    let tac = run_model(model(), straggler(), SchedulerKind::Tac, 0);
+
+    // The slow device stretches the synchronous step.
+    assert!(
+        baseline.mean_makespan() > uniform.mean_makespan(),
+        "straggler cluster must be slower than uniform: {} vs {}",
+        baseline.mean_makespan(),
+        uniform.mean_makespan()
+    );
+    // TAC's transfer order beats the baseline's on the degraded cluster.
+    assert!(
+        tac.mean_makespan() < baseline.mean_makespan(),
+        "TAC must beat baseline on the straggler cluster: {} vs {}",
+        tac.mean_makespan(),
+        baseline.mean_makespan()
+    );
+}

@@ -1,7 +1,7 @@
 //! Run-store integration tests: encode→decode→encode byte identity over
 //! randomized records, schema-version rejection, append/load through a
 //! real file, history-aware regression gating, and a golden snapshot
-//! pinning the `tictac-run/v1` wire format.
+//! pinning the `tictac-run/v2` wire format.
 //!
 //! Regenerate the golden file after an intentional schema change with:
 //!
@@ -147,6 +147,7 @@ fn random_record() -> impl Strategy<Value = RunRecord> {
             backend: random_label(rng),
             seed: rng.gen::<u64>(),
             fault_fp: rng.gen::<u64>(),
+            scenario_fp: rng.gen::<u64>(),
             provenance: random_label(rng),
             payload: random_payload(rng),
         }
@@ -184,9 +185,9 @@ fn non_finite_floats_survive_as_null_round_trips() {
 fn other_schema_versions_are_rejected() {
     let line = sample_record().encode();
     for tampered in [
-        line.replace("tictac-run/v1", "tictac-run/v2"),
-        line.replace("tictac-run/v1", "tictac-run/v0"),
-        line.replace("tictac-run/v1", "someone-elses-schema"),
+        line.replace("tictac-run/v2", "tictac-run/v3"),
+        line.replace("tictac-run/v2", "tictac-run/v1"),
+        line.replace("tictac-run/v2", "someone-elses-schema"),
     ] {
         let err = RunRecord::decode(&tampered).expect_err("wrong schema must not decode");
         assert!(err.contains("schema"), "unhelpful error: {err}");
@@ -263,6 +264,7 @@ fn sample_record() -> RunRecord {
         backend: "sim".into(),
         seed: u64::MAX,
         fault_fp: 0xb815_eafa_d4fb_89ac,
+        scenario_fp: 0x5c3a_a01d_be1f_7a2e,
         provenance: "golden \"fixture\" \\ line".into(),
         payload: Payload::Session(SessionEvidence {
             iterations: vec![
@@ -324,7 +326,7 @@ fn sample_record() -> RunRecord {
     }
 }
 
-/// Pins the `tictac-run/v1` wire format: any byte-level change to the
+/// Pins the `tictac-run/v2` wire format: any byte-level change to the
 /// encoder shows up as a diff against the committed golden line.
 #[test]
 fn golden_run_record_snapshot() {
