@@ -99,4 +99,16 @@ scn_fp=$(./target/release/tictac run examples/scenarios/vgg19_hetero.yml --dry-r
 ./target/release/tictac run examples/scenarios/vgg19_hetero.yml --store target/ci-scenario.jsonl
 ./target/release/tictac runs show --store target/ci-scenario.jsonl | grep -q "$scn_fp"
 
+echo "== autotune smoke =="
+# Communication-granularity search gate (DESIGN.md §15): the quick
+# 2-model search (AlexNet + VGG-16, reduced ladder) must complete
+# deterministically and render the plain-vs-tuned table with no
+# regressing row — the default config is always a candidate, so any
+# negative speedup is a search bug. target/ci-results/autotune.txt is
+# the uploaded artifact.
+TICTAC_THREADS=2 ./target/release/repro --exp autotune --quick --out target/ci-results
+grep -q "vgg_16" target/ci-results/autotune.txt
+grep -q "speedup" target/ci-results/autotune.txt
+! grep -q -- "-[0-9]*\.[0-9]*%" target/ci-results/autotune.txt
+
 echo "== ci.sh: all green =="

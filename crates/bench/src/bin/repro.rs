@@ -275,6 +275,7 @@ fn main() {
                 seed: SimConfig::cloud_gpu().seed,
                 fault_fp: 0,
                 scenario_fp: 0,
+                comm_fp: 0,
                 provenance: std::env::var("TICTAC_PROVENANCE").unwrap_or_default(),
                 payload: tictac_store::Payload::Report(tictac_store::ReportEvidence {
                     report_fp: tictac_store::fnv1a_64(report.as_bytes()),

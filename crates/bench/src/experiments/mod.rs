@@ -2,6 +2,7 @@
 
 mod ablations;
 mod allreduce;
+mod autotune;
 mod chaos;
 mod exec;
 mod faults;
@@ -49,6 +50,7 @@ pub const ALL: &[(&str, Runner)] = &[
     ("chaos", chaos::run),
     ("observe", observe::run),
     ("exec", exec::run),
+    ("autotune", autotune::run),
 ];
 
 /// Experiments with a wall-clock (threaded-backend) variant, selected by
@@ -122,7 +124,7 @@ mod tests {
             assert!(find(name).is_some(), "{name} missing");
         }
         assert!(find("nope").is_none());
-        assert_eq!(ALL.len(), 20);
+        assert_eq!(ALL.len(), 21);
     }
 
     #[test]

@@ -19,9 +19,9 @@
 use std::hint::black_box;
 
 use tictac_core::{
-    deploy, no_ordering, run_iteration, simulate, tac_order, tac_order_naive, tic, ClusterSpec,
-    CostOracle, DeployCache, ExecOptions, Mode, Model, Platform, Registry, SchedulerKind,
-    SimConfig,
+    auto_tune_with, deploy, no_ordering, run_iteration, simulate, tac_order, tac_order_naive, tic,
+    ClusterSpec, CommConfig, CostOracle, DeployCache, ExecOptions, Mode, Model, Platform, Registry,
+    SchedulerKind, SimConfig, TuneOptions,
 };
 pub use tictac_obs::{parse_json, quote, render_json_pretty, Json};
 
@@ -129,6 +129,9 @@ pub struct PhaseTimings {
     pub build_ms: f64,
     /// Deploying it onto the cluster (partition + send/recv insertion).
     pub deploy_ms: f64,
+    /// Deploying with both communication passes on (4 MiB partitions,
+    /// 64 KiB fusion) — the marginal cost of the granularity lowering.
+    pub deploy_part_ms: f64,
     /// A warm [`DeployCache`] hit serving the deployment *and* the TAC
     /// schedule — the per-session setup cost of a cached sweep.
     pub deploy_cached_ms: f64,
@@ -138,6 +141,9 @@ pub struct PhaseTimings {
     pub tac_ms: f64,
     /// The naive per-round recompute reference.
     pub tac_naive_ms: f64,
+    /// A cold quick-ladder comm-granularity search
+    /// ([`auto_tune_with`] with [`TuneOptions::quick`], fresh cache).
+    pub tune_ms: f64,
     /// One unordered simulated iteration.
     pub simulate_ms: f64,
     /// One iteration through the partitioned parallel engine on a
@@ -147,14 +153,16 @@ pub struct PhaseTimings {
 
 impl PhaseTimings {
     /// Phase names in report order, paired with their values.
-    pub fn pairs(&self) -> [(&'static str, f64); 8] {
+    pub fn pairs(&self) -> [(&'static str, f64); 10] {
         [
             ("build_ms", self.build_ms),
             ("deploy_ms", self.deploy_ms),
+            ("deploy_part_ms", self.deploy_part_ms),
             ("deploy_cached_ms", self.deploy_cached_ms),
             ("tic_ms", self.tic_ms),
             ("tac_ms", self.tac_ms),
             ("tac_naive_ms", self.tac_naive_ms),
+            ("tune_ms", self.tune_ms),
             ("simulate_ms", self.simulate_ms),
             ("simulate_par_ms", self.simulate_par_ms),
         ]
@@ -209,6 +217,15 @@ pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
     let g = deployed.graph();
     let w0 = deployed.workers()[0];
 
+    let comm = CommConfig {
+        partition_bytes: Some(4 << 20),
+        fusion_bytes: Some(64 << 10),
+    };
+    let part_cluster = cluster.clone().with_comm(comm);
+    let deploy_part_ms = median_ms(plan.warmup, plan.samples, || {
+        black_box(deploy(&graph, &part_cluster).expect("zoo model deploys"));
+    });
+
     // A warm cache serving deploy + TAC schedule together: the marginal
     // setup cost of every session after a sweep's first.
     let config = SimConfig::cloud_gpu();
@@ -233,6 +250,24 @@ pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
     });
     let tac_naive_ms = median_ms(plan.warmup, plan.samples, || {
         black_box(tac_order_naive(g, w0, &oracle));
+    });
+
+    // A cold end-to-end granularity search: every sample starts from a
+    // fresh cache, so this times real deploy/schedule/simulate work
+    // rather than memo hits.
+    let tune_ms = median_ms(plan.warmup, plan.samples, || {
+        let fresh = DeployCache::new();
+        black_box(
+            auto_tune_with(
+                &fresh,
+                &graph,
+                &cluster,
+                SchedulerKind::Tac,
+                &config,
+                &TuneOptions::quick(),
+            )
+            .expect("zoo model tunes"),
+        );
     });
 
     let schedule = no_ordering(g);
@@ -268,10 +303,12 @@ pub fn bench_model(model: Model, plan: &BenchPlan) -> ModelTiming {
         phases: PhaseTimings {
             build_ms,
             deploy_ms,
+            deploy_part_ms,
             deploy_cached_ms,
             tic_ms,
             tac_ms,
             tac_naive_ms,
+            tune_ms,
             simulate_ms,
             simulate_par_ms,
         },
@@ -355,6 +392,7 @@ pub fn report_records(report: &BenchReport) -> Vec<tictac_store::RunRecord> {
             seed: report.samples as u64,
             fault_fp: 0,
             scenario_fp: 0,
+            comm_fp: 0,
             provenance: std::env::var("TICTAC_PROVENANCE").unwrap_or_default(),
             payload: tictac_store::Payload::Bench(tictac_store::BenchEvidence {
                 phases: m
@@ -425,10 +463,12 @@ pub fn validate_report(src: &str) -> Result<BenchReport, String> {
         let phases = PhaseTimings {
             build_ms: field_f64(phases, "build_ms", name)?,
             deploy_ms: field_f64(phases, "deploy_ms", name)?,
+            deploy_part_ms: field_f64(phases, "deploy_part_ms", name)?,
             deploy_cached_ms: field_f64(phases, "deploy_cached_ms", name)?,
             tic_ms: field_f64(phases, "tic_ms", name)?,
             tac_ms: field_f64(phases, "tac_ms", name)?,
             tac_naive_ms: field_f64(phases, "tac_naive_ms", name)?,
+            tune_ms: field_f64(phases, "tune_ms", name)?,
             simulate_ms: field_f64(phases, "simulate_ms", name)?,
             simulate_par_ms: field_f64(phases, "simulate_par_ms", name)?,
         };
@@ -494,10 +534,12 @@ pub fn report_from_records(records: &[tictac_store::RunRecord]) -> Result<BenchR
         let phases = PhaseTimings {
             build_ms: phase("build_ms")?,
             deploy_ms: phase("deploy_ms")?,
+            deploy_part_ms: phase("deploy_part_ms")?,
             deploy_cached_ms: phase("deploy_cached_ms")?,
             tic_ms: phase("tic_ms")?,
             tac_ms: phase("tac_ms")?,
             tac_naive_ms: phase("tac_naive_ms")?,
+            tune_ms: phase("tune_ms")?,
             simulate_ms: phase("simulate_ms")?,
             simulate_par_ms: phase("simulate_par_ms")?,
         };
@@ -579,10 +621,12 @@ mod tests {
                 phases: PhaseTimings {
                     build_ms: 0.5,
                     deploy_ms: 1.25,
+                    deploy_part_ms: 1.5,
                     deploy_cached_ms: 0.01,
                     tic_ms: 0.125,
                     tac_ms: 2.0,
                     tac_naive_ms: 12.0,
+                    tune_ms: 30.0,
                     simulate_ms: 8.5,
                     simulate_par_ms: 40.0,
                 },
@@ -610,7 +654,7 @@ mod tests {
         let tictac_store::Payload::Bench(b) = &r.payload else {
             panic!("expected bench payload");
         };
-        assert_eq!(b.phases.len(), 8);
+        assert_eq!(b.phases.len(), 10);
         assert_eq!(b.phases[0].name, "build_ms");
         assert_eq!(b.phases[0].mean_ms, 0.5);
         let line = r.encode();

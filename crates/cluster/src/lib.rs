@@ -40,10 +40,94 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use tictac_graph::{
-    ChannelId, Cost, DeviceId, Graph, GraphBuilder, GraphError, ModelGraph, NameId, OpId, OpKind,
-    OpName, ParamId,
+    ChannelId, CommRole, Cost, DeviceId, Graph, GraphBuilder, GraphError, ModelGraph, NameId, OpId,
+    OpKind, OpName, ParamId,
 };
 use tictac_sched::Schedule;
+
+/// Communication granularity of a deployment: the partition/fusion
+/// lowering passes' thresholds.
+///
+/// The default (`None`/`None`) disables both passes and reproduces the
+/// historical per-parameter lowering byte for byte. `partition_bytes`
+/// splits any parameter transfer larger than the threshold into chained
+/// chunks that shard independently across parameter servers;
+/// `fusion_bytes` coalesces consecutive same-shard transfers smaller than
+/// the threshold into one fused transfer, saving the per-transfer latency
+/// floor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CommConfig {
+    /// Split parameters larger than this many bytes (`None` = never).
+    #[serde(default)]
+    pub partition_bytes: Option<u64>,
+    /// Fuse same-shard transfers smaller than this many bytes
+    /// (`None` = never).
+    #[serde(default)]
+    pub fusion_bytes: Option<u64>,
+}
+
+impl CommConfig {
+    /// Both passes disabled — the identity configuration.
+    pub fn is_default(&self) -> bool {
+        self.partition_bytes.is_none() && self.fusion_bytes.is_none()
+    }
+
+    /// Sets the partition threshold.
+    pub fn with_partition_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.partition_bytes = bytes;
+        self
+    }
+
+    /// Sets the fusion threshold.
+    pub fn with_fusion_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.fusion_bytes = bytes;
+        self
+    }
+
+    /// Stable identity hash for cache keys and run records.
+    ///
+    /// Returns `0` for the default configuration so records and keys
+    /// written before the comm passes existed keep their exact identity.
+    pub fn fingerprint(&self) -> u64 {
+        if self.is_default() {
+            return 0;
+        }
+        // FNV-1a over a tagged little-endian encoding.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(b"tictac-comm/v1");
+        eat(&self
+            .partition_bytes
+            .map_or(0, |b| b.wrapping_add(1))
+            .to_le_bytes());
+        eat(&self
+            .fusion_bytes
+            .map_or(0, |b| b.wrapping_add(1))
+            .to_le_bytes());
+        h
+    }
+
+    /// Rejects degenerate thresholds (a zero threshold is always a
+    /// mistake: it would split or fuse nothing meaningfully).
+    fn validate(&self) -> Result<(), DeployError> {
+        if self.partition_bytes == Some(0) {
+            return Err(DeployError::InvalidCommConfig {
+                field: "partition_bytes",
+            });
+        }
+        if self.fusion_bytes == Some(0) {
+            return Err(DeployError::InvalidCommConfig {
+                field: "fusion_bytes",
+            });
+        }
+        Ok(())
+    }
+}
 
 /// Shape of the deployment, optionally heterogeneous.
 ///
@@ -69,6 +153,10 @@ pub struct ClusterSpec {
     /// factor per worker uplink (applied to all of that worker's
     /// channels), length `W × S` = full row-major worker×PS matrix.
     link_bandwidths: Vec<f64>,
+    /// Communication granularity (partition/fusion thresholds). Default =
+    /// both passes off.
+    #[serde(default)]
+    comm: CommConfig,
 }
 
 impl PartialEq for ClusterSpec {
@@ -80,6 +168,7 @@ impl PartialEq for ClusterSpec {
             && bits(&self.worker_speeds) == bits(&other.worker_speeds)
             && bits(&self.ps_speeds) == bits(&other.ps_speeds)
             && bits(&self.link_bandwidths) == bits(&other.link_bandwidths)
+            && self.comm == other.comm
     }
 }
 
@@ -95,6 +184,12 @@ impl std::hash::Hash for ClusterSpec {
             for f in v {
                 f.to_bits().hash(state);
             }
+        }
+        // Only a non-default comm config contributes, so specs built
+        // before the comm passes existed hash to their pre-pass values
+        // (the DeployCache identity guarantee).
+        if !self.comm.is_default() {
+            self.comm.hash(state);
         }
     }
 }
@@ -137,6 +232,7 @@ impl ClusterSpec {
             worker_speeds: Vec::new(),
             ps_speeds: Vec::new(),
             link_bandwidths: Vec::new(),
+            comm: CommConfig::default(),
         })
     }
 
@@ -151,6 +247,17 @@ impl ClusterSpec {
     pub fn with_sharding(mut self, sharding: Sharding) -> Self {
         self.sharding = sharding;
         self
+    }
+
+    /// Overrides the communication granularity (partition/fusion passes).
+    pub fn with_comm(mut self, comm: CommConfig) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// The communication granularity this spec deploys with.
+    pub fn comm(&self) -> CommConfig {
+        self.comm
     }
 
     /// Whether every device and link runs at the platform reference rate.
@@ -208,6 +315,7 @@ pub struct ClusterSpecBuilder {
     worker_speeds: Vec<f64>,
     ps_speeds: Vec<f64>,
     link_bandwidths: Vec<f64>,
+    comm: CommConfig,
 }
 
 impl ClusterSpecBuilder {
@@ -246,6 +354,12 @@ impl ClusterSpecBuilder {
     /// `W × S`).
     pub fn link_bandwidths(mut self, bandwidths: Vec<f64>) -> Self {
         self.link_bandwidths = bandwidths;
+        self
+    }
+
+    /// Sets the communication granularity (default: both passes off).
+    pub fn comm(mut self, comm: CommConfig) -> Self {
+        self.comm = comm;
         self
     }
 
@@ -298,6 +412,7 @@ impl ClusterSpecBuilder {
         spec.worker_speeds = normalize(self.worker_speeds);
         spec.ps_speeds = normalize(self.ps_speeds);
         spec.link_bandwidths = normalize(self.link_bandwidths);
+        spec.comm = self.comm;
         Ok(spec)
     }
 }
@@ -372,6 +487,11 @@ pub enum DeployError {
         /// Parameters the model actually has.
         params: usize,
     },
+    /// A communication threshold was degenerate (zero bytes).
+    InvalidCommConfig {
+        /// Which [`CommConfig`] field was malformed.
+        field: &'static str,
+    },
     /// An all-reduce deployment was requested for an inference graph
     /// (there are no gradients to aggregate).
     NotTraining,
@@ -390,6 +510,9 @@ impl fmt::Display for DeployError {
                 f,
                 "{shards} PS shards requested but the model has only {params} parameters"
             ),
+            DeployError::InvalidCommConfig { field } => {
+                write!(f, "comm config {field} must be at least 1 byte")
+            }
             DeployError::NotTraining => {
                 f.write_str("all-reduce aggregation requires a training graph")
             }
@@ -419,12 +542,16 @@ pub struct DeployedModel {
     graph: Graph,
     workers: Vec<DeviceId>,
     parameter_servers: Vec<DeviceId>,
-    /// `recv_ops[w][p]` — worker `w`'s recv of parameter `p`.
+    /// `recv_ops[w][u]` — worker `w`'s recv of transfer unit `u` (fused
+    /// units share one op id).
     recv_ops: Vec<Vec<OpId>>,
     /// `channels[w][s]` — the channel between worker `w` and PS `s`.
     channels: Vec<Vec<ChannelId>>,
-    /// Parameter → PS shard index.
+    /// Transfer unit → PS shard index.
     shard_of: Vec<usize>,
+    /// Transfer unit → (model parameter index, chunk index). `None` =
+    /// the whole tensor (the identity lowering).
+    origin: Vec<(usize, Option<u16>)>,
     training: bool,
 }
 
@@ -473,6 +600,16 @@ impl DeployedModel {
     /// Panics if `param` is out of range.
     pub fn shard_of(&self, param: ParamId) -> usize {
         self.shard_of[param.index()]
+    }
+
+    /// Maps a graph parameter (transfer unit) back to the model parameter
+    /// it was lowered from, plus its chunk index (`None` = whole tensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` is out of range.
+    pub fn unit_origin(&self, param: ParamId) -> (usize, Option<u16>) {
+        self.origin[param.index()]
     }
 
     /// Replicates a schedule computed on worker 0 (the paper's *reference
@@ -531,14 +668,137 @@ impl DeployedModel {
     }
 }
 
+/// One PS→worker transfer after the partition pass: either a whole model
+/// parameter or one chunk of a split one. Units are what the graph's
+/// parameter table, the sharding assignment and `recv_ops` index.
+struct Unit {
+    /// Model parameter index this unit came from.
+    param: usize,
+    /// Chunk index (`None` = the whole tensor).
+    chunk: Option<u16>,
+    /// Elements carried by this unit (chunk sums are exact).
+    elems: u64,
+    /// Bytes carried by this unit (chunk sums are exact).
+    bytes: u64,
+}
+
+/// The partition pass: splits every parameter larger than
+/// `partition_bytes` into `ceil(bytes / partition_bytes)` chunks (capped
+/// at one element per chunk) so the size-balanced sharder can spread a
+/// giant tensor across PS shards. Byte and element totals are preserved
+/// exactly; with the threshold unset this is the identity.
+fn transfer_units(model: &ModelGraph, comm: CommConfig) -> Vec<Unit> {
+    let mut units = Vec::with_capacity(model.params().len());
+    for (i, p) in model.params().iter().enumerate() {
+        let (bytes, elems) = (p.bytes(), p.elems());
+        let k = match comm.partition_bytes {
+            Some(part) if bytes > part && elems > 1 => {
+                bytes.div_ceil(part).min(elems).min(u64::from(u16::MAX))
+            }
+            _ => 1,
+        };
+        if k <= 1 {
+            units.push(Unit {
+                param: i,
+                chunk: None,
+                elems,
+                bytes,
+            });
+        } else {
+            for j in 0..k {
+                units.push(Unit {
+                    param: i,
+                    chunk: Some(j as u16),
+                    elems: elems / k + u64::from(j < elems % k),
+                    bytes: bytes / k + u64::from(j < bytes % k),
+                });
+            }
+        }
+    }
+    units
+}
+
+/// A transfer group after the fusion pass: one send/recv pair per group
+/// per worker (and one send_grad/recv_grad pair on the gradient path).
+enum TransferGroup {
+    /// A single unit, emitted exactly as the historical lowering did.
+    Solo(usize),
+    /// Several small same-shard units coalesced into one transfer.
+    Fused {
+        /// Globally unique fusion group id (rendered as `fused{id}`).
+        id: u32,
+        /// Member unit indices, in unit order.
+        members: Vec<usize>,
+    },
+}
+
+/// The fusion pass: greedily coalesces consecutive same-shard whole-tensor
+/// units smaller than `fusion_bytes` until a group reaches the threshold.
+/// Chunk units and large units always stay solo; single-member groups
+/// degrade to [`TransferGroup::Solo`], so with the threshold unset this
+/// emits one solo group per unit in unit order — the identity.
+fn fusion_groups(units: &[Unit], shard_of: &[usize], fusion: Option<u64>) -> Vec<TransferGroup> {
+    let Some(fuse) = fusion else {
+        return (0..units.len()).map(TransferGroup::Solo).collect();
+    };
+    let shards = shard_of.iter().copied().max().map_or(1, |s| s + 1);
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    let mut acc = vec![0u64; shards];
+    let mut groups: Vec<(usize, TransferGroup)> = Vec::with_capacity(units.len());
+    fn flush(pending: &mut Vec<usize>, acc: &mut u64, groups: &mut Vec<(usize, TransferGroup)>) {
+        *acc = 0;
+        match pending.len() {
+            0 => {}
+            1 => {
+                let only = pending.pop().expect("len checked");
+                groups.push((only, TransferGroup::Solo(only)));
+            }
+            _ => {
+                let members = std::mem::take(pending);
+                groups.push((members[0], TransferGroup::Fused { id: 0, members }));
+            }
+        }
+    }
+    for (u, unit) in units.iter().enumerate() {
+        let s = shard_of[u];
+        if unit.chunk.is_some() || unit.bytes >= fuse {
+            groups.push((u, TransferGroup::Solo(u)));
+            continue;
+        }
+        pending[s].push(u);
+        acc[s] += unit.bytes;
+        if acc[s] >= fuse {
+            flush(&mut pending[s], &mut acc[s], &mut groups);
+        }
+    }
+    for s in 0..shards {
+        flush(&mut pending[s], &mut acc[s], &mut groups);
+    }
+    // Deterministic emission order: by first member unit index. Fusion
+    // group ids are assigned in that order, globally unique across shards
+    // so rendered `fused{id}` names never collide.
+    groups.sort_by_key(|&(first, _)| first);
+    let mut next_id = 0u32;
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, mut g) in groups {
+        if let TransferGroup::Fused { id, .. } = &mut g {
+            *id = next_id;
+            next_id += 1;
+        }
+        out.push(g);
+    }
+    out
+}
+
 /// Deploys `model` onto a cluster of the given shape.
 ///
 /// # Errors
 ///
 /// Returns [`DeployError::EmptyCluster`] for a zero-sized spec,
-/// [`DeployError::NoParameters`] for a parameterless model, or a wrapped
-/// [`GraphError`] if construction produces an invalid graph (which would be
-/// a bug in the lowering).
+/// [`DeployError::NoParameters`] for a parameterless model,
+/// [`DeployError::InvalidCommConfig`] for a zero-byte comm threshold, or a
+/// wrapped [`GraphError`] if construction produces an invalid graph (which
+/// would be a bug in the lowering).
 pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, DeployError> {
     if spec.workers == 0 || spec.parameter_servers == 0 {
         return Err(DeployError::EmptyCluster);
@@ -546,16 +806,21 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
     if model.params().is_empty() {
         return Err(DeployError::NoParameters);
     }
-    if spec.parameter_servers > model.params().len() {
+    spec.comm.validate()?;
+
+    // Partition pass: lower parameters to transfer units before sharding,
+    // so chunks of one split tensor can land on different shards.
+    let units = transfer_units(model, spec.comm);
+    if spec.parameter_servers > units.len() {
         return Err(DeployError::ShardsExceedParams {
             shards: spec.parameter_servers,
-            params: model.params().len(),
+            params: units.len(),
         });
     }
 
     let mut b = GraphBuilder::with_capacity(
-        spec.workers * (model.ops().len() + 2 * model.params().len())
-            + spec.parameter_servers * 5 * model.params().len(),
+        spec.workers * (model.ops().len() + 2 * units.len())
+            + spec.parameter_servers * 5 * units.len(),
     );
 
     // Devices and channels.
@@ -586,21 +851,39 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
         }
     }
 
-    // Parameters and shards. Parameter and model-op names are interned
-    // once up front; every op below carries a compact structured `OpName`
-    // instead of a freshly formatted `String` — this loop used to be the
+    // Units and shards. Parameter and model-op names are interned once up
+    // front; every op below carries a compact structured `OpName` instead
+    // of a freshly formatted `String` — this loop used to be the
     // allocation hot spot of the whole deployment.
-    let shard_of = spec.sharding.assign(model, spec.parameter_servers);
-    let params: Vec<ParamId> = model
-        .params()
+    let unit_bytes: Vec<u64> = units.iter().map(|u| u.bytes).collect();
+    let shard_of = spec
+        .sharding
+        .assign_weighted(&unit_bytes, spec.parameter_servers);
+    let params: Vec<ParamId> = units
         .iter()
-        .map(|p| b.add_param(p.name(), p.bytes()))
+        .map(|u| {
+            let p = &model.params()[u.param];
+            match u.chunk {
+                None => b.add_param(p.name(), u.bytes),
+                Some(j) => b.add_param(format!("{}.part{j}", p.name()), u.bytes),
+            }
+        })
         .collect();
     let param_names: Vec<NameId> = model.params().iter().map(|p| b.intern(p.name())).collect();
     let mop_names: Vec<NameId> = model.ops().iter().map(|o| b.intern(o.name())).collect();
     for (p, &shard) in params.iter().zip(&shard_of) {
         b.assign_param_to_ps(*p, ps[shard]);
     }
+
+    // Model parameter -> its transfer units (identity without the
+    // partition pass: exactly one unit per parameter).
+    let mut param_units: Vec<Vec<usize>> = vec![Vec::new(); model.params().len()];
+    for (u, unit) in units.iter().enumerate() {
+        param_units[unit.param].push(u);
+    }
+
+    // Fusion pass: group small same-shard transfers.
+    let groups = fusion_groups(&units, &shard_of, spec.comm.fusion_bytes);
 
     // Gradient producers per parameter, computed once for all workers
     // (this was previously an O(params × ops) rescan per worker).
@@ -613,21 +896,30 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
         }
     }
 
-    // PS-side read ops (one per parameter, shared by all workers).
-    let read_ops: Vec<OpId> = model
-        .params()
+    // PS-side read ops (one per transfer unit, shared by all workers).
+    let read_ops: Vec<OpId> = units
         .iter()
         .zip(&shard_of)
         .enumerate()
-        .map(|(i, (spec_p, &shard))| {
-            b.add_op_named(
-                OpName::PsRead {
+        .map(|(u, (unit, &shard))| {
+            let name = match unit.chunk {
+                None => OpName::PsRead {
                     shard: shard as u32,
-                    param: param_names[i],
+                    param: param_names[unit.param],
                 },
+                Some(chunk) => OpName::Chunk {
+                    role: CommRole::Read,
+                    shard: shard as u16,
+                    worker: 0,
+                    param: param_names[unit.param],
+                    chunk,
+                },
+            };
+            b.add_op_named(
+                name,
                 ps[shard],
-                OpKind::Read { param: params[i] },
-                Cost::flops(spec_p.elems() as f64),
+                OpKind::Read { param: params[u] },
+                Cost::flops(unit.elems as f64),
                 &[],
             )
         })
@@ -635,47 +927,132 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
 
     // Per-worker replicas.
     let mut recv_ops: Vec<Vec<OpId>> = Vec::with_capacity(spec.workers);
-    // grad recvs at PS: grad_recvs[p] across workers.
-    let mut grad_recvs: Vec<Vec<OpId>> = vec![Vec::new(); model.params().len()];
+    // grad recvs at PS: grad_recvs[u] across workers.
+    let mut grad_recvs: Vec<Vec<OpId>> = vec![Vec::new(); units.len()];
     // Dependency scratch, reused across every op of every replica.
     let mut deps: Vec<OpId> = Vec::new();
+    // Chain scratch: the previous chunk's send (resp. send_grad) of each
+    // split parameter, per worker.
+    let mut last_chunk_send: Vec<Option<OpId>> = vec![None; model.params().len()];
 
     for (w, &worker) in workers.iter().enumerate() {
-        // Parameter transfers PS -> worker.
-        let mut w_recvs = Vec::with_capacity(model.params().len());
-        for (i, spec_p) in model.params().iter().enumerate() {
-            let shard = shard_of[i];
-            let ch = channels[w][shard];
-            let send = b.add_op_named(
-                OpName::PsSend {
-                    shard: shard as u32,
-                    param: param_names[i],
-                    worker: w as u32,
-                },
-                ps[shard],
-                OpKind::send(params[i], ch),
-                Cost::bytes(spec_p.bytes()),
-                &[read_ops[i]],
-            );
-            let recv = b.add_op_named(
-                OpName::WorkerRecv {
-                    worker: w as u32,
-                    param: param_names[i],
-                },
-                worker,
-                OpKind::recv(params[i], ch),
-                Cost::bytes(spec_p.bytes()),
-                &[send],
-            );
-            w_recvs.push(recv);
+        // Parameter transfers PS -> worker, one per transfer group.
+        let mut w_recvs: Vec<Option<OpId>> = vec![None; units.len()];
+        last_chunk_send.fill(None);
+        for group in &groups {
+            match group {
+                TransferGroup::Solo(u) => {
+                    let unit = &units[*u];
+                    let shard = shard_of[*u];
+                    let ch = channels[w][shard];
+                    deps.clear();
+                    deps.push(read_ops[*u]);
+                    let (send_name, recv_name) = match unit.chunk {
+                        None => (
+                            OpName::PsSend {
+                                shard: shard as u32,
+                                param: param_names[unit.param],
+                                worker: w as u32,
+                            },
+                            OpName::WorkerRecv {
+                                worker: w as u32,
+                                param: param_names[unit.param],
+                            },
+                        ),
+                        Some(chunk) => {
+                            // Chained chunks: each send also waits for the
+                            // previous chunk of the same tensor, preserving
+                            // in-order wire transmission (sends are cheap;
+                            // the recvs still overlap across channels).
+                            if let Some(prev) = last_chunk_send[unit.param] {
+                                deps.push(prev);
+                            }
+                            (
+                                OpName::Chunk {
+                                    role: CommRole::Send,
+                                    shard: shard as u16,
+                                    worker: w as u16,
+                                    param: param_names[unit.param],
+                                    chunk,
+                                },
+                                OpName::Chunk {
+                                    role: CommRole::Recv,
+                                    shard: shard as u16,
+                                    worker: w as u16,
+                                    param: param_names[unit.param],
+                                    chunk,
+                                },
+                            )
+                        }
+                    };
+                    let send = b.add_op_named(
+                        send_name,
+                        ps[shard],
+                        OpKind::send(params[*u], ch),
+                        Cost::bytes(unit.bytes),
+                        &deps,
+                    );
+                    if unit.chunk.is_some() {
+                        last_chunk_send[unit.param] = Some(send);
+                    }
+                    let recv = b.add_op_named(
+                        recv_name,
+                        worker,
+                        OpKind::recv(params[*u], ch),
+                        Cost::bytes(unit.bytes),
+                        &[send],
+                    );
+                    w_recvs[*u] = Some(recv);
+                }
+                TransferGroup::Fused { id, members } => {
+                    let shard = shard_of[members[0]];
+                    let ch = channels[w][shard];
+                    deps.clear();
+                    deps.extend(members.iter().map(|&m| read_ops[m]));
+                    let bytes: u64 = members.iter().map(|&m| units[m].bytes).sum();
+                    let send = b.add_op_named(
+                        OpName::Fused {
+                            role: CommRole::Send,
+                            shard: shard as u16,
+                            worker: w as u16,
+                            group: *id,
+                        },
+                        ps[shard],
+                        OpKind::send(params[members[0]], ch),
+                        Cost::bytes(bytes),
+                        &deps,
+                    );
+                    let recv = b.add_op_named(
+                        OpName::Fused {
+                            role: CommRole::Recv,
+                            shard: shard as u16,
+                            worker: w as u16,
+                            group: *id,
+                        },
+                        worker,
+                        OpKind::recv(params[members[0]], ch),
+                        Cost::bytes(bytes),
+                        &[send],
+                    );
+                    for &m in members {
+                        w_recvs[m] = Some(recv);
+                    }
+                }
+            }
         }
+        let w_recvs: Vec<OpId> = w_recvs
+            .into_iter()
+            .map(|r| r.expect("every unit belongs to exactly one transfer group"))
+            .collect();
 
         // Replica compute ops.
         let mut op_map: Vec<OpId> = Vec::with_capacity(model.ops().len());
         for (mi, mop) in model.ops().iter().enumerate() {
             deps.clear();
             deps.extend(mop.preds().iter().map(|p| op_map[p.index()]));
-            deps.extend(mop.reads_params().iter().map(|p| w_recvs[p.index()]));
+            for p in mop.reads_params() {
+                deps.extend(param_units[p.index()].iter().map(|&u| w_recvs[u]));
+            }
             let id = b.add_op_named(
                 OpName::WorkerOp {
                     worker: w as u32,
@@ -689,68 +1066,173 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
             op_map.push(id);
         }
 
-        // Gradient path: worker send -> PS recv, per parameter.
+        // Gradient path: worker send -> PS recv, per transfer group.
         if model.is_training() {
-            for (i, spec_p) in model.params().iter().enumerate() {
-                if grad_producers[i].is_empty() {
-                    continue;
+            last_chunk_send.fill(None);
+            for group in &groups {
+                match group {
+                    TransferGroup::Solo(u) => {
+                        let unit = &units[*u];
+                        if grad_producers[unit.param].is_empty() {
+                            continue;
+                        }
+                        deps.clear();
+                        deps.extend(grad_producers[unit.param].iter().map(|&mi| op_map[mi]));
+                        let shard = shard_of[*u];
+                        let ch = channels[w][shard];
+                        let (send_name, recv_name) = match unit.chunk {
+                            None => (
+                                OpName::WorkerSendGrad {
+                                    worker: w as u32,
+                                    param: param_names[unit.param],
+                                },
+                                OpName::PsRecvGrad {
+                                    shard: shard as u32,
+                                    param: param_names[unit.param],
+                                    worker: w as u32,
+                                },
+                            ),
+                            Some(chunk) => {
+                                if let Some(prev) = last_chunk_send[unit.param] {
+                                    deps.push(prev);
+                                }
+                                (
+                                    OpName::Chunk {
+                                        role: CommRole::SendGrad,
+                                        shard: shard as u16,
+                                        worker: w as u16,
+                                        param: param_names[unit.param],
+                                        chunk,
+                                    },
+                                    OpName::Chunk {
+                                        role: CommRole::RecvGrad,
+                                        shard: shard as u16,
+                                        worker: w as u16,
+                                        param: param_names[unit.param],
+                                        chunk,
+                                    },
+                                )
+                            }
+                        };
+                        let send = b.add_op_named(
+                            send_name,
+                            worker,
+                            OpKind::send(params[*u], ch),
+                            Cost::bytes(unit.bytes),
+                            &deps,
+                        );
+                        if unit.chunk.is_some() {
+                            last_chunk_send[unit.param] = Some(send);
+                        }
+                        let recv = b.add_op_named(
+                            recv_name,
+                            ps[shard],
+                            OpKind::recv(params[*u], ch),
+                            Cost::bytes(unit.bytes),
+                            &[send],
+                        );
+                        grad_recvs[*u].push(recv);
+                    }
+                    TransferGroup::Fused { id, members } => {
+                        let with_grads: Vec<usize> = members
+                            .iter()
+                            .copied()
+                            .filter(|&m| !grad_producers[units[m].param].is_empty())
+                            .collect();
+                        if with_grads.is_empty() {
+                            continue;
+                        }
+                        deps.clear();
+                        for &m in &with_grads {
+                            deps.extend(
+                                grad_producers[units[m].param].iter().map(|&mi| op_map[mi]),
+                            );
+                        }
+                        let shard = shard_of[members[0]];
+                        let ch = channels[w][shard];
+                        let bytes: u64 = with_grads.iter().map(|&m| units[m].bytes).sum();
+                        let send = b.add_op_named(
+                            OpName::Fused {
+                                role: CommRole::SendGrad,
+                                shard: shard as u16,
+                                worker: w as u16,
+                                group: *id,
+                            },
+                            worker,
+                            OpKind::send(params[with_grads[0]], ch),
+                            Cost::bytes(bytes),
+                            &deps,
+                        );
+                        let recv = b.add_op_named(
+                            OpName::Fused {
+                                role: CommRole::RecvGrad,
+                                shard: shard as u16,
+                                worker: w as u16,
+                                group: *id,
+                            },
+                            ps[shard],
+                            OpKind::recv(params[with_grads[0]], ch),
+                            Cost::bytes(bytes),
+                            &[send],
+                        );
+                        for &m in &with_grads {
+                            grad_recvs[m].push(recv);
+                        }
+                    }
                 }
-                deps.clear();
-                deps.extend(grad_producers[i].iter().map(|&mi| op_map[mi]));
-                let shard = shard_of[i];
-                let ch = channels[w][shard];
-                let send = b.add_op_named(
-                    OpName::WorkerSendGrad {
-                        worker: w as u32,
-                        param: param_names[i],
-                    },
-                    worker,
-                    OpKind::send(params[i], ch),
-                    Cost::bytes(spec_p.bytes()),
-                    &deps,
-                );
-                let recv = b.add_op_named(
-                    OpName::PsRecvGrad {
-                        shard: shard as u32,
-                        param: param_names[i],
-                        worker: w as u32,
-                    },
-                    ps[shard],
-                    OpKind::recv(params[i], ch),
-                    Cost::bytes(spec_p.bytes()),
-                    &[send],
-                );
-                grad_recvs[i].push(recv);
             }
         }
         recv_ops.push(w_recvs);
     }
 
-    // PS-side aggregation and update.
+    // PS-side aggregation and update, one pair per transfer unit (fusion
+    // only coalesces the wire transfers; state updates stay per unit).
     if model.is_training() {
-        for (i, spec_p) in model.params().iter().enumerate() {
-            if grad_recvs[i].is_empty() {
+        for (u, unit) in units.iter().enumerate() {
+            if grad_recvs[u].is_empty() {
                 continue;
             }
-            let shard = shard_of[i];
+            let shard = shard_of[u];
+            let (agg_name, upd_name) = match unit.chunk {
+                None => (
+                    OpName::PsAggregate {
+                        shard: shard as u32,
+                        param: param_names[unit.param],
+                    },
+                    OpName::PsUpdate {
+                        shard: shard as u32,
+                        param: param_names[unit.param],
+                    },
+                ),
+                Some(chunk) => (
+                    OpName::Chunk {
+                        role: CommRole::Aggregate,
+                        shard: shard as u16,
+                        worker: 0,
+                        param: param_names[unit.param],
+                        chunk,
+                    },
+                    OpName::Chunk {
+                        role: CommRole::Update,
+                        shard: shard as u16,
+                        worker: 0,
+                        param: param_names[unit.param],
+                        chunk,
+                    },
+                ),
+            };
             let agg = b.add_op_named(
-                OpName::PsAggregate {
-                    shard: shard as u32,
-                    param: param_names[i],
-                },
+                agg_name,
                 ps[shard],
-                OpKind::Aggregate { param: params[i] },
-                Cost::flops((spec_p.elems() * spec.workers as u64) as f64),
-                &grad_recvs[i],
+                OpKind::Aggregate { param: params[u] },
+                Cost::flops((unit.elems * spec.workers as u64) as f64),
+                &grad_recvs[u],
             );
             b.add_op_named(
-                OpName::PsUpdate {
-                    shard: shard as u32,
-                    param: param_names[i],
-                },
+                upd_name,
                 ps[shard],
-                OpKind::Update { param: params[i] },
-                Cost::flops(2.0 * spec_p.elems() as f64),
+                OpKind::Update { param: params[u] },
+                Cost::flops(2.0 * unit.elems as f64),
                 &[agg],
             );
         }
@@ -764,6 +1246,7 @@ pub fn deploy(model: &ModelGraph, spec: &ClusterSpec) -> Result<DeployedModel, D
         recv_ops,
         channels,
         shard_of,
+        origin: units.iter().map(|u| (u.param, u.chunk)).collect(),
         training: model.is_training(),
     })
 }
@@ -1053,6 +1536,127 @@ mod tests {
         let bytes = d.shard_bytes();
         assert_eq!(bytes[0], bytes[1], "setup: shards must tie");
         assert_eq!(d.hottest_shard(), 0);
+    }
+
+    #[test]
+    fn partition_pass_splits_large_params_exactly() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let total: u64 = model.params().iter().map(|p| p.bytes()).sum();
+        let largest = model.params().iter().map(|p| p.bytes()).max().unwrap();
+        let spec = ClusterSpec::new(2, 2)
+            .with_comm(CommConfig::default().with_partition_bytes(Some(largest / 2)));
+        let d = deploy(&model, &spec).unwrap();
+        let g = d.graph();
+        // More graph params than model params, byte total preserved.
+        assert!(g.params().len() > model.params().len());
+        assert_eq!(g.params().iter().map(|p| p.bytes()).sum::<u64>(), total);
+        // Per-model-parameter byte totals preserved exactly.
+        let mut per_param = vec![0u64; model.params().len()];
+        for (u, p) in g.params().iter().enumerate() {
+            let (origin, _) = d.unit_origin(ParamId::from_index(u));
+            per_param[origin] += p.bytes();
+        }
+        for (i, p) in model.params().iter().enumerate() {
+            assert_eq!(per_param[i], p.bytes(), "param {i}");
+        }
+        // Chunk names render with the .part suffix.
+        assert!((0..g.params().len()).any(|u| {
+            d.unit_origin(ParamId::from_index(u)).1.is_some()
+                && g.params()[u].name().contains(".part")
+        }));
+        assert!(g.check().is_ok());
+        assert!(tictac_graph::topo::is_acyclic(g));
+    }
+
+    #[test]
+    fn fusion_pass_coalesces_small_transfers() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let spec = ClusterSpec::new(2, 1)
+            .with_comm(CommConfig::default().with_fusion_bytes(Some(u64::MAX)));
+        let d = deploy(&model, &spec).unwrap();
+        let g = d.graph();
+        // All four tiny params fuse into one transfer per worker.
+        for (w, &worker) in d.workers().iter().enumerate() {
+            let recvs = g.recv_ops_on(worker);
+            assert_eq!(recvs.len(), 1, "worker {w}");
+            let total: u64 = model.params().iter().map(|p| p.bytes()).sum();
+            assert_eq!(g.op(recvs[0]).cost().bytes, total);
+            // Every unit maps to the shared fused recv.
+            for u in 0..g.params().len() {
+                assert_eq!(d.recv_op(w, ParamId::from_index(u)), Some(recvs[0]));
+            }
+        }
+        assert!(g.check().is_ok());
+        assert!(tictac_graph::topo::is_acyclic(g));
+    }
+
+    #[test]
+    fn default_comm_is_identity() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let plain = deploy(&model, &ClusterSpec::new(3, 2)).unwrap();
+        let explicit = deploy(
+            &model,
+            &ClusterSpec::new(3, 2).with_comm(CommConfig::default()),
+        )
+        .unwrap();
+        assert_eq!(plain.graph().len(), explicit.graph().len());
+        for id in plain.graph().op_ids() {
+            assert_eq!(
+                plain.graph().op_name(id),
+                explicit.graph().op_name(id),
+                "op {id:?}"
+            );
+        }
+        assert_eq!(CommConfig::default().fingerprint(), 0);
+    }
+
+    #[test]
+    fn comm_fingerprint_separates_configs() {
+        let a = CommConfig::default().with_partition_bytes(Some(1 << 20));
+        let b = CommConfig::default().with_fusion_bytes(Some(1 << 20));
+        let c = CommConfig::default();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), 0);
+        assert_eq!(c.fingerprint(), 0);
+        assert!(c.is_default());
+        assert!(!a.is_default());
+    }
+
+    #[test]
+    fn rejects_zero_byte_comm_thresholds() {
+        let model = tiny_mlp(Mode::Training, 8);
+        for comm in [
+            CommConfig::default().with_partition_bytes(Some(0)),
+            CommConfig::default().with_fusion_bytes(Some(0)),
+        ] {
+            assert!(matches!(
+                deploy(&model, &ClusterSpec::new(2, 1).with_comm(comm)),
+                Err(DeployError::InvalidCommConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn chunked_deployment_replicates_schedules() {
+        let model = tiny_mlp(Mode::Training, 8);
+        let largest = model.params().iter().map(|p| p.bytes()).max().unwrap();
+        let spec = ClusterSpec::new(3, 2).with_comm(
+            CommConfig::default()
+                .with_partition_bytes(Some(largest / 3))
+                .with_fusion_bytes(Some(64)),
+        );
+        let d = deploy(&model, &spec).unwrap();
+        let schedule = tictac_sched::tic(d.graph(), d.workers()[0]);
+        let replicated = d.replicate_schedule(&schedule);
+        for u in 0..d.graph().params().len() {
+            let param = ParamId::from_index(u);
+            let p0 = replicated.priority(d.recv_op(0, param).unwrap());
+            assert!(p0.is_some());
+            for w in 1..3 {
+                let pw = replicated.priority(d.recv_op(w, param).unwrap());
+                assert_eq!(p0, pw, "worker {w} unit {u}");
+            }
+        }
     }
 
     #[test]

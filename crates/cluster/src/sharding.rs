@@ -24,19 +24,32 @@ impl Sharding {
     ///
     /// Panics if `shards == 0`.
     pub fn assign(self, model: &ModelGraph, shards: usize) -> Vec<usize> {
+        let bytes: Vec<u64> = model.params().iter().map(|p| p.bytes()).collect();
+        self.assign_weighted(&bytes, shards)
+    }
+
+    /// Computes the shard index of every transfer unit, given unit byte
+    /// sizes directly. [`Sharding::assign`] delegates here with one unit
+    /// per parameter; the partition pass calls it with chunked units so a
+    /// split tensor's chunks can land on different shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn assign_weighted(self, bytes: &[u64], shards: usize) -> Vec<usize> {
         assert!(shards > 0, "at least one shard required");
-        let n = model.params().len();
+        let n = bytes.len();
         match self {
             Sharding::RoundRobin => (0..n).map(|i| i % shards).collect(),
             Sharding::SizeBalanced => {
                 let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by_key(|&i| std::cmp::Reverse(model.params()[i].bytes()));
+                order.sort_by_key(|&i| std::cmp::Reverse(bytes[i]));
                 let mut load = vec![0u64; shards];
                 let mut assignment = vec![0usize; n];
                 for i in order {
                     let lightest = (0..shards).min_by_key(|&s| load[s]).expect("shards > 0");
                     assignment[i] = lightest;
-                    load[lightest] += model.params()[i].bytes();
+                    load[lightest] += bytes[i];
                 }
                 assignment
             }

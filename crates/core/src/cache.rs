@@ -49,6 +49,12 @@ struct SchedKey {
     config_hash: u64,
 }
 
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EvalKey {
+    sched: SchedKey,
+    samples: u32,
+}
+
 /// Hit/miss counters of a [`DeployCache`], one pair per level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -60,6 +66,10 @@ pub struct CacheStats {
     pub schedule_hits: u64,
     /// Schedules computed cold (observed sessions always count here).
     pub schedule_misses: u64,
+    /// Tuning evaluations served from the cache (warm re-tunes).
+    pub eval_hits: u64,
+    /// Tuning evaluations simulated cold.
+    pub eval_misses: u64,
 }
 
 /// FNV-1a over the `Debug` rendering of the config with faults stripped:
@@ -84,10 +94,13 @@ fn schedule_config_hash(config: &SimConfig) -> u64 {
 pub struct DeployCache {
     deploys: Mutex<HashMap<DeployKey, Arc<DeployedModel>>>,
     schedules: Mutex<HashMap<SchedKey, Arc<Schedule>>>,
+    evals: Mutex<HashMap<EvalKey, f64>>,
     deploy_hits: AtomicU64,
     deploy_misses: AtomicU64,
     schedule_hits: AtomicU64,
     schedule_misses: AtomicU64,
+    eval_hits: AtomicU64,
+    eval_misses: AtomicU64,
 }
 
 impl DeployCache {
@@ -171,6 +184,52 @@ impl DeployCache {
         Ok((deployed, shared))
     }
 
+    /// Memoizes one communication-tuning evaluation: the makespan metric
+    /// of `(model, cluster, scheduler, config)` measured over `samples`
+    /// fault-free iterations. A hit skips deployment, scheduling *and*
+    /// simulation — this is what makes warm re-tunes effectively free.
+    ///
+    /// `compute` receives the shared deployment and schedule and runs
+    /// outside the cache lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeployError`] if the cluster spec or model is invalid.
+    pub fn tune_eval<F>(
+        &self,
+        model: &ModelGraph,
+        cluster: &ClusterSpec,
+        scheduler: SchedulerKind,
+        config: &SimConfig,
+        samples: u32,
+        compute: F,
+    ) -> Result<f64, DeployError>
+    where
+        F: FnOnce(&DeployedModel, &Schedule) -> f64,
+    {
+        let key = EvalKey {
+            sched: SchedKey {
+                deploy: DeployKey {
+                    fingerprint: model.fingerprint(),
+                    cluster: cluster.clone(),
+                },
+                scheduler,
+                config_hash: schedule_config_hash(config),
+            },
+            samples,
+        };
+        if let Some(&hit) = lock(&self.evals).get(&key) {
+            self.eval_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.eval_misses.fetch_add(1, Ordering::Relaxed);
+        let (deployed, schedule) =
+            self.schedule(model, cluster, scheduler, config, &Registry::disabled())?;
+        let value = compute(&deployed, &schedule);
+        lock(&self.evals).insert(key, value);
+        Ok(value)
+    }
+
     /// Hit/miss counters since construction (or the process start, for
     /// the global cache).
     pub fn stats(&self) -> CacheStats {
@@ -179,13 +238,17 @@ impl DeployCache {
             deploy_misses: self.deploy_misses.load(Ordering::Relaxed),
             schedule_hits: self.schedule_hits.load(Ordering::Relaxed),
             schedule_misses: self.schedule_misses.load(Ordering::Relaxed),
+            eval_hits: self.eval_hits.load(Ordering::Relaxed),
+            eval_misses: self.eval_misses.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every cached deployment and schedule (counters are kept).
+    /// Drops every cached deployment, schedule and tuning evaluation
+    /// (counters are kept).
     pub fn clear(&self) {
         lock(&self.deploys).clear();
         lock(&self.schedules).clear();
+        lock(&self.evals).clear();
     }
 }
 
@@ -264,6 +327,37 @@ mod tests {
             schedule_config_hash(&other),
             "the seed feeds the Random policy and must split the key"
         );
+    }
+
+    #[test]
+    fn tune_evals_memoize_and_split_by_comm_config() {
+        use tictac_cluster::CommConfig;
+        let cache = DeployCache::new();
+        let model = tiny_mlp(Mode::Training, 8);
+        let config = SimConfig::cloud_gpu();
+        let spec = ClusterSpec::new(2, 1);
+        let v1 = cache
+            .tune_eval(&model, &spec, SchedulerKind::Tac, &config, 2, |d, s| {
+                assert_eq!(s.len(), d.graph().len());
+                1.5
+            })
+            .unwrap();
+        let v2 = cache
+            .tune_eval(&model, &spec, SchedulerKind::Tac, &config, 2, |_, _| {
+                panic!("warm re-tune must be served from the cache")
+            })
+            .unwrap();
+        assert_eq!(v1, v2);
+        // A different comm granularity must not alias.
+        let tuned = spec
+            .clone()
+            .with_comm(CommConfig::default().with_fusion_bytes(Some(1024)));
+        let v3 = cache
+            .tune_eval(&model, &tuned, SchedulerKind::Tac, &config, 2, |_, _| 2.5)
+            .unwrap();
+        assert_eq!(v3, 2.5);
+        let stats = cache.stats();
+        assert_eq!((stats.eval_hits, stats.eval_misses), (1, 2));
     }
 
     #[test]

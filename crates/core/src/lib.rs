@@ -40,6 +40,7 @@ mod experiments;
 pub mod optimal;
 mod session;
 pub mod training;
+mod tune;
 
 pub use backend::{ExecError, ExecutionBackend, SimBackend, ThreadedBackend, TimeDomain};
 pub use cache::{CacheStats, DeployCache};
@@ -49,20 +50,21 @@ pub use session::{
     IterationRecord, RunOptions, RunReport, ScenarioBuildError, SchedulerKind, Session,
     SessionBuilder, SessionConfig,
 };
+pub use tune::{auto_tune_with, TuneOptions, TuneResult};
 
 // Re-export the substrate so downstream users need only one dependency.
 pub use tictac_cluster::{
-    deploy, deploy_all_reduce, AllReduceDeployment, ClusterSpec, DeployError, DeployedModel,
-    Sharding,
+    deploy, deploy_all_reduce, AllReduceDeployment, ClusterSpec, CommConfig, DeployError,
+    DeployedModel, Sharding,
 };
 pub use tictac_exec::{
     run_iteration, run_iteration_injected, run_iteration_with_plan, ExecOptions, ExecPlan,
     RuntimeError,
 };
 pub use tictac_graph::{
-    Channel, ChannelId, Cost, Device, DeviceId, DeviceKind, Graph, GraphBuilder, GraphError,
-    ModelGraph, ModelGraphBuilder, ModelOpId, ModelOpKind, NameId, NameTable, OpId, OpKind, OpName,
-    ParamId, Resource, RingStage,
+    Channel, ChannelId, CommRole, Cost, Device, DeviceId, DeviceKind, Graph, GraphBuilder,
+    GraphError, ModelGraph, ModelGraphBuilder, ModelOpId, ModelOpKind, NameId, NameTable, OpId,
+    OpKind, OpName, ParamId, Resource, RingStage,
 };
 pub use tictac_metrics::{ols, percentile, Cdf, Histogram, OlsFit, Streaming, Summary};
 pub use tictac_models::{tiny_mlp, Mode, Model};

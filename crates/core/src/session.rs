@@ -167,6 +167,9 @@ impl SessionBuilder {
             model_name: self.model.name().to_string(),
             model_fp: self.model.fingerprint(),
             batch: self.model.batch_size(),
+            model: std::sync::Arc::new(self.model),
+            cluster: s.cluster.clone(),
+            sim_config: s.config.clone(),
             deployed,
             scheduler: s.scheduler,
             warmup: s.warmup,
@@ -178,6 +181,7 @@ impl SessionBuilder {
             seed: s.config.seed,
             fault_fp: s.config.faults.fingerprint(),
             scenario_fp: s.scenario_fp,
+            comm_fp: s.cluster.comm().fingerprint(),
             sink,
         })
     }
@@ -373,9 +377,12 @@ impl RunReport {
 /// Create with [`Session::builder`].
 #[derive(Debug)]
 pub struct Session {
+    model: std::sync::Arc<ModelGraph>,
     model_name: String,
     model_fp: u64,
     batch: usize,
+    cluster: ClusterSpec,
+    sim_config: SimConfig,
     deployed: std::sync::Arc<DeployedModel>,
     scheduler: SchedulerKind,
     warmup: usize,
@@ -387,6 +394,7 @@ pub struct Session {
     seed: u64,
     fault_fp: u64,
     scenario_fp: u64,
+    comm_fp: u64,
     sink: Option<std::sync::Arc<dyn RunSink>>,
 }
 
@@ -486,6 +494,31 @@ impl Session {
     /// The deployed model.
     pub fn deployed(&self) -> &DeployedModel {
         &self.deployed
+    }
+
+    /// Searches for the communication granularity ([`CommConfig`]) that
+    /// minimises this session's fault-free makespan under its own
+    /// scheduler, via [`auto_tune_with`](crate::auto_tune_with) against
+    /// the process-wide [`DeployCache`](crate::DeployCache). The
+    /// session itself is unchanged; rebuild with
+    /// `cluster.with_comm(result.best)` to run the tuned deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeployError`] if a candidate deployment fails (e.g.
+    /// a zero threshold in the options' ladders).
+    pub fn auto_tune(
+        &self,
+        options: &crate::TuneOptions,
+    ) -> Result<crate::TuneResult, DeployError> {
+        crate::tune::auto_tune_with(
+            crate::DeployCache::global(),
+            &self.model,
+            &self.cluster,
+            self.scheduler,
+            &self.sim_config,
+            options,
+        )
     }
 
     /// The enforced schedule (empty for the baseline).
@@ -713,6 +746,7 @@ impl Session {
             seed: self.seed,
             fault_fp: self.fault_fp,
             scenario_fp: self.scenario_fp,
+            comm_fp: self.comm_fp,
             provenance: std::env::var("TICTAC_PROVENANCE").unwrap_or_default(),
             payload: Payload::Session(evidence),
         }

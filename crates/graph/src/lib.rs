@@ -68,5 +68,5 @@ pub use ids::{ChannelId, DeviceId, ModelOpId, OpId, ParamId};
 pub use model::{
     ModelGraph, ModelGraphBuilder, ModelOp, ModelOpKind, ModelStats, ParamSpec, TensorShape,
 };
-pub use name::{NameId, NameTable, OpName, RingStage};
+pub use name::{CommRole, NameId, NameTable, OpName, RingStage};
 pub use op::{Cost, Op, OpKind};

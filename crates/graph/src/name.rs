@@ -98,13 +98,39 @@ pub enum RingStage {
     AgRecv,
 }
 
+/// Which leg of the parameter round-trip a partitioned or fused
+/// communication op belongs to.
+///
+/// The partition/fusion lowering passes reuse the same role set as the
+/// plain MR+PS emission; [`OpName::Chunk`] and [`OpName::Fused`] pair a
+/// role with chunk/group coordinates instead of minting one enum variant
+/// per (pass × role) combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommRole {
+    /// PS-side parameter read.
+    Read,
+    /// PS → worker parameter send.
+    Send,
+    /// Worker-side parameter receive.
+    Recv,
+    /// Worker → PS gradient send.
+    SendGrad,
+    /// PS-side gradient receive.
+    RecvGrad,
+    /// PS-side gradient aggregation.
+    Aggregate,
+    /// PS-side parameter update.
+    Update,
+}
+
 /// A compact structured op name.
 ///
 /// The `Ps*`/`Worker*` variants cover every op the MR+PS lowering emits
-/// (paper §2.2); [`OpName::Ring`] covers the all-reduce lowering; and
-/// [`OpName::Raw`] holds arbitrary interned strings for hand-built graphs.
-/// [`OpName::render`] reproduces the historical `format!` strings byte for
-/// byte.
+/// (paper §2.2); [`OpName::Chunk`] and [`OpName::Fused`] cover the
+/// partition/fusion communication passes; [`OpName::Ring`] covers the
+/// all-reduce lowering; and [`OpName::Raw`] holds arbitrary interned
+/// strings for hand-built graphs. [`OpName::render`] reproduces the
+/// historical `format!` strings byte for byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OpName {
     /// An arbitrary interned name (hand-built graphs, tests).
@@ -169,6 +195,35 @@ pub enum OpName {
         /// Interned parameter name.
         param: NameId,
     },
+    /// One chunk of a partitioned parameter: renders exactly like the
+    /// matching plain variant with `{param}.part{chunk}` as the parameter
+    /// name (e.g. `ps{shard}/send/{param}.part{chunk}/w{worker}`).
+    Chunk {
+        /// Which leg of the round-trip this op is.
+        role: CommRole,
+        /// PS shard index (unused for the worker-side roles' rendering).
+        shard: u16,
+        /// Worker index (unused for the PS-local roles' rendering).
+        worker: u16,
+        /// Interned *original* parameter name.
+        param: NameId,
+        /// Chunk index within the partitioned parameter.
+        chunk: u16,
+    },
+    /// A fused transfer covering several small parameters: renders like
+    /// the matching plain variant with `fused{group}` as the parameter
+    /// name (e.g. `w{worker}/recv/fused{group}`). Only the four transfer
+    /// roles (`Send`, `Recv`, `SendGrad`, `RecvGrad`) are emitted.
+    Fused {
+        /// Which leg of the round-trip this op is.
+        role: CommRole,
+        /// PS shard index.
+        shard: u16,
+        /// Worker index.
+        worker: u16,
+        /// Fusion group index (unique per shard).
+        group: u32,
+    },
     /// `w{worker}/b{bucket}/<rs|ag>{step}/<send|recv|reduce>/chunk{chunk}`
     Ring {
         /// Worker index (destination worker for recv/reduce stages).
@@ -222,6 +277,66 @@ impl OpName {
             OpName::PsUpdate { shard, param } => {
                 let _ = write!(out, "ps{shard}/update/{}", table.get(param));
             }
+            OpName::Chunk {
+                role,
+                shard,
+                worker,
+                param,
+                chunk,
+            } => {
+                let p = table.get(param);
+                match role {
+                    CommRole::Read => {
+                        let _ = write!(out, "ps{shard}/read/{p}.part{chunk}");
+                    }
+                    CommRole::Send => {
+                        let _ = write!(out, "ps{shard}/send/{p}.part{chunk}/w{worker}");
+                    }
+                    CommRole::Recv => {
+                        let _ = write!(out, "w{worker}/recv/{p}.part{chunk}");
+                    }
+                    CommRole::SendGrad => {
+                        let _ = write!(out, "w{worker}/send_grad/{p}.part{chunk}");
+                    }
+                    CommRole::RecvGrad => {
+                        let _ = write!(out, "ps{shard}/recv_grad/{p}.part{chunk}/w{worker}");
+                    }
+                    CommRole::Aggregate => {
+                        let _ = write!(out, "ps{shard}/aggregate/{p}.part{chunk}");
+                    }
+                    CommRole::Update => {
+                        let _ = write!(out, "ps{shard}/update/{p}.part{chunk}");
+                    }
+                }
+            }
+            OpName::Fused {
+                role,
+                shard,
+                worker,
+                group,
+            } => match role {
+                CommRole::Send => {
+                    let _ = write!(out, "ps{shard}/send/fused{group}/w{worker}");
+                }
+                CommRole::Recv => {
+                    let _ = write!(out, "w{worker}/recv/fused{group}");
+                }
+                CommRole::SendGrad => {
+                    let _ = write!(out, "w{worker}/send_grad/fused{group}");
+                }
+                CommRole::RecvGrad => {
+                    let _ = write!(out, "ps{shard}/recv_grad/fused{group}/w{worker}");
+                }
+                CommRole::Read => {
+                    let _ = write!(out, "ps{shard}/read/fused{group}");
+                }
+                CommRole::Aggregate => {
+                    let _ = write!(out, "ps{shard}/aggregate/fused{group}");
+                }
+                CommRole::Update => {
+                    let _ = write!(out, "ps{shard}/update/fused{group}");
+                }
+            },
             OpName::Ring {
                 worker,
                 bucket,
@@ -344,6 +459,65 @@ mod tests {
         );
         assert_eq!(ring(RingStage::AgSend).render(&t), "w3/b1/ag2/send/chunk0");
         assert_eq!(ring(RingStage::AgRecv).render(&t), "w3/b1/ag2/recv/chunk0");
+    }
+
+    #[test]
+    fn chunk_renders_every_role() {
+        let mut t = NameTable::new();
+        let p = t.intern("fc6/weights");
+        let chunk = |role| OpName::Chunk {
+            role,
+            shard: 1,
+            worker: 2,
+            param: p,
+            chunk: 3,
+        };
+        assert_eq!(
+            chunk(CommRole::Read).render(&t),
+            "ps1/read/fc6/weights.part3"
+        );
+        assert_eq!(
+            chunk(CommRole::Send).render(&t),
+            "ps1/send/fc6/weights.part3/w2"
+        );
+        assert_eq!(
+            chunk(CommRole::Recv).render(&t),
+            "w2/recv/fc6/weights.part3"
+        );
+        assert_eq!(
+            chunk(CommRole::SendGrad).render(&t),
+            "w2/send_grad/fc6/weights.part3"
+        );
+        assert_eq!(
+            chunk(CommRole::RecvGrad).render(&t),
+            "ps1/recv_grad/fc6/weights.part3/w2"
+        );
+        assert_eq!(
+            chunk(CommRole::Aggregate).render(&t),
+            "ps1/aggregate/fc6/weights.part3"
+        );
+        assert_eq!(
+            chunk(CommRole::Update).render(&t),
+            "ps1/update/fc6/weights.part3"
+        );
+    }
+
+    #[test]
+    fn fused_renders_transfer_roles() {
+        let t = NameTable::new();
+        let fused = |role| OpName::Fused {
+            role,
+            shard: 0,
+            worker: 4,
+            group: 7,
+        };
+        assert_eq!(fused(CommRole::Send).render(&t), "ps0/send/fused7/w4");
+        assert_eq!(fused(CommRole::Recv).render(&t), "w4/recv/fused7");
+        assert_eq!(fused(CommRole::SendGrad).render(&t), "w4/send_grad/fused7");
+        assert_eq!(
+            fused(CommRole::RecvGrad).render(&t),
+            "ps0/recv_grad/fused7/w4"
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub use parse::{ParseError, Value};
 
 use parse::Entry;
 use std::fmt;
-use tictac_cluster::ClusterSpec;
+use tictac_cluster::{ClusterSpec, CommConfig};
 use tictac_faults::FaultSpec;
 use tictac_models::{Mode, Model};
 use tictac_sched::SchedulerKind;
@@ -210,7 +210,10 @@ impl Scenario {
             None => model.default_batch(),
         };
 
-        let cluster = cluster_spec(f.require("cluster")?)?;
+        let mut cluster = cluster_spec(f.require("cluster")?)?;
+        if let Some(e) = f.take("comm") {
+            cluster = cluster.with_comm(comm_config(e)?);
+        }
 
         let env = match f.take("env") {
             Some(e) => {
@@ -356,6 +359,12 @@ impl Scenario {
         eat(&(self.warmup as u64).to_le_bytes());
         eat(&self.time_scale.unwrap_or(0.0).to_bits().to_le_bytes());
         eat(&self.faults.fingerprint().to_le_bytes());
+        // Communication granularity joined the schema after v1 shipped;
+        // it is eaten only when non-default so every pre-existing
+        // scenario file keeps its recorded fingerprint.
+        if !self.cluster.comm().is_default() {
+            eat(&self.cluster.comm().fingerprint().to_le_bytes());
+        }
         h
     }
 }
@@ -452,6 +461,34 @@ fn cluster_spec(section: Entry) -> Result<ClusterSpec, ParseError> {
     f.finish()?;
     b.build()
         .map_err(|e| ParseError::at(section_line, format!("invalid cluster: {e}")))
+}
+
+/// Lowers the `comm:` section onto a [`CommConfig`], starting from the
+/// default (both passes off). Thresholds are byte counts and must be at
+/// least 1.
+fn comm_config(section: Entry) -> Result<CommConfig, ParseError> {
+    if section.value.is_some() {
+        return Err(ParseError::at(section.line, "`comm` must be a section"));
+    }
+    let mut f = Fields::new(section.children);
+    let mut threshold = |key: &'static str| -> Result<Option<u64>, ParseError> {
+        match f.take(key) {
+            Some(e) => {
+                let v = parse_num::<u64>(&scalar(&e)?, e.line, key)?;
+                if v == 0 {
+                    return Err(ParseError::at(e.line, format!("{key} must be at least 1")));
+                }
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    };
+    let comm = CommConfig {
+        partition_bytes: threshold("partition_bytes")?,
+        fusion_bytes: threshold("fusion_bytes")?,
+    };
+    f.finish()?;
+    Ok(comm)
 }
 
 /// Lowers the `faults:` section onto a [`FaultSpec`], starting from
@@ -709,6 +746,69 @@ seed: [1, 2, 3]
                 "expected {want:?} in `{err}`"
             );
         }
+    }
+
+    #[test]
+    fn comm_section_lowers_onto_the_cluster() {
+        let doc = "\
+model: vgg_16
+cluster:
+  workers: 4
+  parameter_servers: 2
+comm:
+  partition_bytes: 4194304
+  fusion_bytes: 65536
+";
+        let s = Scenario::parse(doc).unwrap();
+        assert_eq!(s.cluster.comm().partition_bytes, Some(4 << 20));
+        assert_eq!(s.cluster.comm().fusion_bytes, Some(64 << 10));
+        // A scenario without a `comm:` section keeps the default (both
+        // passes off), and its fingerprint is unchanged from pre-comm
+        // parses of the same document.
+        let plain =
+            Scenario::parse("model: vgg_16\ncluster:\n  workers: 4\n  parameter_servers: 2\n")
+                .unwrap();
+        assert!(plain.cluster.comm().is_default());
+        assert_ne!(s.fingerprint(), plain.fingerprint());
+        // Each threshold is semantic on its own.
+        let part_only = Scenario::parse(
+            "model: vgg_16\ncluster:\n  workers: 4\n  parameter_servers: 2\ncomm:\n  partition_bytes: 4194304\n",
+        )
+        .unwrap();
+        assert_eq!(part_only.cluster.comm().fusion_bytes, None);
+        assert_ne!(s.fingerprint(), part_only.fingerprint());
+        assert_ne!(plain.fingerprint(), part_only.fingerprint());
+    }
+
+    #[test]
+    fn comm_section_rejects_bad_thresholds() {
+        let base = "model: alexnet_v2\ncluster:\n  workers: 2\n  parameter_servers: 1\n";
+        let cases: &[(String, &str)] = &[
+            (
+                format!("{base}comm:\n  partition_bytes: 0\n"),
+                "partition_bytes must be at least 1",
+            ),
+            (
+                format!("{base}comm:\n  fusion_bytes: lots\n"),
+                "invalid fusion_bytes",
+            ),
+            (
+                format!("{base}comm:\n  chunk_count: 4\n"),
+                "unknown field `chunk_count`",
+            ),
+            (format!("{base}comm: on\n"), "`comm` must be a section"),
+        ];
+        for (doc, want) in cases {
+            let err = Scenario::parse_grid(doc).unwrap_err();
+            assert!(
+                err.to_string().contains(want),
+                "expected {want:?} in `{err}`"
+            );
+        }
+        // Errors carry the offending line number.
+        let err =
+            Scenario::parse_grid(&format!("{base}comm:\n  partition_bytes: 0\n")).unwrap_err();
+        assert!(err.to_string().contains("line 6"), "got `{err}`");
     }
 
     #[test]

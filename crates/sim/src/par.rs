@@ -686,11 +686,11 @@ pub(crate) fn simulate_par(
 mod tests {
     use super::*;
     use crate::engine::{selected_engine, simulate, EngineChoice};
-    use tictac_trace::analyze;
     use tictac_cluster::{deploy, ClusterSpec, DeployedModel};
     use tictac_models::{tiny_mlp, Mode};
     use tictac_sched::no_ordering;
     use tictac_timing::Platform;
+    use tictac_trace::analyze;
 
     fn par_config() -> SimConfig {
         SimConfig::deterministic(Platform::cloud_gpu()).with_disorder_window(Some(1))

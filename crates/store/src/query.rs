@@ -58,6 +58,12 @@ pub fn group_key(r: &RunRecord) -> String {
     if r.scenario_fp != 0 {
         key.push_str(&format!("/scn{:016x}", r.scenario_fp));
     }
+    // Likewise for communication granularity: a tuned partition/fusion
+    // deployment is a different experiment from the default lowering.
+    // The default config fingerprints to 0, so pre-pass keys are stable.
+    if r.comm_fp != 0 {
+        key.push_str(&format!("/comm{:016x}", r.comm_fp));
+    }
     key
 }
 
@@ -536,6 +542,7 @@ mod tests {
             seed: 7,
             fault_fp: 0,
             scenario_fp: 0,
+            comm_fp: 0,
             provenance: String::new(),
             payload: Payload::Session(SessionEvidence {
                 iterations: makespans
@@ -635,6 +642,7 @@ mod tests {
             seed: 42,
             fault_fp: 0,
             scenario_fp: 0,
+            comm_fp: 0,
             provenance: String::new(),
             payload: Payload::Report(ReportEvidence {
                 report_fp: fp,

@@ -29,10 +29,12 @@ use tictac_trace::FaultCounters;
 ///
 /// v2 added `scenario_fp` — the [`Scenario::fingerprint`] of the
 /// declarative scenario that drove the run (`"0"` for runs not driven by
-/// a scenario file).
+/// a scenario file). v3 added `comm_fp` — the `CommConfig::fingerprint`
+/// of the communication granularity the run deployed with (`"0"` for the
+/// default per-parameter lowering, so pre-pass runs keep their identity).
 ///
 /// [`Scenario::fingerprint`]: https://docs.rs/tictac-scenario
-pub const SCHEMA: &str = "tictac-run/v2";
+pub const SCHEMA: &str = "tictac-run/v3";
 
 /// Largest integer exactly representable in an f64-backed JSON number.
 const MAX_SAFE_INT: u64 = 1 << 53;
@@ -71,6 +73,9 @@ pub struct RunRecord {
     /// `Scenario::fingerprint` of the scenario file that drove the run
     /// (0 when the run was not scenario-driven).
     pub scenario_fp: u64,
+    /// `CommConfig::fingerprint` of the communication granularity the run
+    /// deployed with (0 = default per-parameter lowering).
+    pub comm_fp: u64,
     /// Free-form provenance (git describe, CI job id, …); often empty.
     pub provenance: String,
     /// The observed evidence, tagged by kind.
@@ -304,6 +309,7 @@ impl RunRecord {
             ("seed".into(), str_u64(self.seed)),
             ("fault_fp".into(), str_u64(self.fault_fp)),
             ("scenario_fp".into(), str_u64(self.scenario_fp)),
+            ("comm_fp".into(), str_u64(self.comm_fp)),
             ("provenance".into(), Json::Str(self.provenance.clone())),
             ("payload".into(), payload_json(&self.payload)),
         ]);
@@ -332,6 +338,7 @@ impl RunRecord {
                 "seed",
                 "fault_fp",
                 "scenario_fp",
+                "comm_fp",
                 "provenance",
                 "payload",
             ],
@@ -343,7 +350,7 @@ impl RunRecord {
             ));
         }
         let kind = get_str(f[4], "kind")?;
-        let payload = decode_payload(&kind, f[15])?;
+        let payload = decode_payload(&kind, f[16])?;
         Ok(RunRecord {
             id: get_str(f[1], "id")?,
             time_ms: get_u64(f[2], "time_ms")?,
@@ -357,7 +364,8 @@ impl RunRecord {
             seed: get_u64_str(f[11], "seed")?,
             fault_fp: get_u64_str(f[12], "fault_fp")?,
             scenario_fp: get_u64_str(f[13], "scenario_fp")?,
-            provenance: get_str(f[14], "provenance")?,
+            comm_fp: get_u64_str(f[14], "comm_fp")?,
+            provenance: get_str(f[15], "provenance")?,
             payload,
         })
     }
@@ -622,6 +630,7 @@ mod tests {
             seed: u64::MAX,
             fault_fp: 0xDEAD_BEEF_CAFE_F00D,
             scenario_fp: 0x71C7_AC00_5CEA_4210,
+            comm_fp: 0x7A87_1710_0CAF_E000,
             provenance: "ci/1234".into(),
             payload: Payload::Session(SessionEvidence {
                 iterations: vec![IterationEvidence {
@@ -683,7 +692,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_rejected() {
-        let line = sample().encode().replace("tictac-run/v2", "tictac-run/v1");
+        let line = sample().encode().replace("tictac-run/v3", "tictac-run/v2");
         let err = RunRecord::decode(&line).unwrap_err();
         assert!(err.contains("unsupported schema"), "{err}");
     }

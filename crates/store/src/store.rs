@@ -215,6 +215,7 @@ mod tests {
             seed,
             fault_fp: 0,
             scenario_fp: 0,
+            comm_fp: 0,
             provenance: String::new(),
             payload: Payload::Session(SessionEvidence::default()),
         }

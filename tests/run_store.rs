@@ -148,6 +148,7 @@ fn random_record() -> impl Strategy<Value = RunRecord> {
             seed: rng.gen::<u64>(),
             fault_fp: rng.gen::<u64>(),
             scenario_fp: rng.gen::<u64>(),
+            comm_fp: rng.gen::<u64>(),
             provenance: random_label(rng),
             payload: random_payload(rng),
         }
@@ -185,9 +186,9 @@ fn non_finite_floats_survive_as_null_round_trips() {
 fn other_schema_versions_are_rejected() {
     let line = sample_record().encode();
     for tampered in [
-        line.replace("tictac-run/v2", "tictac-run/v3"),
-        line.replace("tictac-run/v2", "tictac-run/v1"),
-        line.replace("tictac-run/v2", "someone-elses-schema"),
+        line.replace("tictac-run/v3", "tictac-run/v4"),
+        line.replace("tictac-run/v3", "tictac-run/v2"),
+        line.replace("tictac-run/v3", "someone-elses-schema"),
     ] {
         let err = RunRecord::decode(&tampered).expect_err("wrong schema must not decode");
         assert!(err.contains("schema"), "unhelpful error: {err}");
@@ -265,6 +266,7 @@ fn sample_record() -> RunRecord {
         seed: u64::MAX,
         fault_fp: 0xb815_eafa_d4fb_89ac,
         scenario_fp: 0x5c3a_a01d_be1f_7a2e,
+        comm_fp: 0x00c0_33f1_66ed_5a17,
         provenance: "golden \"fixture\" \\ line".into(),
         payload: Payload::Session(SessionEvidence {
             iterations: vec![
